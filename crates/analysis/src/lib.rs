@@ -1,0 +1,34 @@
+//! Analytical models and Monte Carlo analysis from the paper:
+//!
+//! * [`violation_probability`] — Equation (1): how often the preliminary EAR
+//!   violates rack-level fault tolerance (Fig. 3);
+//! * [`expected_cross_rack_downloads_rr`] — Section II-B's `k − 2k/R`
+//!   expectation for random replication;
+//! * [`theorem1_bound`] and [`measure_iterations`] — Theorem 1's bound on
+//!   EAR's layout-regeneration iterations and its empirical validation;
+//! * [`storage_distribution`], [`read_hotness`] — the load-balancing
+//!   analysis of Experiments C.1 and C.2 (Figs. 14–15).
+//!
+//! # Example
+//!
+//! ```
+//! use ear_analysis::{expected_cross_rack_downloads_rr, violation_probability};
+//!
+//! // With few racks, the preliminary EAR almost always needs relocation…
+//! assert!(violation_probability(16, 12) > 0.9);
+//! // …and RR's encoding downloads nearly all k blocks across racks.
+//! assert!(expected_cross_rack_downloads_rr(20, 10) == 9.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod balance;
+mod theorem1;
+mod violation;
+
+pub use balance::{max_rank_difference, place_and_collect, read_hotness, storage_distribution};
+pub use theorem1::{measure_iterations, theorem1_bound};
+pub use violation::{
+    expected_cross_rack_downloads_rr, violation_probability, violation_probability_monte_carlo,
+};

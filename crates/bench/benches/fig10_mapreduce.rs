@@ -1,0 +1,4 @@
+//! Bench harness for Figure 10: MapReduce replay, quick scale.
+fn main() {
+    println!("{}", ear_bench::exp::fig10::run(ear_bench::Scale::Quick));
+}

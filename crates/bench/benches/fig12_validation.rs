@@ -1,0 +1,4 @@
+//! Bench harness for Figure 12 + Table I: simulator validation, quick scale.
+fn main() {
+    println!("{}", ear_bench::exp::fig12::run(ear_bench::Scale::Quick));
+}

@@ -1,0 +1,5 @@
+//! Bench harness for Figure 13(a)-(f): simulator parameter sweeps, quick
+//! scale.
+fn main() {
+    println!("{}", ear_bench::exp::fig13::run(ear_bench::Scale::Quick));
+}

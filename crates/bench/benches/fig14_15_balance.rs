@@ -1,0 +1,11 @@
+//! Bench harness for Figures 14-15: load-balancing analysis, quick scale.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig14_15::run_storage(ear_bench::Scale::Quick)
+    );
+    println!(
+        "{}",
+        ear_bench::exp::fig14_15::run_hotness(ear_bench::Scale::Quick)
+    );
+}

@@ -1,0 +1,5 @@
+//! Bench harness for Figure 3: prints the violation-probability table and
+//! the cross-rack expectation at quick scale.
+fn main() {
+    println!("{}", ear_bench::exp::fig3::run(ear_bench::Scale::Quick));
+}

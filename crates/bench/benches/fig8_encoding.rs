@@ -1,0 +1,6 @@
+//! Bench harness for Figure 8(a)/(b): raw encoding throughput on the
+//! emulated testbed, quick scale.
+fn main() {
+    println!("{}", ear_bench::exp::fig8::run_a(ear_bench::Scale::Quick));
+    println!("{}", ear_bench::exp::fig8::run_b(ear_bench::Scale::Quick));
+}

@@ -1,0 +1,4 @@
+//! Bench harness for Figure 9: write responses during encoding, quick scale.
+fn main() {
+    println!("{}", ear_bench::exp::fig9::run(ear_bench::Scale::Quick));
+}

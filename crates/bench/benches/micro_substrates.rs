@@ -1,0 +1,183 @@
+//! Criterion micro-benchmarks of the substrates the experiments are built
+//! on, including the ablations called out in DESIGN.md:
+//!
+//! * Reed–Solomon encode/reconstruct throughput (Vandermonde vs Cauchy);
+//! * max-flow (Dinic) vs Hopcroft–Karp on EAR-shaped feasibility graphs;
+//! * EAR stripe placement vs RR placement;
+//! * FIFO vs fair-share network engines on a contended topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ear_core::{EarStripeBuilder, RandomReplication};
+use ear_des::{drain_engine, FairShareEngine, FifoEngine, NetworkEngine, SimTime};
+use ear_erasure::{Construction, ReedSolomon};
+use ear_flow::{hopcroft_karp, max_kept_matching, FlowNetwork};
+use ear_types::{
+    Bandwidth, ByteSize, ClusterTopology, EarConfig, ErasureParams, NodeId, RackId,
+    ReplicationConfig,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reed_solomon");
+    let len = 1 << 20; // 1 MiB shards
+    for (n, k) in [(14usize, 10usize), (10, 8)] {
+        let params = ErasureParams::new(n, k).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|j| ((i * 7 + j) % 256) as u8).collect())
+            .collect();
+        group.throughput(Throughput::Bytes((k * len) as u64));
+        for construction in [Construction::Vandermonde, Construction::Cauchy] {
+            let rs = ReedSolomon::with_construction(params, construction);
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_{construction:?}"), format!("({n},{k})")),
+                &rs,
+                |b, rs| b.iter(|| rs.encode(&data).unwrap()),
+            );
+        }
+        let rs = ReedSolomon::new(params);
+        let parity = rs.encode(&data).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_two_erasures", format!("({n},{k})")),
+            &rs,
+            |b, rs| {
+                b.iter(|| {
+                    let mut shards: Vec<Option<Vec<u8>>> = data
+                        .iter()
+                        .cloned()
+                        .map(Some)
+                        .chain(parity.iter().cloned().map(Some))
+                        .collect();
+                    shards[0] = None;
+                    shards[k] = None;
+                    rs.reconstruct(&mut shards).unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Builds the EAR-shaped feasibility inputs for a (R racks x nodes) cluster.
+fn feasibility_inputs(
+    racks: usize,
+    nodes_per_rack: usize,
+    k: usize,
+    seed: u64,
+) -> (ClusterTopology, Vec<Vec<NodeId>>) {
+    let topo = ClusterTopology::uniform(racks, nodes_per_rack);
+    let rr = RandomReplication::new(topo.clone(), ReplicationConfig::hdfs_default()).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let layouts: Vec<Vec<NodeId>> = (0..k).map(|_| rr.place_block(&mut rng).replicas).collect();
+    (topo, layouts)
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    let (topo, layouts) = feasibility_inputs(20, 20, 12, 1);
+    group.bench_function("max_kept_matching_flow", |b| {
+        b.iter(|| max_kept_matching(&topo, &layouts, 1, None))
+    });
+    // The same instance as a plain bipartite matching (blocks x racks,
+    // c = 1): the Hopcroft-Karp ablation.
+    let rack_adj: Vec<Vec<usize>> = layouts
+        .iter()
+        .map(|l| {
+            let mut racks: Vec<usize> = l.iter().map(|&n| topo.rack_of(n).index()).collect();
+            racks.sort_unstable();
+            racks.dedup();
+            racks
+        })
+        .collect();
+    group.bench_function("hopcroft_karp_racks", |b| {
+        b.iter(|| hopcroft_karp(rack_adj.len(), topo.num_racks(), &rack_adj))
+    });
+    // Raw Dinic on a random dense graph for scale.
+    group.bench_function("dinic_dense_100", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut net = FlowNetwork::new(102);
+            for v in 1..=100usize {
+                net.add_edge(0, v, rng.gen_range(1..10));
+                net.add_edge(v, 101, rng.gen_range(1..10));
+            }
+            for _ in 0..300 {
+                let a = rng.gen_range(1..=100);
+                let b2 = rng.gen_range(1..=100);
+                if a != b2 {
+                    net.add_edge(a, b2, rng.gen_range(1..5));
+                }
+            }
+            net.max_flow(0, 101)
+        })
+    });
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    let topo = ClusterTopology::uniform(20, 20);
+    let cfg = EarConfig::new(
+        ErasureParams::new(14, 10).unwrap(),
+        ReplicationConfig::hdfs_default(),
+        1,
+    )
+    .unwrap();
+    group.bench_function("ear_full_stripe", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| {
+            let mut builder = EarStripeBuilder::new(&cfg, &topo, RackId(3), &mut rng).unwrap();
+            while !builder.is_full() {
+                builder.add_block(&topo, &cfg, &mut rng).unwrap();
+            }
+            builder.finish()
+        })
+    });
+    let rr = RandomReplication::new(topo.clone(), ReplicationConfig::hdfs_default()).unwrap();
+    group.bench_function("rr_k_blocks", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            (0..10)
+                .map(|_| rr.place_block(&mut rng))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_network_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_engines");
+    // 200 transfers over 40 links with heavy sharing.
+    let run = |mut engine: Box<dyn NetworkEngine>| {
+        let links: Vec<_> = (0..40)
+            .map(|_| engine.add_link(Bandwidth::gbit(1.0)))
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for i in 0..200u64 {
+            let a = links[rng.gen_range(0..40)];
+            let b = links[rng.gen_range(0..40)];
+            engine.submit(
+                SimTime::from_secs(i as f64 * 0.01),
+                &[a, b],
+                ByteSize::mib(64),
+            );
+        }
+        drain_engine(engine.as_mut()).len()
+    };
+    group.bench_function("fifo_200_transfers", |b| {
+        b.iter(|| run(Box::new(FifoEngine::new())))
+    });
+    group.bench_function("fairshare_200_transfers", |b| {
+        b.iter(|| run(Box::new(FairShareEngine::new())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reed_solomon,
+    bench_matching,
+    bench_placement,
+    bench_network_engines
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Bench harness for the Section III-D recovery trade-off, quick scale.
+fn main() {
+    println!("{}", ear_bench::exp::recovery::run(ear_bench::Scale::Quick));
+}

@@ -1,0 +1,4 @@
+//! Bench harness for the Theorem 1 validation, quick scale.
+fn main() {
+    println!("{}", ear_bench::exp::theorem1::run(ear_bench::Scale::Quick));
+}

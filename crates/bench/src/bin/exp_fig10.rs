@@ -1,0 +1,7 @@
+//! Regenerates Figure 10 (Experiment A.3): MapReduce jobs completed vs time.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig10::run(ear_bench::Scale::from_env())
+    );
+}

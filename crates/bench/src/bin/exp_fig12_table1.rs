@@ -1,0 +1,7 @@
+//! Regenerates Figure 12 + Table I (Experiment B.1): simulator validation.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig12::run(ear_bench::Scale::from_env())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 13(a)-(f) (Experiment B.2): parameter sweeps in the
+//! 400-node simulated CFS. Set `EAR_SCALE=full` for 30 runs per point.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig13::run(ear_bench::Scale::from_env())
+    );
+}

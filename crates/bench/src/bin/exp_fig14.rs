@@ -1,0 +1,7 @@
+//! Regenerates Figure 14 (Experiment C.1): storage load balancing.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig14_15::run_storage(ear_bench::Scale::from_env())
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 15 (Experiment C.2): read load balancing (hotness).
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig14_15::run_hotness(ear_bench::Scale::from_env())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3 (and the Section II-B cross-rack expectation).
+//! Set `EAR_SCALE=full` for the paper-scale Monte Carlo trial counts.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig3::run(ear_bench::Scale::from_env())
+    );
+}

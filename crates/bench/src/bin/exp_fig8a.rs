@@ -1,0 +1,8 @@
+//! Regenerates Figure 8(a): raw encoding throughput vs (n, k).
+//! Set `EAR_SCALE=full` for 96 stripes with 4 MiB blocks.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig8::run_a(ear_bench::Scale::from_env())
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 8(b): encoding throughput vs background traffic rate.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig8::run_b(ear_bench::Scale::from_env())
+    );
+}

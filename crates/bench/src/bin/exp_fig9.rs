@@ -1,0 +1,7 @@
+//! Regenerates Figure 9 (Experiment A.2): write responses while encoding.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::fig9::run(ear_bench::Scale::from_env())
+    );
+}

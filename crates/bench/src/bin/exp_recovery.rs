@@ -1,0 +1,8 @@
+//! Regenerates the Section III-D trade-off: rack fault tolerance vs
+//! cross-rack recovery traffic under c and target racks.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::recovery::run(ear_bench::Scale::from_env())
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Theorem 1 validation: measured E_i vs the bound.
+fn main() {
+    println!(
+        "{}",
+        ear_bench::exp::theorem1::run(ear_bench::Scale::from_env())
+    );
+}

@@ -1,0 +1,162 @@
+//! Figure 8: raw encoding throughput on the (emulated) testbed.
+//!
+//! * (a) throughput vs `(n, k)` for RR and EAR — 96 stripes, 12 single-node
+//!   racks, 2-way replication;
+//! * (b) throughput vs background ("UDP") injection rate for `(10, 8)`.
+//!
+//! Block size and bandwidth are scaled down together (4 MiB blocks on
+//! 128 MB/s links instead of 64 MiB on 1 Gb/s ≈ 125 MB/s) so runs take
+//! seconds; relative throughputs are preserved.
+
+use crate::{Scale, Table};
+use ear_cluster::{ClusterConfig, ClusterPolicy, MiniCfs, RaidNode};
+use ear_types::{ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Builds the testbed cluster for a policy and erasure code.
+fn testbed(policy: ClusterPolicy, n: usize, k: usize, scale: Scale) -> Result<MiniCfs> {
+    let ear = EarConfig::new(ErasureParams::new(n, k)?, ReplicationConfig::two_way(), 1)?;
+    let mut cfg = ClusterConfig::testbed(policy, ear);
+    cfg.block_size = scale.pick(ByteSize::mib(1), ByteSize::mib(4));
+    let bw = scale.pick(32e6, 128e6);
+    cfg.node_bandwidth = ear_types::Bandwidth::bytes_per_sec(bw);
+    cfg.rack_bandwidth = ear_types::Bandwidth::bytes_per_sec(bw);
+    MiniCfs::new(cfg)
+}
+
+/// Writes enough blocks that at least `stripes` stripes seal, then returns
+/// the number pending.
+fn fill(cfs: &MiniCfs, stripes: usize, k: usize) -> Result<usize> {
+    let nodes = cfs.topology().num_nodes() as u64;
+    let mut i = 0u64;
+    // EAR seals a stripe when a core rack accumulates k blocks, so keep
+    // writing until enough stripes are sealed (RR seals every k writes).
+    while cfs.namenode().pending_stripe_count() < stripes {
+        let data = cfs.make_block(i);
+        cfs.write_block(NodeId((i % nodes) as u32), data)?;
+        i += 1;
+        assert!(
+            i < (stripes * k * 20) as u64,
+            "failed to seal {stripes} stripes"
+        );
+    }
+    Ok(cfs.namenode().pending_stripe_count())
+}
+
+/// One measurement: encoding throughput in MiB/s.
+fn encode_throughput(
+    policy: ClusterPolicy,
+    n: usize,
+    k: usize,
+    stripes: usize,
+    scale: Scale,
+    background_mbps: f64,
+) -> Result<(f64, usize)> {
+    let cfs = testbed(policy, n, k, scale)?;
+    fill(&cfs, stripes, k)?;
+
+    // Background "UDP" senders: six node pairs stream continuously, like
+    // the paper's Iperf setup (Experiment A.1, Fig. 8(b)).
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = std::thread::scope(|scope| -> Result<ear_cluster::EncodeStats> {
+        let mut handles = Vec::new();
+        if background_mbps > 0.0 {
+            for pair in 0..6u32 {
+                let cfs_net = cfs.network().clone();
+                let stop = Arc::clone(&stop);
+                handles.push(scope.spawn(move || {
+                    let src = NodeId(pair * 2);
+                    let dst = NodeId(pair * 2 + 1);
+                    // 64 KiB datagrams paced by the token buckets.
+                    let chunk = 64 * 1024u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        cfs_net.transfer(src, dst, chunk);
+                        // Pace to the requested rate.
+                        let secs = chunk as f64 / (background_mbps * 1e6 / 8.0);
+                        std::thread::sleep(std::time::Duration::from_secs_f64(secs * 0.5));
+                    }
+                }));
+            }
+        }
+        let (stats, _relocations) = RaidNode::encode_all(&cfs, 12)?;
+        stop.store(true, Ordering::Relaxed);
+        Ok(stats)
+    });
+    let stats = stats?;
+    Ok((stats.throughput_mibps(), stats.cross_rack_downloads))
+}
+
+/// Figure 8(a): throughput vs `(n, k)`.
+pub fn run_a(scale: Scale) -> String {
+    let stripes = scale.pick(12, 96);
+    let mut out =
+        format!("Figure 8(a): raw encoding throughput vs (n,k) — {stripes} stripes, 12 racks\n\n");
+    let mut t = Table::new(&[
+        "(n,k)",
+        "RR MiB/s",
+        "EAR MiB/s",
+        "gain",
+        "RR xrack",
+        "EAR xrack",
+    ]);
+    for (n, k) in [(6usize, 4usize), (8, 6), (10, 8), (12, 10)] {
+        let (rr, rr_x) =
+            encode_throughput(ClusterPolicy::Rr, n, k, stripes, scale, 0.0).expect("rr run");
+        let (ear, ear_x) =
+            encode_throughput(ClusterPolicy::Ear, n, k, stripes, scale, 0.0).expect("ear run");
+        t.row_owned(vec![
+            format!("({n},{k})"),
+            format!("{rr:.1}"),
+            format!("{ear:.1}"),
+            format!("{:+.1}%", (ear / rr - 1.0) * 100.0),
+            rr_x.to_string(),
+            ear_x.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 8(b): throughput vs background injection rate, `(10, 8)`.
+pub fn run_b(scale: Scale) -> String {
+    let stripes = scale.pick(8, 96);
+    let rates = scale.pick(
+        vec![0.0, 400.0, 800.0],
+        vec![0.0, 200.0, 400.0, 600.0, 800.0],
+    );
+    let mut out = format!(
+        "Figure 8(b): encoding throughput vs UDP background rate — (10,8), {stripes} stripes\n\n"
+    );
+    let mut t = Table::new(&["rate Mb/s", "RR MiB/s", "EAR MiB/s", "gain"]);
+    for rate in rates {
+        let (rr, _) =
+            encode_throughput(ClusterPolicy::Rr, 10, 8, stripes, scale, rate).expect("rr run");
+        let (ear, _) =
+            encode_throughput(ClusterPolicy::Ear, 10, 8, stripes, scale, rate).expect("ear run");
+        t.row_owned(vec![
+            format!("{rate:.0}"),
+            format!("{rr:.1}"),
+            format!("{ear:.1}"),
+            format!("{:+.1}%", (ear / rr - 1.0) * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8a_quick_shows_ear_gains() {
+        let s = run_a(Scale::Quick);
+        assert!(s.contains("Figure 8(a)"));
+        // Every (n,k) row shows a positive gain.
+        for nk in ["(6,4)", "(8,6)", "(10,8)", "(12,10)"] {
+            let line = s.lines().find(|l| l.starts_with(nk)).expect("row");
+            assert!(line.contains('+'), "no gain in row: {line}");
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per paper artifact; see `DESIGN.md`'s per-experiment index.
+
+pub mod fig10;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14_15;
+pub mod fig3;
+pub mod fig8;
+pub mod fig9;
+pub mod recovery;
+pub mod theorem1;

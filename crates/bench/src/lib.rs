@@ -1,0 +1,48 @@
+//! Experiment harnesses reproducing every table and figure of the paper's
+//! evaluation (Section V).
+//!
+//! Each `exp::figNN` module exposes a `run(Scale) -> String` function that
+//! executes the experiment and renders the same rows/series the paper
+//! reports. The binaries in `src/bin/` print the full-scale versions;
+//! the bench targets in `benches/` run the [`Scale::Quick`] versions so
+//! `cargo bench` touches every experiment; `EXPERIMENTS.md` records
+//! paper-reported vs measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+mod table;
+
+pub use table::Table;
+
+/// Experiment scale: `Full` mirrors the paper's parameters (scaled in
+/// block size / bandwidth where the paper used hours of wall time);
+/// `Quick` shrinks stripe counts and repetitions so the whole suite runs in
+/// a couple of minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced stripe counts and repetitions (CI-friendly).
+    Quick,
+    /// The paper's parameters.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the `EAR_SCALE` environment variable
+    /// (`full` → [`Scale::Full`], anything else → [`Scale::Quick`]).
+    pub fn from_env() -> Self {
+        match std::env::var("EAR_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks between quick and full values.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! `ear` — command-line interface to the EAR reproduction.
+//!
+//! ```text
+//! ear experiment <id> [--scale quick|full]   reproduce a paper figure/table
+//! ear simulate [options]                     run one CFS simulation
+//! ear place [options]                        place stripes and show the plans
+//! ear analyze violation|crossrack|theorem1   closed-form analyses
+//! ear list                                   list experiment ids
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use ear_bench::{exp, Scale};
+use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
+use ear_sim::{run as sim_run, PolicyKind, SimConfig};
+use ear_types::{
+    Bandwidth, ClusterTopology, EarConfig, ErasureParams, ReplicationConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const USAGE: &str = "\
+ear — encoding-aware replication (Li, Hu & Lee, DSN 2015) reproduction
+
+USAGE:
+  ear experiment <id> [--scale quick|full]   reproduce a figure/table (see `ear list`)
+  ear simulate [--policy rr|ear] [--racks R] [--nodes N] [--n N] [--k K] [--c C]
+               [--write-rate W] [--background-rate B] [--processes P]
+               [--stripes-per-process S] [--gbit G] [--seed X] [--relocate]
+  ear place    [--policy rr|ear] [--racks R] [--nodes N] [--n N] [--k K] [--c C]
+               [--stripes S] [--seed X]
+  ear analyze violation --racks R --k K
+  ear analyze crossrack --racks R --k K
+  ear analyze theorem1 --racks R --c C --k K
+  ear list
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    let cmd: Vec<&str> = args.positional().iter().map(String::as_str).collect();
+    match cmd.as_slice() {
+        [] | ["help"] => Ok(USAGE.to_string()),
+        ["list"] => Ok(list_experiments()),
+        ["experiment", id] => experiment(id, &args),
+        ["simulate"] => simulate(&args),
+        ["place"] => place(&args),
+        ["analyze", what] => analyze(what, &args),
+        other => Err(Box::new(ArgError(format!(
+            "unknown command: {}",
+            other.join(" ")
+        )))),
+    }
+}
+
+fn list_experiments() -> String {
+    "available experiment ids:\n  \
+     fig3        violation probability (Eq. 1) + cross-rack expectation\n  \
+     fig8a       raw encoding throughput vs (n,k)\n  \
+     fig8b       encoding throughput vs background rate\n  \
+     fig9        write responses during encoding (Exp. A.2)\n  \
+     fig10       MapReduce replay (Exp. A.3)\n  \
+     fig12       simulator validation + Table I (Exp. B.1)\n  \
+     fig13       simulator parameter sweeps (Exp. B.2)\n  \
+     fig14       storage load balancing (Exp. C.1)\n  \
+     fig15       read load balancing (Exp. C.2)\n  \
+     theorem1    layout-regeneration iterations vs bound\n  \
+     recovery    Sec. III-D recovery trade-off"
+        .to_string()
+}
+
+fn experiment(id: &str, args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let scale = match args.get("scale").unwrap_or("quick") {
+        "full" => Scale::Full,
+        "quick" => Scale::Quick,
+        other => return Err(Box::new(ArgError(format!("unknown scale: {other}")))),
+    };
+    let out = match id {
+        "fig3" => exp::fig3::run(scale),
+        "fig8a" => exp::fig8::run_a(scale),
+        "fig8b" => exp::fig8::run_b(scale),
+        "fig9" => exp::fig9::run(scale),
+        "fig10" => exp::fig10::run(scale),
+        "fig12" | "table1" => exp::fig12::run(scale),
+        "fig13" => exp::fig13::run(scale),
+        "fig14" => exp::fig14_15::run_storage(scale),
+        "fig15" => exp::fig14_15::run_hotness(scale),
+        "theorem1" => exp::theorem1::run(scale),
+        "recovery" => exp::recovery::run(scale),
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown experiment: {other} (try `ear list`)"
+            ))))
+        }
+    };
+    Ok(out)
+}
+
+fn policy_kind(args: &Args) -> Result<PolicyKind, ArgError> {
+    match args.get("policy").unwrap_or("ear") {
+        "rr" => Ok(PolicyKind::Rr),
+        "ear" => Ok(PolicyKind::Ear),
+        other => Err(ArgError(format!("unknown policy: {other}"))),
+    }
+}
+
+fn simulate(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let n: usize = args.get_parsed("n", 14)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    let gbit: f64 = args.get_parsed("gbit", 1.0)?;
+    let cfg = SimConfig {
+        racks: args.get_parsed("racks", 20)?,
+        nodes_per_rack: args.get_parsed("nodes", 20)?,
+        erasure: ErasureParams::new(n, k)?,
+        c: args.get_parsed("c", 1)?,
+        node_bandwidth: Bandwidth::gbit(gbit),
+        rack_bandwidth: Bandwidth::gbit(gbit),
+        write_rate: args.get_parsed("write-rate", 1.0)?,
+        background_rate: args.get_parsed("background-rate", 1.0)?,
+        encode_processes: args.get_parsed("processes", 20)?,
+        stripes_per_process: args.get_parsed("stripes-per-process", 10)?,
+        policy: policy_kind(args)?,
+        simulate_relocation: args.flag("relocate"),
+        seed: args.get_parsed("seed", 1)?,
+        ..SimConfig::default()
+    };
+    let r = sim_run(&cfg)?;
+    Ok(format!(
+        "policy: {}\nstripes encoded: {}\nencoding throughput: {:.1} MiB/s\n\
+         write throughput during encoding: {:.1} MiB/s\n\
+         mean write response during encoding: {:.3} s\n\
+         cross-rack downloads: {}\nstripes needing relocation: {}\n\
+         simulated time: {:.1} s",
+        r.policy,
+        r.encode_completions.len(),
+        r.encoding_throughput(),
+        r.write_throughput_during_encoding(),
+        r.mean_write_response_during_encoding(),
+        r.cross_rack_downloads,
+        r.stripes_with_relocation,
+        r.sim_end,
+    ))
+}
+
+fn place(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let n: usize = args.get_parsed("n", 6)?;
+    let k: usize = args.get_parsed("k", 4)?;
+    let stripes: usize = args.get_parsed("stripes", 1)?;
+    let topo = ClusterTopology::uniform(
+        args.get_parsed("racks", 8)?,
+        args.get_parsed("nodes", 4)?,
+    );
+    let cfg = EarConfig::new(
+        ErasureParams::new(n, k)?,
+        ReplicationConfig::hdfs_default(),
+        args.get_parsed("c", 1)?,
+    )?;
+    let mut policy: Box<dyn PlacementPolicy> = match policy_kind(args)? {
+        PolicyKind::Rr => Box::new(RandomReplicationPolicy::new(cfg, topo.clone())?),
+        PolicyKind::Ear => Box::new(EncodingAwareReplication::new(cfg, topo.clone())),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(args.get_parsed("seed", 1)?);
+    let mut out = String::new();
+    let mut sealed = 0usize;
+    let mut guard = 0usize;
+    while sealed < stripes {
+        guard += 1;
+        if guard > stripes * k * 100 {
+            return Err(Box::new(ArgError("placement did not converge".into())));
+        }
+        let Some(stripe) = policy.place_block(&mut rng)?.sealed_stripe else {
+            continue;
+        };
+        sealed += 1;
+        out.push_str(&format!(
+            "stripe {sealed}: core rack {:?}\n",
+            stripe.core_rack()
+        ));
+        for (i, layout) in stripe.data_layouts().iter().enumerate() {
+            out.push_str(&format!("  block {i}: {:?}\n", layout.replicas));
+        }
+        let plan = policy.plan_encoding(&stripe, &mut rng)?;
+        out.push_str(&format!(
+            "  encode on {} | cross-rack downloads {} | kept {:?} | parity {:?} | relocations {}\n",
+            plan.encoding_node,
+            plan.cross_rack_downloads(),
+            plan.kept_data,
+            plan.parity_nodes,
+            plan.relocations.len(),
+        ));
+    }
+    Ok(out)
+}
+
+fn analyze(what: &str, args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let racks: usize = args.get_parsed("racks", 20)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    match what {
+        "violation" => Ok(format!(
+            "P(stripe violates rack fault tolerance | preliminary EAR, R={racks}, k={k}) = {:.4}",
+            ear_analysis::violation_probability(racks, k)
+        )),
+        "crossrack" => Ok(format!(
+            "E[cross-rack downloads per RR stripe | R={racks}, k={k}] = {:.3}",
+            ear_analysis::expected_cross_rack_downloads_rr(racks, k)
+        )),
+        "theorem1" => {
+            let c: usize = args.get_parsed("c", 1)?;
+            let mut out = format!("Theorem 1 bounds (R={racks}, c={c}):\n");
+            for i in 1..=k {
+                out.push_str(&format!(
+                    "  E_{i} <= {:.3}\n",
+                    ear_analysis::theorem1_bound(racks, c, i)
+                ));
+            }
+            Ok(out)
+        }
+        other => Err(Box::new(ArgError(format!("unknown analysis: {other}")))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_words(words: &[&str]) -> Result<String, Box<dyn std::error::Error>> {
+        run(words.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert!(run_words(&[]).unwrap().contains("USAGE"));
+        assert!(run_words(&["list"]).unwrap().contains("fig13"));
+    }
+
+    #[test]
+    fn analyze_commands() {
+        let v = run_words(&["analyze", "violation", "--racks", "16", "--k", "12"]).unwrap();
+        assert!(v.contains("0.97"), "{v}");
+        let c = run_words(&["analyze", "crossrack", "--racks", "20", "--k", "10"]).unwrap();
+        assert!(c.contains("9.000"), "{c}");
+        let t = run_words(&["analyze", "theorem1", "--racks", "20", "--k", "10"]).unwrap();
+        assert!(t.contains("E_10 <= 1.900"), "{t}");
+    }
+
+    #[test]
+    fn place_reports_zero_cross_rack_for_ear() {
+        let out = run_words(&["place", "--policy", "ear", "--stripes", "2"]).unwrap();
+        assert!(out.contains("cross-rack downloads 0"));
+        assert!(out.contains("relocations 0"));
+    }
+
+    #[test]
+    fn simulate_small_run() {
+        let out = run_words(&[
+            "simulate",
+            "--racks",
+            "8",
+            "--nodes",
+            "2",
+            "--n",
+            "6",
+            "--k",
+            "4",
+            "--processes",
+            "2",
+            "--stripes-per-process",
+            "2",
+            "--write-rate",
+            "0.2",
+            "--background-rate",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("stripes encoded: 4"), "{out}");
+        assert!(out.contains("cross-rack downloads: 0"), "{out}");
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(run_words(&["frobnicate"]).is_err());
+        assert!(run_words(&["experiment", "fig99"]).is_err());
+        assert!(run_words(&["analyze", "nothing"]).is_err());
+        assert!(run_words(&["simulate", "--policy", "quorum"]).is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! The mini-CFS facade: DataNodes + NameNode + emulated network.
+
+use crate::datanode::DataNode;
+use crate::namenode::NameNode;
+use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
+use ear_erasure::ReedSolomon;
+use ear_netem::EmulatedNetwork;
+use ear_types::{Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, Error, NodeId, Result};
+use std::sync::Arc;
+
+/// Which placement policy the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterPolicy {
+    /// Random replication.
+    Rr,
+    /// Encoding-aware replication.
+    Ear,
+}
+
+/// Configuration of a [`MiniCfs`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of racks.
+    pub racks: usize,
+    /// Nodes per rack (the paper's testbed: 1).
+    pub nodes_per_rack: usize,
+    /// Block size. Scaled down from HDFS's 64 MiB so experiments run in
+    /// seconds (the bandwidth scales with it).
+    pub block_size: ByteSize,
+    /// Node link bandwidth.
+    pub node_bandwidth: Bandwidth,
+    /// Rack (top-of-rack uplink) bandwidth.
+    pub rack_bandwidth: Bandwidth,
+    /// Shared placement/encoding parameters.
+    pub ear: EarConfig,
+    /// Placement policy.
+    pub policy: ClusterPolicy,
+    /// RNG seed for the NameNode's policy.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A scaled-down version of the paper's 13-machine testbed: 12
+    /// single-node racks, 4 MiB blocks, 2-way replication, links scaled so a
+    /// block transfer takes a few tens of milliseconds.
+    pub fn testbed(policy: ClusterPolicy, ear: EarConfig) -> Self {
+        ClusterConfig {
+            racks: 12,
+            nodes_per_rack: 1,
+            block_size: ByteSize::mib(4),
+            node_bandwidth: Bandwidth::bytes_per_sec(128e6),
+            rack_bandwidth: Bandwidth::bytes_per_sec(128e6),
+            ear,
+            policy,
+            seed: 1,
+        }
+    }
+}
+
+/// An in-process clustered file system: the HDFS stand-in for the paper's
+/// testbed experiments. Real bytes move through an emulated network and are
+/// really Reed–Solomon encoded.
+pub struct MiniCfs {
+    config: ClusterConfig,
+    topo: ClusterTopology,
+    namenode: NameNode,
+    datanodes: Vec<DataNode>,
+    net: EmulatedNetwork,
+    codec: ReedSolomon,
+}
+
+impl MiniCfs {
+    /// Boots a cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors when the topology cannot host the
+    /// configured policies.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        let topo = ClusterTopology::uniform(config.racks, config.nodes_per_rack);
+        let policy: Box<dyn PlacementPolicy> = match config.policy {
+            ClusterPolicy::Rr => Box::new(RandomReplicationPolicy::new(config.ear, topo.clone())?),
+            ClusterPolicy::Ear => Box::new(EncodingAwareReplication::new(config.ear, topo.clone())),
+        };
+        let namenode = NameNode::new(topo.clone(), policy, config.seed);
+        let datanodes = topo.nodes().map(DataNode::new).collect();
+        let net = EmulatedNetwork::new(&topo, config.node_bandwidth, config.rack_bandwidth);
+        let codec = ReedSolomon::new(config.ear.erasure());
+        Ok(MiniCfs {
+            config,
+            topo,
+            namenode,
+            datanodes,
+            net,
+            codec,
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    /// The NameNode.
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// The emulated network (for traffic statistics and injection).
+    pub fn network(&self) -> &EmulatedNetwork {
+        &self.net
+    }
+
+    /// The Reed–Solomon codec in force.
+    pub fn codec(&self) -> &ReedSolomon {
+        &self.codec
+    }
+
+    /// Access to a DataNode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn datanode(&self, node: NodeId) -> &DataNode {
+        &self.datanodes[node.index()]
+    }
+
+    /// Writes one block from `client` through the replication pipeline:
+    /// client → replica 1 → replica 2 → …, paying the network cost of each
+    /// hop.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Invariant`] if `data` does not match the block size.
+    /// * Placement errors from the NameNode.
+    pub fn write_block(&self, client: NodeId, data: Vec<u8>) -> Result<BlockId> {
+        if data.len() as u64 != self.config.block_size.as_u64() {
+            return Err(Error::Invariant(format!(
+                "block must be exactly {} bytes, got {}",
+                self.config.block_size.as_u64(),
+                data.len()
+            )));
+        }
+        let (id, layout) = self.namenode.allocate_block()?;
+        let data = Arc::new(data);
+        let mut src = client;
+        for &dst in &layout {
+            self.net.transfer(src, dst, data.len() as u64);
+            self.datanodes[dst.index()].put(id, Arc::clone(&data));
+            src = dst;
+        }
+        Ok(id)
+    }
+
+    /// Reads a block to `reader`, choosing the nearest replica (local, then
+    /// intra-rack, then any) as HDFS does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] if the block is unknown or all replicas
+    /// are lost.
+    pub fn read_block(&self, reader: NodeId, id: BlockId) -> Result<Arc<Vec<u8>>> {
+        let locations = self
+            .namenode
+            .locations(id)
+            .ok_or_else(|| Error::Invariant(format!("unknown {id}")))?;
+        let source = self.pick_nearest(reader, &locations)?;
+        let data = self.datanodes[source.index()]
+            .get(id)
+            .ok_or_else(|| Error::Invariant(format!("{source} lost its replica of {id}")))?;
+        self.net.transfer(source, reader, data.len() as u64);
+        Ok(data)
+    }
+
+    /// Picks the closest of `locations` to `reader`: the reader itself if it
+    /// holds a replica, else a same-rack node, else the first location.
+    fn pick_nearest(&self, reader: NodeId, locations: &[NodeId]) -> Result<NodeId> {
+        if locations.is_empty() {
+            return Err(Error::Invariant("block has no replicas".into()));
+        }
+        if locations.contains(&reader) {
+            return Ok(reader);
+        }
+        let reader_rack = self.topo.rack_of(reader);
+        Ok(locations
+            .iter()
+            .copied()
+            .find(|&n| self.topo.rack_of(n) == reader_rack)
+            .unwrap_or(locations[0]))
+    }
+
+    /// A block of deterministic pseudo-random content, sized to the
+    /// configured block size (test/benchmark payloads).
+    pub fn make_block(&self, tag: u64) -> Vec<u8> {
+        let len = self.config.block_size.as_u64() as usize;
+        let mut v = Vec::with_capacity(len);
+        let mut state = tag.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        while v.len() < len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            v.extend_from_slice(&state.to_le_bytes());
+        }
+        v.truncate(len);
+        v
+    }
+
+    /// Per-rack stored byte counts (storage balance of Experiment C.1).
+    pub fn rack_storage(&self) -> Vec<u64> {
+        let mut per_rack = vec![0u64; self.topo.num_racks()];
+        for dn in &self.datanodes {
+            per_rack[self.topo.rack_of(dn.id()).index()] += dn.bytes_stored();
+        }
+        per_rack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_types::{ErasureParams, ReplicationConfig};
+
+    fn small_cfg(policy: ClusterPolicy) -> ClusterConfig {
+        let ear = EarConfig::new(
+            ErasureParams::new(6, 4).unwrap(),
+            ReplicationConfig::two_way(),
+            1,
+        )
+        .unwrap();
+        ClusterConfig {
+            racks: 8,
+            nodes_per_rack: 1,
+            block_size: ByteSize::kib(64),
+            node_bandwidth: Bandwidth::bytes_per_sec(64e6),
+            rack_bandwidth: Bandwidth::bytes_per_sec(64e6),
+            ear,
+            policy,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn write_stores_all_replicas() {
+        let cfs = MiniCfs::new(small_cfg(ClusterPolicy::Rr)).unwrap();
+        let data = cfs.make_block(42);
+        let id = cfs.write_block(NodeId(0), data.clone()).unwrap();
+        let locs = cfs.namenode().locations(id).unwrap();
+        assert_eq!(locs.len(), 2);
+        for n in locs {
+            assert_eq!(cfs.datanode(n).get(id).unwrap().as_slice(), data.as_slice());
+        }
+    }
+
+    #[test]
+    fn read_returns_written_bytes() {
+        let cfs = MiniCfs::new(small_cfg(ClusterPolicy::Ear)).unwrap();
+        let data = cfs.make_block(7);
+        let id = cfs.write_block(NodeId(2), data.clone()).unwrap();
+        let back = cfs.read_block(NodeId(5), id).unwrap();
+        assert_eq!(back.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn wrong_block_size_rejected() {
+        let cfs = MiniCfs::new(small_cfg(ClusterPolicy::Rr)).unwrap();
+        assert!(cfs.write_block(NodeId(0), vec![0u8; 100]).is_err());
+    }
+
+    #[test]
+    fn unknown_block_read_fails() {
+        let cfs = MiniCfs::new(small_cfg(ClusterPolicy::Rr)).unwrap();
+        assert!(cfs.read_block(NodeId(0), BlockId(99)).is_err());
+    }
+
+    #[test]
+    fn make_block_is_deterministic_and_sized() {
+        let cfs = MiniCfs::new(small_cfg(ClusterPolicy::Rr)).unwrap();
+        let a = cfs.make_block(1);
+        let b = cfs.make_block(1);
+        let c = cfs.make_block(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len() as u64, ByteSize::kib(64).as_u64());
+    }
+
+    #[test]
+    fn rack_storage_accounts_replicas() {
+        let cfs = MiniCfs::new(small_cfg(ClusterPolicy::Ear)).unwrap();
+        for i in 0..4 {
+            let data = cfs.make_block(i);
+            cfs.write_block(NodeId((i % 8) as u32), data).unwrap();
+        }
+        let total: u64 = cfs.rack_storage().iter().sum();
+        assert_eq!(total, 4 * 2 * ByteSize::kib(64).as_u64());
+    }
+}

@@ -1,0 +1,91 @@
+//! The DataNode: an in-memory block store, one per emulated machine.
+
+use ear_types::{BlockId, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One DataNode's block storage. Blocks are reference-counted byte buffers
+/// so replicas of the same block share memory across nodes.
+#[derive(Debug)]
+pub struct DataNode {
+    id: NodeId,
+    store: Mutex<HashMap<BlockId, Arc<Vec<u8>>>>,
+}
+
+impl DataNode {
+    /// Creates an empty DataNode.
+    pub fn new(id: NodeId) -> Self {
+        DataNode {
+            id,
+            store: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Stores (or overwrites) a block replica.
+    pub fn put(&self, block: BlockId, data: Arc<Vec<u8>>) {
+        self.store.lock().insert(block, data);
+    }
+
+    /// Fetches a block replica, if present.
+    pub fn get(&self, block: BlockId) -> Option<Arc<Vec<u8>>> {
+        self.store.lock().get(&block).cloned()
+    }
+
+    /// Deletes a block replica; returns whether it existed.
+    pub fn delete(&self, block: BlockId) -> bool {
+        self.store.lock().remove(&block).is_some()
+    }
+
+    /// Whether this node holds the block.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.store.lock().contains_key(&block)
+    }
+
+    /// Number of block replicas stored.
+    pub fn block_count(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    /// Total bytes stored (each replica counted at full size, as on a real
+    /// disk).
+    pub fn bytes_stored(&self) -> u64 {
+        self.store.lock().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let dn = DataNode::new(NodeId(3));
+        assert_eq!(dn.id(), NodeId(3));
+        let data = Arc::new(vec![1u8, 2, 3]);
+        dn.put(BlockId(7), Arc::clone(&data));
+        assert!(dn.contains(BlockId(7)));
+        assert_eq!(dn.get(BlockId(7)).unwrap().as_slice(), &[1, 2, 3]);
+        assert_eq!(dn.block_count(), 1);
+        assert_eq!(dn.bytes_stored(), 3);
+        assert!(dn.delete(BlockId(7)));
+        assert!(!dn.delete(BlockId(7)));
+        assert_eq!(dn.get(BlockId(7)), None);
+        assert_eq!(dn.block_count(), 0);
+    }
+
+    #[test]
+    fn replicas_share_memory() {
+        let a = DataNode::new(NodeId(0));
+        let b = DataNode::new(NodeId(1));
+        let data = Arc::new(vec![9u8; 64]);
+        a.put(BlockId(1), Arc::clone(&data));
+        b.put(BlockId(1), Arc::clone(&data));
+        assert_eq!(Arc::strong_count(&data), 3);
+    }
+}

@@ -1,0 +1,56 @@
+//! An in-process mini clustered file system: the HDFS stand-in for the
+//! paper's testbed experiments (Section IV–V.A).
+//!
+//! The crate emulates the 13-machine testbed in one process:
+//!
+//! * [`NameNode`] — metadata, the placement policy, and the *pre-encoding
+//!   store* that groups blocks into stripes (Section IV-B);
+//! * [`DataNode`] — an in-memory block store per emulated machine;
+//! * [`MiniCfs`] — the client API: replication-pipeline writes and
+//!   nearest-replica reads, with every byte paced through the token-bucket
+//!   network of `ear-netem`;
+//! * [`RaidNode`] — encoding jobs ("map tasks") that download a stripe's
+//!   blocks, Reed–Solomon-encode them for real, upload parity, and delete
+//!   redundant replicas — plus the BlockMover that repairs RR's
+//!   fault-tolerance violations;
+//! * [`mapreduce`] — a miniature MapReduce engine for the SWIM workload
+//!   replay of Experiment A.3.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ear_cluster::{ClusterConfig, ClusterPolicy, MiniCfs, RaidNode};
+//! use ear_types::{EarConfig, ErasureParams, NodeId, ReplicationConfig};
+//!
+//! let ear = EarConfig::new(
+//!     ErasureParams::new(10, 8).unwrap(),
+//!     ReplicationConfig::two_way(),
+//!     1,
+//! ).unwrap();
+//! let cfs = MiniCfs::new(ClusterConfig::testbed(ClusterPolicy::Ear, ear))?;
+//! for i in 0..96u64 {
+//!     let data = cfs.make_block(i);
+//!     cfs.write_block(NodeId((i % 12) as u32), data)?;
+//! }
+//! let (stats, _relocations) = RaidNode::encode_all(&cfs, 12)?;
+//! println!("encoding throughput: {:.1} MiB/s", stats.throughput_mibps());
+//! # Ok::<(), ear_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod datanode;
+pub mod mapreduce;
+mod monitor;
+mod namenode;
+mod raidnode;
+mod recovery;
+
+pub use cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
+pub use datanode::DataNode;
+pub use monitor::{plan_repairs, scan, Violation};
+pub use namenode::{EncodedStripe, NameNode, PendingStripe};
+pub use raidnode::{EncodeStats, RaidNode, Relocation};
+pub use recovery::{recover_node, RecoveryStats};

@@ -1,0 +1,288 @@
+//! A miniature MapReduce engine over the mini-CFS, for Experiment A.3:
+//! replaying SWIM-like workloads to show that EAR's placement does not hurt
+//! pre-encoding MapReduce performance.
+
+use crate::cluster::MiniCfs;
+use ear_types::{BlockId, NodeId, Result};
+use ear_workloads::MapReduceJob;
+use parking_lot::{Condvar, Mutex};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Outcome of one replayed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The job id.
+    pub id: usize,
+    /// When the job started, seconds from replay start.
+    pub start: f64,
+    /// When the job finished, seconds from replay start.
+    pub finish: f64,
+}
+
+/// Counting semaphore limiting concurrent tasks per node (the paper
+/// configures 4 map slots per TaskTracker).
+#[derive(Debug)]
+struct Slots {
+    available: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Slots {
+    fn new(n: usize) -> Self {
+        Slots {
+            available: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut a = self.available.lock();
+        while *a == 0 {
+            self.cv.wait(&mut a);
+        }
+        *a -= 1;
+    }
+
+    fn release(&self) {
+        *self.available.lock() += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// Writes every job's input blocks into the CFS (the pre-replay setup of
+/// Experiment A.3) and returns the block lists per job.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn prepare_inputs(cfs: &MiniCfs, jobs: &[MapReduceJob]) -> Result<Vec<Vec<BlockId>>> {
+    let nodes = cfs.topology().num_nodes() as u32;
+    let mut out = Vec::with_capacity(jobs.len());
+    let mut tag = 0u64;
+    for job in jobs {
+        let blocks = job.input_blocks(cfs.config().block_size);
+        let mut ids = Vec::with_capacity(blocks);
+        for _ in 0..blocks {
+            let data = cfs.make_block(tag);
+            let client = NodeId((tag % nodes as u64) as u32);
+            ids.push(cfs.write_block(client, data)?);
+            tag += 1;
+        }
+        out.push(ids);
+    }
+    Ok(out)
+}
+
+/// Replays `jobs` against the CFS with `slots_per_node` concurrent tasks per
+/// node, honouring (time-scaled) arrival times. Returns per-job results in
+/// completion order.
+///
+/// `time_scale` compresses the workload's arrival timeline (e.g. 0.01 turns
+/// a 500-second trace into 5 seconds) so replays fit in a test budget.
+///
+/// # Errors
+///
+/// Propagates read/write failures from task bodies.
+pub fn run_jobs(
+    cfs: &MiniCfs,
+    jobs: &[MapReduceJob],
+    inputs: &[Vec<BlockId>],
+    slots_per_node: usize,
+    time_scale: f64,
+) -> Result<Vec<JobResult>> {
+    assert_eq!(jobs.len(), inputs.len(), "one input list per job");
+    let slots: Vec<Slots> = (0..cfs.topology().num_nodes())
+        .map(|_| Slots::new(slots_per_node.max(1)))
+        .collect();
+    let start = Instant::now();
+    let results = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for (job, input) in jobs.iter().zip(inputs) {
+            let slots = &slots;
+            let results = &results;
+            handles.push(scope.spawn(move || -> Result<()> {
+                // Honour the (scaled) arrival time.
+                let arrival = job.arrival * time_scale;
+                let since = start.elapsed().as_secs_f64();
+                if arrival > since {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(arrival - since));
+                }
+                let job_start = start.elapsed().as_secs_f64();
+                run_one_job(cfs, job, input, slots)?;
+                let finish = start.elapsed().as_secs_f64();
+                results.lock().push(JobResult {
+                    id: job.id,
+                    start: job_start,
+                    finish,
+                });
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| ear_types::Error::Invariant("job thread panicked".into()))??;
+        }
+        Ok(())
+    })?;
+
+    let mut results = results.into_inner();
+    results.sort_by(|a, b| a.finish.partial_cmp(&b.finish).expect("finite"));
+    Ok(results)
+}
+
+/// Executes one job: map tasks read input blocks (nearest replica), the
+/// shuffle moves bytes map-node → reduce-node, reducers write output blocks.
+fn run_one_job(
+    cfs: &MiniCfs,
+    job: &MapReduceJob,
+    input: &[BlockId],
+    slots: &[Slots],
+) -> Result<()> {
+    let mut rng = ChaCha8Rng::seed_from_u64(job.id as u64 ^ 0xA53);
+    let all_nodes: Vec<NodeId> = cfs.topology().nodes().collect();
+    // Reducers: one per input block, capped at 4, chosen at random.
+    let reducers: Vec<NodeId> = {
+        let n = input.len().clamp(1, 4);
+        all_nodes.choose_multiple(&mut rng, n).copied().collect()
+    };
+    let shuffle_per_pair = if job.shuffle_bytes == 0 || input.is_empty() {
+        0
+    } else {
+        job.shuffle_bytes / (input.len() as u64 * reducers.len() as u64)
+    };
+
+    // Map phase: schedule each map task on a replica holder (data-local, as
+    // the JobTracker prefers), bounded by that node's slots.
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for &block in input {
+            let locations = cfs
+                .namenode()
+                .locations(block)
+                .ok_or_else(|| ear_types::Error::Invariant(format!("unknown {block}")))?;
+            let map_node = *locations.choose(&mut rng).expect("blocks have replicas");
+            let reducers = reducers.clone();
+            handles.push(scope.spawn(move || -> Result<()> {
+                slots[map_node.index()].acquire();
+                // Data-local read: the map node holds a replica.
+                let _data = cfs.read_block(map_node, block)?;
+                // Shuffle: stream this map's partitions to every reducer.
+                for &r in &reducers {
+                    if shuffle_per_pair > 0 {
+                        cfs.network().transfer(map_node, r, shuffle_per_pair);
+                    }
+                }
+                slots[map_node.index()].release();
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| ear_types::Error::Invariant("map task panicked".into()))??;
+        }
+        Ok(())
+    })?;
+
+    // Reduce/output phase: write output blocks through the normal write
+    // path (this is where placement policy matters again).
+    let out_blocks = job.output_blocks(cfs.config().block_size);
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for i in 0..out_blocks {
+            let node = reducers[i % reducers.len()];
+            handles.push(scope.spawn(move || -> Result<()> {
+                slots[node.index()].acquire();
+                let data = cfs.make_block((job.id as u64) << 32 | i as u64);
+                cfs.write_block(node, data)?;
+                slots[node.index()].release();
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| ear_types::Error::Invariant("reduce task panicked".into()))??;
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, ClusterPolicy};
+    use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig};
+    use ear_workloads::SwimGenerator;
+
+    fn boot(policy: ClusterPolicy) -> MiniCfs {
+        let ear = EarConfig::new(
+            ErasureParams::new(6, 4).unwrap(),
+            ReplicationConfig::two_way(),
+            1,
+        )
+        .unwrap();
+        let cfg = ClusterConfig {
+            racks: 6,
+            nodes_per_rack: 2,
+            block_size: ByteSize::kib(64),
+            node_bandwidth: Bandwidth::bytes_per_sec(128e6),
+            rack_bandwidth: Bandwidth::bytes_per_sec(128e6),
+            ear,
+            policy,
+            seed: 7,
+        };
+        MiniCfs::new(cfg).unwrap()
+    }
+
+    fn tiny_jobs(count: usize) -> Vec<ear_workloads::MapReduceJob> {
+        let mut gen = SwimGenerator::miniature();
+        gen.max_bytes = 256 * 1024;
+        gen.arrival_rate = 100.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        gen.generate(count, &mut rng)
+    }
+
+    #[test]
+    fn jobs_complete_and_report_times() {
+        let cfs = boot(ClusterPolicy::Ear);
+        let jobs = tiny_jobs(6);
+        let inputs = prepare_inputs(&cfs, &jobs).unwrap();
+        let results = run_jobs(&cfs, &jobs, &inputs, 4, 0.01).unwrap();
+        assert_eq!(results.len(), 6);
+        for r in &results {
+            assert!(r.finish >= r.start);
+        }
+        // Completion order is sorted.
+        for w in results.windows(2) {
+            assert!(w[0].finish <= w[1].finish);
+        }
+    }
+
+    #[test]
+    fn both_policies_complete_the_same_workload() {
+        let jobs = tiny_jobs(5);
+        for policy in [ClusterPolicy::Rr, ClusterPolicy::Ear] {
+            let cfs = boot(policy);
+            let inputs = prepare_inputs(&cfs, &jobs).unwrap();
+            let results = run_jobs(&cfs, &jobs, &inputs, 4, 0.01).unwrap();
+            assert_eq!(results.len(), 5, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn prepare_inputs_writes_all_blocks() {
+        let cfs = boot(ClusterPolicy::Rr);
+        let jobs = tiny_jobs(4);
+        let inputs = prepare_inputs(&cfs, &jobs).unwrap();
+        let expected: usize = jobs
+            .iter()
+            .map(|j| j.input_blocks(cfs.config().block_size))
+            .sum();
+        assert_eq!(inputs.iter().map(Vec::len).sum::<usize>(), expected);
+        assert_eq!(cfs.namenode().block_count() as usize, expected);
+    }
+}

@@ -1,0 +1,250 @@
+//! The PlacementMonitor: Facebook's HDFS periodically scans encoded stripes
+//! for rack-level fault-tolerance violations and hands them to the
+//! BlockMover (Section II-B of the paper). This module reproduces the scan;
+//! [`RaidNode::relocate`](crate::RaidNode::relocate) is the mover.
+
+use crate::cluster::MiniCfs;
+use crate::namenode::EncodedStripe;
+use crate::raidnode::Relocation;
+use ear_types::{NodeId, RackId, StripeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+
+/// One detected violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending stripe.
+    pub stripe: StripeId,
+    /// Racks holding more than `c` blocks of the stripe, with their counts.
+    pub overloaded_racks: Vec<(RackId, usize)>,
+}
+
+/// Scans every encoded stripe and reports those whose current block
+/// placement violates the `c` blocks-per-rack constraint (or places two
+/// stripe blocks on one node).
+pub fn scan(cfs: &MiniCfs) -> Vec<Violation> {
+    let topo = cfs.topology();
+    let c = cfs.config().ear.c();
+    let mut violations = Vec::new();
+    for es in cfs.namenode().encoded_stripes() {
+        let mut per_rack: HashMap<RackId, usize> = HashMap::new();
+        let mut nodes = HashSet::new();
+        let mut node_clash = false;
+        for &b in es.data.iter().chain(es.parity.iter()) {
+            if let Some(locs) = cfs.namenode().locations(b) {
+                for n in locs {
+                    if !nodes.insert(n) {
+                        node_clash = true;
+                    }
+                    *per_rack.entry(topo.rack_of(n)).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut overloaded: Vec<(RackId, usize)> = per_rack
+            .into_iter()
+            .filter(|&(_, count)| count > c)
+            .collect();
+        overloaded.sort_by_key(|&(r, _)| r);
+        if !overloaded.is_empty() || node_clash {
+            violations.push(Violation {
+                stripe: es.id,
+                overloaded_racks: overloaded,
+            });
+        }
+    }
+    violations
+}
+
+/// Plans relocations repairing the reported violations: for each overloaded
+/// rack, surplus blocks move to nodes in racks with spare stripe capacity.
+/// Feed the result to [`RaidNode::relocate`](crate::RaidNode::relocate).
+pub fn plan_repairs(cfs: &MiniCfs, violations: &[Violation]) -> Vec<Relocation> {
+    let topo = cfs.topology();
+    let c = cfs.config().ear.c();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x510C);
+    let encoded: HashMap<StripeId, EncodedStripe> = cfs
+        .namenode()
+        .encoded_stripes()
+        .into_iter()
+        .map(|es| (es.id, es))
+        .collect();
+    let mut out = Vec::new();
+    for v in violations {
+        let Some(es) = encoded.get(&v.stripe) else {
+            continue;
+        };
+        // Current placement of the stripe.
+        let mut placement: Vec<(ear_types::BlockId, NodeId)> = es
+            .data
+            .iter()
+            .chain(es.parity.iter())
+            .filter_map(|&b| {
+                cfs.namenode()
+                    .locations(b)
+                    .and_then(|l| l.first().copied())
+                    .map(|n| (b, n))
+            })
+            .collect();
+        let mut per_rack: HashMap<RackId, Vec<usize>> = HashMap::new();
+        for (i, &(_, n)) in placement.iter().enumerate() {
+            per_rack.entry(topo.rack_of(n)).or_default().push(i);
+        }
+        let used: HashSet<NodeId> = placement.iter().map(|&(_, n)| n).collect();
+        let mut load: HashMap<RackId, usize> =
+            per_rack.iter().map(|(&r, v)| (r, v.len())).collect();
+        // Move surplus blocks out of overloaded racks.
+        for (&rack, members) in &per_rack {
+            let surplus = members.len().saturating_sub(c);
+            for &idx in members.iter().take(surplus) {
+                let (block, from) = placement[idx];
+                // Find a destination rack with spare capacity.
+                let mut candidates: Vec<RackId> = topo
+                    .racks()
+                    .filter(|r| *r != rack && load.get(r).copied().unwrap_or(0) < c)
+                    .collect();
+                candidates.shuffle(&mut rng);
+                let Some(dst_rack) = candidates.first().copied() else {
+                    continue;
+                };
+                let free: Vec<NodeId> = topo
+                    .nodes_in_rack(dst_rack)
+                    .iter()
+                    .copied()
+                    .filter(|n| !used.contains(n))
+                    .collect();
+                if let Some(&to) = free.choose(&mut rng) {
+                    out.push((block, from, to));
+                    *load.entry(dst_rack).or_insert(0) += 1;
+                    *load.entry(rack).or_insert(surplus) -= 1;
+                    placement[idx].1 = to;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, ClusterPolicy};
+    use crate::raidnode::RaidNode;
+    use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig};
+
+    fn boot(policy: ClusterPolicy) -> MiniCfs {
+        let ear = EarConfig::new(
+            ErasureParams::new(6, 4).unwrap(),
+            ReplicationConfig::two_way(),
+            1,
+        )
+        .unwrap();
+        let cfg = ClusterConfig {
+            racks: 8,
+            nodes_per_rack: 2,
+            block_size: ByteSize::kib(64),
+            node_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            rack_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            ear,
+            policy,
+            seed: 77,
+        };
+        MiniCfs::new(cfg).unwrap()
+    }
+
+    fn write_and_encode(cfs: &MiniCfs, stripes: usize) -> Vec<Relocation> {
+        let nodes = cfs.topology().num_nodes() as u64;
+        let mut i = 0u64;
+        while cfs.namenode().pending_stripe_count() < stripes {
+            let data = cfs.make_block(i);
+            cfs.write_block(NodeId((i % nodes) as u32), data).unwrap();
+            i += 1;
+        }
+        RaidNode::encode_all(cfs, 4).unwrap().1
+    }
+
+    #[test]
+    fn clean_ear_cluster_reports_no_violations() {
+        let cfs = boot(ClusterPolicy::Ear);
+        write_and_encode(&cfs, 3);
+        assert!(scan(&cfs).is_empty());
+    }
+
+    #[test]
+    fn detects_and_repairs_a_manufactured_violation() {
+        let cfs = boot(ClusterPolicy::Ear);
+        write_and_encode(&cfs, 2);
+        // Manufacture a violation: cram two blocks of one stripe into the
+        // same rack.
+        let es = &cfs.namenode().encoded_stripes()[0];
+        let b0 = es.data[0];
+        let b1 = es.data[1];
+        let n0 = cfs.namenode().locations(b0).unwrap()[0];
+        let rack = cfs.topology().rack_of(n0);
+        // Move b1's copy onto the other node of b0's rack.
+        let other = cfs
+            .topology()
+            .nodes_in_rack(rack)
+            .iter()
+            .copied()
+            .find(|&n| n != n0)
+            .unwrap();
+        let old = cfs.namenode().locations(b1).unwrap()[0];
+        let data = cfs.datanode(old).get(b1).unwrap();
+        cfs.datanode(other).put(b1, data);
+        cfs.datanode(old).delete(b1);
+        cfs.namenode().set_locations(b1, vec![other]);
+
+        let violations = scan(&cfs);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].stripe, es.id);
+        assert_eq!(violations[0].overloaded_racks[0].0, rack);
+
+        let repairs = plan_repairs(&cfs, &violations);
+        assert!(!repairs.is_empty());
+        RaidNode::relocate(&cfs, &repairs).unwrap();
+        assert!(scan(&cfs).is_empty(), "repairs must clear the violations");
+    }
+
+    #[test]
+    fn rr_violations_found_by_monitor_match_encode_stats() {
+        // Tight cluster: (6,4) over exactly 6 racks.
+        let ear = EarConfig::new(
+            ErasureParams::new(6, 4).unwrap(),
+            ReplicationConfig::two_way(),
+            1,
+        )
+        .unwrap();
+        let cfg = ClusterConfig {
+            racks: 6,
+            nodes_per_rack: 3,
+            block_size: ByteSize::kib(64),
+            node_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            rack_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            ear,
+            policy: ClusterPolicy::Rr,
+            seed: 78,
+        };
+        let cfs = MiniCfs::new(cfg).unwrap();
+        let nodes = cfs.topology().num_nodes() as u64;
+        let mut i = 0u64;
+        while cfs.namenode().pending_stripe_count() < 20 {
+            let data = cfs.make_block(i);
+            cfs.write_block(NodeId((i % nodes) as u32), data).unwrap();
+            i += 1;
+        }
+        let (stats, _pending_relocations) = RaidNode::encode_all(&cfs, 4).unwrap();
+        let found = scan(&cfs);
+        assert_eq!(
+            found.len(),
+            stats.stripes_with_relocation,
+            "monitor and encode stats must agree"
+        );
+        if !found.is_empty() {
+            let repairs = plan_repairs(&cfs, &found);
+            RaidNode::relocate(&cfs, &repairs).unwrap();
+            assert!(scan(&cfs).is_empty());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The NameNode: cluster metadata, the placement policy, and the
+//! pre-encoding store (Section IV-B of the paper).
+
+use ear_core::{PlacementPolicy, StripePlan};
+use ear_types::{BlockId, BlockId as Bid, ClusterTopology, NodeId, Result, StripeId};
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// A stripe registered in the pre-encoding store: the data block ids that
+/// will be encoded together and their placement plan.
+#[derive(Debug, Clone)]
+pub struct PendingStripe {
+    /// The stripe's id.
+    pub id: StripeId,
+    /// The `k` data blocks, in stripe order.
+    pub blocks: Vec<BlockId>,
+    /// The placement plan (carries the core rack under EAR).
+    pub plan: StripePlan,
+}
+
+/// A stripe that has been encoded: its data block ids (in generator-matrix
+/// order) and the parity block ids appended by the RaidNode.
+#[derive(Debug, Clone)]
+pub struct EncodedStripe {
+    /// The stripe's id.
+    pub id: StripeId,
+    /// Data block ids in stripe order.
+    pub data: Vec<BlockId>,
+    /// Parity block ids in generator-row order.
+    pub parity: Vec<BlockId>,
+}
+
+/// The NameNode: owns block locations, drives the placement policy, and
+/// groups blocks into stripes for the RaidNode.
+pub struct NameNode {
+    topo: ClusterTopology,
+    policy: Mutex<Box<dyn PlacementPolicy>>,
+    rng: Mutex<ChaCha8Rng>,
+    state: Mutex<Meta>,
+}
+
+#[derive(Debug, Default)]
+struct Meta {
+    /// Current replica locations of every live block.
+    locations: HashMap<BlockId, Vec<NodeId>>,
+    /// Stripes sealed by the policy but not yet encoded.
+    pending: Vec<PendingStripe>,
+    /// Stripes that have been encoded.
+    encoded: Vec<EncodedStripe>,
+    /// Blocks of the stripe currently being accumulated, in seal order —
+    /// maps each sealed stripe to its member blocks.
+    unsealed: Vec<BlockId>,
+    next_block: u64,
+    next_stripe: u64,
+}
+
+impl NameNode {
+    /// Creates a NameNode around a placement policy.
+    pub fn new(topo: ClusterTopology, policy: Box<dyn PlacementPolicy>, seed: u64) -> Self {
+        NameNode {
+            topo,
+            policy: Mutex::new(policy),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+            state: Mutex::new(Meta::default()),
+        }
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    /// Allocates a block id and replica layout for a new write; registers
+    /// the block in the pre-encoding store and seals a stripe when the
+    /// policy completes one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement failures from the policy.
+    pub fn allocate_block(&self) -> Result<(BlockId, Vec<NodeId>)> {
+        let placed = {
+            let mut policy = self.policy.lock();
+            let mut rng = self.rng.lock();
+            policy.place_block(&mut *rng)?
+        };
+        let mut meta = self.state.lock();
+        let id = Bid(meta.next_block);
+        meta.next_block += 1;
+        meta.locations.insert(id, placed.layout.replicas.clone());
+        meta.unsealed.push(id);
+        if let Some(plan) = placed.sealed_stripe {
+            let k = plan.num_blocks();
+            debug_assert!(meta.unsealed.len() >= k);
+            // Under RR the last k allocated blocks form the stripe; under
+            // EAR the sealed stripe's blocks are the ones whose layouts
+            // match the plan — which are exactly the most recent k blocks
+            // placed into that core rack. We track them by layout identity.
+            let blocks = take_stripe_blocks(&mut meta, &plan);
+            let sid = StripeId(meta.next_stripe);
+            meta.next_stripe += 1;
+            meta.pending.push(PendingStripe {
+                id: sid,
+                blocks: blocks.clone(),
+                plan,
+            });
+        }
+        let layout = meta.locations[&id].clone();
+        Ok((id, layout))
+    }
+
+    /// Current replica locations of a block.
+    pub fn locations(&self, block: BlockId) -> Option<Vec<NodeId>> {
+        self.state.lock().locations.get(&block).cloned()
+    }
+
+    /// Replaces a block's location set (after encoding deletes replicas or
+    /// relocates blocks).
+    pub fn set_locations(&self, block: BlockId, nodes: Vec<NodeId>) {
+        self.state.lock().locations.insert(block, nodes);
+    }
+
+    /// Registers a brand-new block (parity) at fixed locations, returning
+    /// its id.
+    pub fn register_block(&self, nodes: Vec<NodeId>) -> BlockId {
+        let mut meta = self.state.lock();
+        let id = Bid(meta.next_block);
+        meta.next_block += 1;
+        meta.locations.insert(id, nodes);
+        id
+    }
+
+    /// Takes every stripe currently sealed for encoding (the RaidNode's
+    /// periodic scan).
+    pub fn take_pending_stripes(&self) -> Vec<PendingStripe> {
+        std::mem::take(&mut self.state.lock().pending)
+    }
+
+    /// Number of stripes sealed and awaiting encoding.
+    pub fn pending_stripe_count(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// A snapshot of the stripes awaiting encoding (without consuming them).
+    pub fn pending_stripes(&self) -> Vec<PendingStripe> {
+        self.state.lock().pending.clone()
+    }
+
+    /// Records a stripe as encoded (called by the RaidNode after parity is
+    /// stored and replicas deleted).
+    pub fn record_encoded(&self, stripe: EncodedStripe) {
+        self.state.lock().encoded.push(stripe);
+    }
+
+    /// All stripes encoded so far.
+    pub fn encoded_stripes(&self) -> Vec<EncodedStripe> {
+        self.state.lock().encoded.clone()
+    }
+
+    /// Plans the encoding of a stripe through the placement policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures (e.g. no room for parity blocks).
+    pub fn plan_encoding(&self, stripe: &PendingStripe) -> Result<ear_core::EncodePlan> {
+        let policy = self.policy.lock();
+        let mut rng = self.rng.lock();
+        policy.plan_encoding(&stripe.plan, &mut *rng)
+    }
+
+    /// The policy's name ("rr" or "ear").
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.lock().name()
+    }
+
+    /// Total number of blocks ever allocated.
+    pub fn block_count(&self) -> u64 {
+        self.state.lock().next_block
+    }
+}
+
+/// Pops the blocks belonging to `plan` off the unsealed list by matching
+/// layouts: the stripe's blocks are those whose recorded locations equal the
+/// plan's layouts, searched from the most recent.
+fn take_stripe_blocks(meta: &mut Meta, plan: &StripePlan) -> Vec<BlockId> {
+    let mut blocks = Vec::with_capacity(plan.num_blocks());
+    for layout in plan.data_layouts() {
+        let pos = meta
+            .unsealed
+            .iter()
+            .rposition(|b| meta.locations.get(b).map(Vec::as_slice) == Some(&layout.replicas))
+            .expect("sealed stripe's block must be among unsealed blocks");
+        blocks.push(meta.unsealed.remove(pos));
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_core::{EncodingAwareReplication, RandomReplicationPolicy};
+    use ear_types::{EarConfig, ErasureParams, ReplicationConfig};
+
+    fn cfg() -> EarConfig {
+        EarConfig::new(
+            ErasureParams::new(6, 4).unwrap(),
+            ReplicationConfig::hdfs_default(),
+            1,
+        )
+        .unwrap()
+    }
+
+    fn rr_namenode() -> NameNode {
+        let topo = ClusterTopology::uniform(8, 4);
+        let policy = RandomReplicationPolicy::new(cfg(), topo.clone()).unwrap();
+        NameNode::new(topo, Box::new(policy), 1)
+    }
+
+    #[test]
+    fn allocation_records_locations() {
+        let nn = rr_namenode();
+        let (id, layout) = nn.allocate_block().unwrap();
+        assert_eq!(layout.len(), 3);
+        assert_eq!(nn.locations(id), Some(layout));
+        assert_eq!(nn.block_count(), 1);
+    }
+
+    #[test]
+    fn stripes_seal_every_k_blocks_under_rr() {
+        let nn = rr_namenode();
+        for _ in 0..8 {
+            nn.allocate_block().unwrap();
+        }
+        assert_eq!(nn.pending_stripe_count(), 2);
+        let stripes = nn.take_pending_stripes();
+        assert_eq!(stripes.len(), 2);
+        assert_eq!(nn.pending_stripe_count(), 0);
+        assert_eq!(
+            stripes[0].blocks,
+            vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)]
+        );
+        assert_eq!(
+            stripes[1].blocks,
+            vec![BlockId(4), BlockId(5), BlockId(6), BlockId(7)]
+        );
+    }
+
+    #[test]
+    fn ear_stripe_blocks_match_plan_layouts() {
+        let topo = ClusterTopology::uniform(8, 4);
+        let policy = EncodingAwareReplication::new(cfg(), topo.clone());
+        let nn = NameNode::new(topo.clone(), Box::new(policy), 2);
+        let mut sealed = Vec::new();
+        for _ in 0..64 {
+            nn.allocate_block().unwrap();
+            sealed.extend(nn.take_pending_stripes());
+        }
+        assert!(!sealed.is_empty());
+        for stripe in &sealed {
+            let core = stripe.plan.core_rack().unwrap();
+            for (i, block) in stripe.blocks.iter().enumerate() {
+                let locs = nn.locations(*block).unwrap();
+                assert_eq!(locs, stripe.plan.data_layouts()[i].replicas);
+                assert!(locs.iter().any(|&n| topo.rack_of(n) == core));
+            }
+        }
+    }
+
+    #[test]
+    fn register_and_relocate_blocks() {
+        let nn = rr_namenode();
+        let parity = nn.register_block(vec![NodeId(5)]);
+        assert_eq!(nn.locations(parity), Some(vec![NodeId(5)]));
+        nn.set_locations(parity, vec![NodeId(9)]);
+        assert_eq!(nn.locations(parity), Some(vec![NodeId(9)]));
+    }
+
+    #[test]
+    fn plan_encoding_round_trips() {
+        let nn = rr_namenode();
+        for _ in 0..4 {
+            nn.allocate_block().unwrap();
+        }
+        let stripe = &nn.take_pending_stripes()[0];
+        let plan = nn.plan_encoding(stripe).unwrap();
+        assert_eq!(plan.kept_data.len(), 4);
+        assert_eq!(plan.parity_nodes.len(), 2);
+    }
+}

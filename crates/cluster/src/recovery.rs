@@ -1,0 +1,394 @@
+//! Failure recovery: the RaidNode's degraded-read path.
+//!
+//! After encoding, each block of a stripe has exactly one copy. When a node
+//! fails, every block it held must be rebuilt by downloading `k` surviving
+//! blocks of its stripe and decoding (Section III-D of the paper). The
+//! cross-rack cost of that download is what EAR's `c > 1` / target-racks
+//! variant trades fault tolerance against: with `c` blocks of a stripe per
+//! rack, a recovery node co-located with surviving stripe blocks can fetch
+//! `c - 1` of its `k` inputs intra-rack.
+
+use crate::cluster::MiniCfs;
+use ear_types::{BlockId, Error, NodeId, Result};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Statistics of one node-recovery operation.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// Blocks rebuilt.
+    pub blocks_recovered: usize,
+    /// Surviving blocks downloaded in total.
+    pub blocks_downloaded: usize,
+    /// Downloads that crossed racks.
+    pub cross_rack_downloads: usize,
+    /// Rebuilt blocks that had to be uploaded across racks to a rack with
+    /// spare stripe capacity.
+    pub cross_rack_uploads: usize,
+    /// Wall-clock duration, seconds.
+    pub wall_seconds: f64,
+}
+
+/// Rebuilds every encoded-stripe block lost with `failed` and re-registers
+/// the rebuilt copies on healthy nodes. Pre-encoding (replicated) blocks are
+/// healed by re-replicating a surviving copy.
+///
+/// Returns the recovery statistics.
+///
+/// # Errors
+///
+/// Returns [`Error::NotEnoughShards`] (via the codec) if a stripe lost more
+/// than `n - k` blocks, or [`Error::Invariant`] on metadata inconsistencies.
+pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
+    let start = std::time::Instant::now();
+    let mut stats = RecoveryStats::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(failed.0 as u64 ^ 0x5EC0);
+    let topo = cfs.topology();
+    let k = cfs.codec().params().k();
+    let n = cfs.codec().params().n();
+
+    // Index encoded stripes by member block for quick lookup.
+    let encoded = cfs.namenode().encoded_stripes();
+    let mut stripe_of: HashMap<BlockId, usize> = HashMap::new();
+    for (si, es) in encoded.iter().enumerate() {
+        for &b in es.data.iter().chain(es.parity.iter()) {
+            stripe_of.insert(b, si);
+        }
+    }
+
+    // Collect the blocks the failed node held, then mark it dead.
+    let lost: Vec<BlockId> = (0..cfs.namenode().block_count())
+        .map(BlockId)
+        .filter(|&b| {
+            cfs.namenode()
+                .locations(b)
+                .is_some_and(|locs| locs.contains(&failed))
+        })
+        .collect();
+    for &b in &lost {
+        let locs: Vec<NodeId> = cfs
+            .namenode()
+            .locations(b)
+            .expect("listed above")
+            .into_iter()
+            .filter(|&nd| nd != failed)
+            .collect();
+        cfs.namenode().set_locations(b, locs);
+        cfs.datanode(failed).delete(b);
+    }
+
+    let healthy: Vec<NodeId> = topo.nodes().filter(|&nd| nd != failed).collect();
+    for &block in &lost {
+        let survivors = cfs.namenode().locations(block).expect("registered");
+        if !survivors.is_empty() {
+            // Replicated block: copy from a surviving replica.
+            let src = survivors[0];
+            let dst = *healthy
+                .iter()
+                .filter(|&&nd| !survivors.contains(&nd))
+                .collect::<Vec<_>>()
+                .choose(&mut rng)
+                .ok_or_else(|| Error::Invariant("no healthy node for re-replication".into()))?;
+            let data = cfs
+                .datanode(src)
+                .get(block)
+                .ok_or_else(|| Error::Invariant(format!("{src} lost {block}")))?;
+            cfs.network().transfer(src, *dst, data.len() as u64);
+            cfs.datanode(*dst).put(block, data);
+            let mut locs = survivors;
+            locs.push(*dst);
+            cfs.namenode().set_locations(block, locs);
+            if topo.rack_of(src) != topo.rack_of(*dst) {
+                stats.cross_rack_downloads += 1;
+            }
+            stats.blocks_downloaded += 1;
+            stats.blocks_recovered += 1;
+            continue;
+        }
+
+        // Erasure-coded block: degraded read over its stripe.
+        let si = *stripe_of
+            .get(&block)
+            .ok_or_else(|| Error::Invariant(format!("{block} has no replicas and no stripe")))?;
+        let es = &encoded[si];
+        let members: Vec<BlockId> = es.data.iter().chain(es.parity.iter()).copied().collect();
+        debug_assert_eq!(members.len(), n);
+
+        // Choose the recovery node: a healthy node in the rack holding the
+        // most surviving stripe blocks (the best case Section III-D argues
+        // about), that does not already hold a block of the stripe.
+        let holder_of = |b: BlockId| -> Option<NodeId> {
+            cfs.namenode().locations(b).and_then(|l| l.first().copied())
+        };
+        let mut rack_count: HashMap<u32, usize> = HashMap::new();
+        for &m in &members {
+            if m == block {
+                continue;
+            }
+            if let Some(h) = holder_of(m) {
+                *rack_count.entry(topo.rack_of(h).0).or_insert(0) += 1;
+            }
+        }
+        let best_rack = rack_count
+            .iter()
+            .max_by_key(|&(r, c)| (*c, std::cmp::Reverse(*r)))
+            .map(|(&r, _)| ear_types::RackId(r))
+            .ok_or_else(|| Error::Invariant("stripe has no surviving blocks".into()))?;
+        let used: Vec<NodeId> = members.iter().filter_map(|&m| holder_of(m)).collect();
+        let recovery_node = topo
+            .nodes_in_rack(best_rack)
+            .iter()
+            .copied()
+            .filter(|nd| *nd != failed && !used.contains(nd))
+            .collect::<Vec<_>>()
+            .choose(&mut rng)
+            .copied()
+            .unwrap_or_else(|| *healthy.choose(&mut rng).expect("cluster has healthy nodes"));
+
+        // Download any k surviving blocks, preferring intra-rack sources.
+        let mut sources: Vec<(usize, BlockId, NodeId)> = members
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m != block)
+            .filter_map(|(idx, &m)| holder_of(m).map(|h| (idx, m, h)))
+            .collect();
+        sources.sort_by_key(|&(_, _, h)| topo.rack_of(h) != topo.rack_of(recovery_node));
+        sources.truncate(k);
+        if sources.len() < k {
+            return Err(Error::NotEnoughShards {
+                available: sources.len(),
+                required: k,
+            });
+        }
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+        for &(idx, m, h) in &sources {
+            let data = cfs
+                .datanode(h)
+                .get(m)
+                .ok_or_else(|| Error::Invariant(format!("{h} lost {m}")))?;
+            cfs.network().transfer(h, recovery_node, data.len() as u64);
+            if topo.rack_of(h) != topo.rack_of(recovery_node) {
+                stats.cross_rack_downloads += 1;
+            }
+            stats.blocks_downloaded += 1;
+            shards[idx] = Some(data.as_ref().clone());
+        }
+        cfs.codec().reconstruct(&mut shards)?;
+        let lost_idx = members
+            .iter()
+            .position(|&m| m == block)
+            .expect("block is a member");
+        let rebuilt = shards[lost_idx].take().expect("reconstructed");
+
+        // Store the rebuilt block where the stripe's rack constraint still
+        // holds: a rack with fewer than c surviving stripe blocks, on a node
+        // not already holding one.
+        let c = cfs.config().ear.c();
+        let mut per_rack: HashMap<u32, usize> = HashMap::new();
+        for &h in &used {
+            *per_rack.entry(topo.rack_of(h).0).or_insert(0) += 1;
+        }
+        let placement = if per_rack
+            .get(&topo.rack_of(recovery_node).0)
+            .copied()
+            .unwrap_or(0)
+            < c
+            && !used.contains(&recovery_node)
+        {
+            recovery_node
+        } else {
+            healthy
+                .iter()
+                .copied()
+                .filter(|&nd| {
+                    !used.contains(&nd)
+                        && per_rack.get(&topo.rack_of(nd).0).copied().unwrap_or(0) < c
+                })
+                .collect::<Vec<_>>()
+                .choose(&mut rng)
+                .copied()
+                .unwrap_or(recovery_node)
+        };
+        if placement != recovery_node {
+            cfs.network()
+                .transfer(recovery_node, placement, rebuilt.len() as u64);
+            if topo.rack_of(placement) != topo.rack_of(recovery_node) {
+                stats.cross_rack_uploads += 1;
+            }
+        }
+        cfs.datanode(placement).put(block, Arc::new(rebuilt));
+        cfs.namenode().set_locations(block, vec![placement]);
+        stats.blocks_recovered += 1;
+    }
+
+    stats.wall_seconds = start.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, ClusterPolicy};
+    use crate::raidnode::RaidNode;
+    use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig};
+
+    fn boot(policy: ClusterPolicy, c: usize, racks: usize, nodes_per_rack: usize) -> MiniCfs {
+        let ear = EarConfig::new(
+            ErasureParams::new(6, 4).unwrap(),
+            ReplicationConfig::two_way(),
+            c,
+        )
+        .unwrap();
+        let cfg = ClusterConfig {
+            racks,
+            nodes_per_rack,
+            block_size: ByteSize::kib(64),
+            node_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            rack_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            ear,
+            policy,
+            seed: 11,
+        };
+        MiniCfs::new(cfg).unwrap()
+    }
+
+    fn write_and_encode(cfs: &MiniCfs, stripes: usize) {
+        let nodes = cfs.topology().num_nodes() as u64;
+        let mut i = 0u64;
+        while cfs.namenode().pending_stripe_count() < stripes {
+            let data = cfs.make_block(i);
+            cfs.write_block(NodeId((i % nodes) as u32), data).unwrap();
+            i += 1;
+        }
+        RaidNode::encode_all(cfs, 4).unwrap();
+    }
+
+    #[test]
+    fn recovers_encoded_blocks_byte_for_byte() {
+        let cfs = boot(ClusterPolicy::Ear, 1, 8, 2);
+        write_and_encode(&cfs, 2);
+        // Fail a node that holds at least one encoded block.
+        let victim = cfs
+            .namenode()
+            .encoded_stripes()
+            .iter()
+            .flat_map(|es| es.data.clone())
+            .find_map(|b| cfs.namenode().locations(b).unwrap().first().copied())
+            .expect("some encoded block exists");
+        let lost: Vec<BlockId> = cfs
+            .namenode()
+            .encoded_stripes()
+            .iter()
+            .flat_map(|es| es.data.clone())
+            .filter(|&b| cfs.namenode().locations(b).unwrap().contains(&victim))
+            .collect();
+        assert!(!lost.is_empty());
+        let stats = recover_node(&cfs, victim).unwrap();
+        assert!(stats.blocks_recovered >= lost.len());
+        for b in lost {
+            let loc = cfs.namenode().locations(b).unwrap()[0];
+            assert_ne!(loc, victim);
+            let got = cfs.datanode(loc).get(b).unwrap();
+            assert_eq!(got.as_ref(), &cfs.make_block(b.0), "block {b} corrupted");
+        }
+    }
+
+    #[test]
+    fn recovery_downloads_k_blocks_per_lost_block() {
+        let cfs = boot(ClusterPolicy::Ear, 1, 8, 2);
+        write_and_encode(&cfs, 1);
+        let es = &cfs.namenode().encoded_stripes()[0];
+        let victim = cfs.namenode().locations(es.data[0]).unwrap()[0];
+        // Count how many stripe blocks the victim held (it can hold at most
+        // one per stripe by the EAR invariant).
+        let held: usize = es
+            .data
+            .iter()
+            .chain(es.parity.iter())
+            .filter(|&&b| cfs.namenode().locations(b).unwrap().contains(&victim))
+            .count();
+        assert_eq!(held, 1, "EAR places at most one stripe block per node");
+        let stats = recover_node(&cfs, victim).unwrap();
+        // Every encoded block lost needs k downloads; replicated (unsealed)
+        // blocks need one.
+        assert!(stats.blocks_downloaded >= 4);
+        assert!(stats.cross_rack_downloads <= stats.blocks_downloaded);
+    }
+
+    #[test]
+    fn larger_c_reduces_cross_rack_recovery_traffic() {
+        // Section III-D: with c = 3 and R' = 2 target racks, most recovery
+        // sources are intra-rack; with c = 1 almost all are cross-rack.
+        let mut cross_c1 = 0usize;
+        let mut cross_c3 = 0usize;
+        let mut down_c1 = 0usize;
+        let mut down_c3 = 0usize;
+        {
+            let cfs = boot(ClusterPolicy::Ear, 1, 8, 4);
+            write_and_encode(&cfs, 3);
+            for es in cfs.namenode().encoded_stripes() {
+                let victim = cfs.namenode().locations(es.data[0]).unwrap()[0];
+                let stats = recover_node(&cfs, victim).unwrap();
+                cross_c1 += stats.cross_rack_downloads;
+                down_c1 += stats.blocks_downloaded;
+            }
+        }
+        {
+            let ear = EarConfig::new(
+                ErasureParams::new(6, 4).unwrap(),
+                ReplicationConfig::two_way(),
+                3,
+            )
+            .unwrap()
+            .with_target_racks(2)
+            .unwrap();
+            let cfg = ClusterConfig {
+                racks: 8,
+                nodes_per_rack: 4,
+                block_size: ByteSize::kib(64),
+                node_bandwidth: Bandwidth::bytes_per_sec(512e6),
+                rack_bandwidth: Bandwidth::bytes_per_sec(512e6),
+                ear,
+                policy: ClusterPolicy::Ear,
+                seed: 11,
+            };
+            let cfs = MiniCfs::new(cfg).unwrap();
+            write_and_encode(&cfs, 3);
+            for es in cfs.namenode().encoded_stripes() {
+                let victim = cfs.namenode().locations(es.data[0]).unwrap()[0];
+                let stats = recover_node(&cfs, victim).unwrap();
+                cross_c3 += stats.cross_rack_downloads;
+                down_c3 += stats.blocks_downloaded;
+            }
+        }
+        let frac_c1 = cross_c1 as f64 / down_c1 as f64;
+        let frac_c3 = cross_c3 as f64 / down_c3 as f64;
+        assert!(
+            frac_c3 < frac_c1,
+            "c=3 cross-rack fraction {frac_c3} should beat c=1's {frac_c1}"
+        );
+    }
+
+    #[test]
+    fn losing_too_many_blocks_fails_cleanly() {
+        let cfs = boot(ClusterPolicy::Ear, 1, 8, 2);
+        write_and_encode(&cfs, 1);
+        let es = &cfs.namenode().encoded_stripes()[0];
+        // Destroy 3 blocks of a (6,4) stripe outright (only n-k=2
+        // tolerable), then try to recover a fourth loss.
+        let all: Vec<BlockId> = es.data.iter().chain(es.parity.iter()).copied().collect();
+        for &b in all.iter().take(3) {
+            let loc = cfs.namenode().locations(b).unwrap()[0];
+            cfs.datanode(loc).delete(b);
+            cfs.namenode().set_locations(b, vec![]);
+        }
+        // Recovering any node holding a surviving stripe block must fail for
+        // that block.
+        let victim = cfs.namenode().locations(all[3]).unwrap()[0];
+        let err = recover_node(&cfs, victim);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Replica layouts and stripe placement records.
+
+use ear_types::{ClusterTopology, NodeId, RackId};
+use std::collections::{HashMap, HashSet};
+
+/// Where the replicas of one data block live, in placement order:
+/// `replicas[0]` is the *first* replica (in EAR, the copy in the core rack).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Nodes holding replicas, in placement order. Nodes are distinct.
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockLayout {
+    /// Creates a layout, checking that replica nodes are distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty or contains duplicates.
+    pub fn new(replicas: Vec<NodeId>) -> Self {
+        assert!(!replicas.is_empty(), "a block needs at least one replica");
+        let unique: HashSet<_> = replicas.iter().collect();
+        assert_eq!(
+            unique.len(),
+            replicas.len(),
+            "replicas must be on distinct nodes"
+        );
+        BlockLayout { replicas }
+    }
+
+    /// The first replica's node.
+    pub fn primary(&self) -> NodeId {
+        self.replicas[0]
+    }
+
+    /// The set of racks spanned by the replicas.
+    pub fn racks(&self, topo: &ClusterTopology) -> HashSet<RackId> {
+        self.replicas.iter().map(|&n| topo.rack_of(n)).collect()
+    }
+
+    /// Whether some replica lives in `rack`.
+    pub fn has_replica_in_rack(&self, topo: &ClusterTopology, rack: RackId) -> bool {
+        self.replicas.iter().any(|&n| topo.rack_of(n) == rack)
+    }
+}
+
+/// The pre-encoding placement of one stripe's `k` data blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripePlan {
+    /// Replica layout of each data block (length `k`).
+    layouts: Vec<BlockLayout>,
+    /// The stripe's core rack (EAR); `None` under random replication.
+    core_rack: Option<RackId>,
+    /// Target racks restricting post-encoding placement (EAR, Section
+    /// III-D); `None` means all racks are eligible.
+    target_racks: Option<Vec<RackId>>,
+    /// Layout-regeneration count per block (Theorem 1 telemetry): entry `i`
+    /// is how many *extra* layouts were generated for block `i` beyond the
+    /// first attempt.
+    retries: Vec<usize>,
+}
+
+impl StripePlan {
+    /// Assembles a stripe plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retries.len() != layouts.len()`.
+    pub fn new(
+        layouts: Vec<BlockLayout>,
+        core_rack: Option<RackId>,
+        target_racks: Option<Vec<RackId>>,
+        retries: Vec<usize>,
+    ) -> Self {
+        assert_eq!(layouts.len(), retries.len(), "one retry count per block");
+        StripePlan {
+            layouts,
+            core_rack,
+            target_racks,
+            retries,
+        }
+    }
+
+    /// Replica layouts of the data blocks.
+    pub fn data_layouts(&self) -> &[BlockLayout] {
+        &self.layouts
+    }
+
+    /// The core rack, if the stripe was placed by EAR.
+    pub fn core_rack(&self) -> Option<RackId> {
+        self.core_rack
+    }
+
+    /// The target racks, if restricted (Section III-D).
+    pub fn target_racks(&self) -> Option<&[RackId]> {
+        self.target_racks.as_deref()
+    }
+
+    /// Per-block layout regeneration counts (Theorem 1 telemetry).
+    pub fn retries(&self) -> &[usize] {
+        &self.retries
+    }
+
+    /// Number of data blocks (`k`).
+    pub fn num_blocks(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Total replicas across all blocks (network cost of writing the
+    /// stripe's replicated data).
+    pub fn total_replicas(&self) -> usize {
+        self.layouts.iter().map(|l| l.replicas.len()).sum()
+    }
+}
+
+/// The outcome of planning the encoding operation for one stripe: which node
+/// encodes, what it must download, which replicas survive, where parity
+/// goes, and what (if anything) must be relocated afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodePlan {
+    /// The node chosen to run the encoding task.
+    pub encoding_node: NodeId,
+    /// Indices of data blocks that must be fetched from a *different rack*
+    /// than the encoding node's (each one is a cross-rack download).
+    pub cross_rack_sources: Vec<usize>,
+    /// For each data block, the node whose replica is kept after encoding.
+    pub kept_data: Vec<NodeId>,
+    /// Nodes receiving the `n - k` parity blocks.
+    pub parity_nodes: Vec<NodeId>,
+    /// Post-encoding relocations needed to restore rack-level fault
+    /// tolerance: `(block_index, from, to)`. Always empty under EAR.
+    pub relocations: Vec<(usize, NodeId, NodeId)>,
+}
+
+impl EncodePlan {
+    /// Number of cross-rack block downloads the encoding node performs.
+    pub fn cross_rack_downloads(&self) -> usize {
+        self.cross_rack_sources.len()
+    }
+
+    /// Whether the stripe needed post-encoding relocation (an availability
+    /// violation under the paper's Section II-B analysis).
+    pub fn violated_rack_fault_tolerance(&self) -> bool {
+        !self.relocations.is_empty()
+    }
+
+    /// Final data-block locations after any relocations are applied.
+    pub fn final_data_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = self.kept_data.clone();
+        for &(idx, _, to) in &self.relocations {
+            nodes[idx] = to;
+        }
+        nodes
+    }
+
+    /// Validates the post-encoding invariants the paper requires:
+    /// all `n` blocks on distinct nodes, and no rack holding more than `c`
+    /// blocks of the stripe (after relocations).
+    ///
+    /// Returns a human-readable violation description, or `None` if the
+    /// plan is valid.
+    pub fn check_fault_tolerance(&self, topo: &ClusterTopology, c: usize) -> Option<String> {
+        let mut all = self.final_data_nodes();
+        all.extend_from_slice(&self.parity_nodes);
+        let mut seen = HashSet::new();
+        for &n in &all {
+            if !seen.insert(n) {
+                return Some(format!("{n} holds two blocks of the stripe"));
+            }
+        }
+        let mut per_rack: HashMap<RackId, usize> = HashMap::new();
+        for &n in &all {
+            *per_rack.entry(topo.rack_of(n)).or_insert(0) += 1;
+        }
+        for (rack, count) in per_rack {
+            if count > c {
+                return Some(format!("{rack} holds {count} blocks (max {c})"));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_layout_accessors() {
+        let topo = ClusterTopology::uniform(3, 2);
+        let l = BlockLayout::new(vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(l.primary(), NodeId(0));
+        let racks = l.racks(&topo);
+        assert_eq!(racks.len(), 2);
+        assert!(l.has_replica_in_rack(&topo, RackId(0)));
+        assert!(l.has_replica_in_rack(&topo, RackId(1)));
+        assert!(!l.has_replica_in_rack(&topo, RackId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn duplicate_replicas_panic() {
+        let _ = BlockLayout::new(vec![NodeId(0), NodeId(0)]);
+    }
+
+    #[test]
+    fn stripe_plan_accessors() {
+        let layouts = vec![
+            BlockLayout::new(vec![NodeId(0), NodeId(2)]),
+            BlockLayout::new(vec![NodeId(1), NodeId(4)]),
+        ];
+        let plan = StripePlan::new(layouts, Some(RackId(0)), None, vec![0, 3]);
+        assert_eq!(plan.num_blocks(), 2);
+        assert_eq!(plan.total_replicas(), 4);
+        assert_eq!(plan.core_rack(), Some(RackId(0)));
+        assert_eq!(plan.retries(), &[0, 3]);
+    }
+
+    #[test]
+    fn encode_plan_fault_tolerance_check() {
+        let topo = ClusterTopology::uniform(4, 2);
+        let ok = EncodePlan {
+            encoding_node: NodeId(0),
+            cross_rack_sources: vec![],
+            kept_data: vec![NodeId(0), NodeId(2), NodeId(4)],
+            parity_nodes: vec![NodeId(6)],
+            relocations: vec![],
+        };
+        assert_eq!(ok.check_fault_tolerance(&topo, 1), None);
+
+        let dup_node = EncodePlan {
+            kept_data: vec![NodeId(0), NodeId(0), NodeId(4)],
+            ..ok.clone()
+        };
+        assert!(dup_node.check_fault_tolerance(&topo, 1).is_some());
+
+        let rack_overflow = EncodePlan {
+            kept_data: vec![NodeId(0), NodeId(1), NodeId(4)],
+            ..ok.clone()
+        };
+        assert!(rack_overflow.check_fault_tolerance(&topo, 1).is_some());
+        // The same layout is fine if c = 2.
+        assert_eq!(rack_overflow.check_fault_tolerance(&topo, 2), None);
+    }
+
+    #[test]
+    fn relocations_apply_to_final_nodes() {
+        let topo = ClusterTopology::uniform(4, 2);
+        let plan = EncodePlan {
+            encoding_node: NodeId(0),
+            cross_rack_sources: vec![1],
+            kept_data: vec![NodeId(0), NodeId(1)],
+            parity_nodes: vec![NodeId(4)],
+            relocations: vec![(1, NodeId(1), NodeId(6))],
+        };
+        assert!(plan.violated_rack_fault_tolerance());
+        assert_eq!(plan.final_data_nodes(), vec![NodeId(0), NodeId(6)]);
+        // After relocation the plan satisfies c = 1.
+        assert_eq!(plan.check_fault_tolerance(&topo, 1), None);
+    }
+}

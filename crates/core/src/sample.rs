@@ -1,0 +1,168 @@
+//! Random sampling helpers over cluster topologies.
+
+use ear_types::{ClusterTopology, NodeId, RackId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Picks a uniformly random rack, optionally excluding some racks and
+/// optionally restricting to an allow-list.
+///
+/// Returns `None` if no rack qualifies.
+pub fn random_rack<R: Rng + ?Sized>(
+    rng: &mut R,
+    topo: &ClusterTopology,
+    exclude: &[RackId],
+    allow: Option<&[RackId]>,
+) -> Option<RackId> {
+    let candidates: Vec<RackId> = match allow {
+        Some(list) => list
+            .iter()
+            .copied()
+            .filter(|r| !exclude.contains(r))
+            .collect(),
+        None => topo.racks().filter(|r| !exclude.contains(r)).collect(),
+    };
+    candidates.choose(rng).copied()
+}
+
+/// Picks a uniformly random node within `rack`, excluding the given nodes.
+///
+/// Returns `None` if every node in the rack is excluded.
+pub fn random_node_in_rack<R: Rng + ?Sized>(
+    rng: &mut R,
+    topo: &ClusterTopology,
+    rack: RackId,
+    exclude: &[NodeId],
+) -> Option<NodeId> {
+    let candidates: Vec<NodeId> = topo
+        .nodes_in_rack(rack)
+        .iter()
+        .copied()
+        .filter(|n| !exclude.contains(n))
+        .collect();
+    candidates.choose(rng).copied()
+}
+
+/// Picks `count` distinct random nodes within `rack`, excluding the given
+/// nodes. Returns `None` if the rack has fewer than `count` eligible nodes.
+pub fn random_nodes_in_rack<R: Rng + ?Sized>(
+    rng: &mut R,
+    topo: &ClusterTopology,
+    rack: RackId,
+    count: usize,
+    exclude: &[NodeId],
+) -> Option<Vec<NodeId>> {
+    let candidates: Vec<NodeId> = topo
+        .nodes_in_rack(rack)
+        .iter()
+        .copied()
+        .filter(|n| !exclude.contains(n))
+        .collect();
+    if candidates.len() < count {
+        return None;
+    }
+    Some(candidates.choose_multiple(rng, count).copied().collect())
+}
+
+/// Picks `count` distinct random racks (excluding `exclude`, restricted to
+/// `allow` if given). Returns `None` if not enough racks qualify.
+pub fn random_racks<R: Rng + ?Sized>(
+    rng: &mut R,
+    topo: &ClusterTopology,
+    count: usize,
+    exclude: &[RackId],
+    allow: Option<&[RackId]>,
+) -> Option<Vec<RackId>> {
+    let candidates: Vec<RackId> = match allow {
+        Some(list) => list
+            .iter()
+            .copied()
+            .filter(|r| !exclude.contains(r))
+            .collect(),
+        None => topo.racks().filter(|r| !exclude.contains(r)).collect(),
+    };
+    if candidates.len() < count {
+        return None;
+    }
+    Some(candidates.choose_multiple(rng, count).copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_rack_respects_exclusions() {
+        let topo = ClusterTopology::uniform(4, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let r = random_rack(&mut rng, &topo, &[RackId(0), RackId(1)], None).unwrap();
+            assert!(r == RackId(2) || r == RackId(3));
+        }
+        // Everything excluded.
+        let all: Vec<RackId> = topo.racks().collect();
+        assert!(random_rack(&mut rng, &topo, &all, None).is_none());
+    }
+
+    #[test]
+    fn random_rack_respects_allow_list() {
+        let topo = ClusterTopology::uniform(5, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let allow = [RackId(1), RackId(3)];
+        for _ in 0..100 {
+            let r = random_rack(&mut rng, &topo, &[RackId(3)], Some(&allow)).unwrap();
+            assert_eq!(r, RackId(1));
+        }
+    }
+
+    #[test]
+    fn random_nodes_in_rack_distinct() {
+        let topo = ClusterTopology::uniform(2, 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            let nodes = random_nodes_in_rack(&mut rng, &topo, RackId(1), 3, &[]).unwrap();
+            let set: std::collections::HashSet<_> = nodes.iter().collect();
+            assert_eq!(set.len(), 3);
+            for n in &nodes {
+                assert_eq!(topo.rack_of(*n), RackId(1));
+            }
+        }
+        // Too many requested.
+        assert!(random_nodes_in_rack(&mut rng, &topo, RackId(0), 6, &[]).is_none());
+    }
+
+    #[test]
+    fn random_node_in_rack_exclusion() {
+        let topo = ClusterTopology::uniform(1, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = random_node_in_rack(&mut rng, &topo, RackId(0), &[NodeId(0)]).unwrap();
+        assert_eq!(n, NodeId(1));
+        assert!(random_node_in_rack(&mut rng, &topo, RackId(0), &[NodeId(0), NodeId(1)]).is_none());
+    }
+
+    #[test]
+    fn random_racks_count() {
+        let topo = ClusterTopology::uniform(6, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let racks = random_racks(&mut rng, &topo, 4, &[RackId(0)], None).unwrap();
+        assert_eq!(racks.len(), 4);
+        assert!(!racks.contains(&RackId(0)));
+        assert!(random_racks(&mut rng, &topo, 6, &[RackId(0)], None).is_none());
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let topo = ClusterTopology::uniform(4, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let r = random_rack(&mut rng, &topo, &[], None).unwrap();
+            counts[r.index()] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "counts not uniform: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Max-min fair-sharing fluid network engine (processor-sharing ablation).
+//!
+//! All transfers are admitted immediately; at every instant each link's
+//! bandwidth is divided among the transfers crossing it by progressive
+//! filling (max-min fairness), the steady-state allocation of competing TCP
+//! flows. Rates are piecewise constant between submissions/completions.
+
+use crate::network::{LinkId, NetworkEngine, TransferId};
+use crate::SimTime;
+use ear_types::{Bandwidth, ByteSize};
+use std::collections::BTreeMap;
+
+#[derive(Debug)]
+struct Flow {
+    path: Vec<LinkId>,
+    remaining: f64,
+    /// Current allocated rate in bytes/sec (`f64::INFINITY` for empty
+    /// paths).
+    rate: f64,
+}
+
+/// Max-min fair-share engine; see the module docs.
+///
+/// ```
+/// use ear_des::{drain_engine, FairShareEngine, NetworkEngine, SimTime};
+/// use ear_types::{Bandwidth, ByteSize};
+///
+/// let mut net = FairShareEngine::new();
+/// let l = net.add_link(Bandwidth::bytes_per_sec(100.0));
+/// // Two equal transfers share the link: each runs at 50 B/s.
+/// net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+/// net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+/// let done = drain_engine(&mut net);
+/// assert!((done[0].0.as_secs() - 2.0).abs() < 1e-9);
+/// assert!((done[1].0.as_secs() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default)]
+pub struct FairShareEngine {
+    bandwidths: Vec<Bandwidth>,
+    flows: BTreeMap<TransferId, Flow>,
+    last_update: f64,
+    next_id: u64,
+}
+
+impl FairShareEngine {
+    /// Creates an engine with no links.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances every flow's remaining bytes to time `to`.
+    fn advance(&mut self, to: f64) {
+        let dt = to - self.last_update;
+        debug_assert!(dt >= -1e-9, "time went backwards");
+        for flow in self.flows.values_mut() {
+            if flow.rate.is_infinite() {
+                flow.remaining = 0.0;
+            } else if dt > 0.0 {
+                flow.remaining = (flow.remaining - flow.rate * dt).max(0.0);
+            }
+        }
+        self.last_update = to;
+    }
+
+    /// Recomputes all flow rates by progressive filling.
+    fn reallocate(&mut self) {
+        let ids: Vec<TransferId> = self.flows.keys().copied().collect();
+        let mut frozen: BTreeMap<TransferId, f64> = BTreeMap::new();
+        // Flows with empty paths are unconstrained.
+        for id in &ids {
+            if self.flows[id].path.is_empty() {
+                frozen.insert(*id, f64::INFINITY);
+            }
+        }
+        loop {
+            // Per-link residual capacity and unfrozen flow count.
+            let mut bottleneck: Option<(f64, LinkId)> = None;
+            for (li, bw) in self.bandwidths.iter().enumerate() {
+                let link = LinkId(li);
+                let mut used = 0.0;
+                let mut unfrozen = 0usize;
+                for id in &ids {
+                    if !self.flows[id].path.contains(&link) {
+                        continue;
+                    }
+                    match frozen.get(id) {
+                        Some(rate) => used += rate,
+                        None => unfrozen += 1,
+                    }
+                }
+                if unfrozen == 0 {
+                    continue;
+                }
+                let share = ((bw.as_bytes_per_sec() - used).max(0.0)) / unfrozen as f64;
+                if bottleneck.is_none_or(|(s, _)| share < s) {
+                    bottleneck = Some((share, link));
+                }
+            }
+            let Some((share, link)) = bottleneck else {
+                break;
+            };
+            for id in &ids {
+                if !frozen.contains_key(id) && self.flows[id].path.contains(&link) {
+                    frozen.insert(*id, share);
+                }
+            }
+        }
+        for id in &ids {
+            let rate = *frozen.get(id).expect("every flow frozen");
+            self.flows.get_mut(id).expect("exists").rate = rate;
+        }
+    }
+}
+
+impl NetworkEngine for FairShareEngine {
+    fn add_link(&mut self, bandwidth: Bandwidth) -> LinkId {
+        self.bandwidths.push(bandwidth);
+        LinkId(self.bandwidths.len() - 1)
+    }
+
+    fn submit(&mut self, now: SimTime, path: &[LinkId], size: ByteSize) -> TransferId {
+        for l in path {
+            assert!(l.0 < self.bandwidths.len(), "unknown link {l:?}");
+        }
+        self.advance(now.as_secs());
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                path: path.to_vec(),
+                remaining: size.as_f64(),
+                rate: 0.0,
+            },
+        );
+        self.reallocate();
+        id
+    }
+
+    fn next_completion(&self) -> Option<(SimTime, TransferId)> {
+        self.flows
+            .iter()
+            .map(|(id, f)| {
+                let eta = if f.remaining <= 0.0 || f.rate.is_infinite() {
+                    0.0
+                } else {
+                    f.remaining / f.rate
+                };
+                (self.last_update + eta, *id)
+            })
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)))
+            .map(|(t, id)| (SimTime::from_secs(t.max(0.0)), id))
+    }
+
+    fn pop_completion(&mut self, now: SimTime) -> TransferId {
+        let (finish, id) = self
+            .next_completion()
+            .expect("pop_completion called with no active transfer");
+        assert!(
+            (finish.as_secs() - now.as_secs()).abs() < 1e-6,
+            "pop_completion at {now}, but next completion is {finish}"
+        );
+        self.advance(now.as_secs());
+        let flow = self.flows.remove(&id).expect("active flow");
+        debug_assert!(flow.remaining < 1.0, "completed flow had bytes left");
+        self.reallocate();
+        id
+    }
+
+    fn active_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn queued_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::drain_engine;
+
+    fn bw(v: f64) -> Bandwidth {
+        Bandwidth::bytes_per_sec(v)
+    }
+
+    #[test]
+    fn lone_transfer_gets_full_bandwidth() {
+        let mut net = FairShareEngine::new();
+        let l = net.add_link(bw(100.0));
+        net.submit(SimTime::ZERO, &[l], ByteSize::bytes(300));
+        let done = drain_engine(&mut net);
+        assert!((done[0].0.as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_share_equally() {
+        let mut net = FairShareEngine::new();
+        let l = net.add_link(bw(100.0));
+        let a = net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+        let b = net.submit(SimTime::ZERO, &[l], ByteSize::bytes(200));
+        let done = drain_engine(&mut net);
+        // a: shares at 50 B/s until t=2 (done); b then gets 100 B/s for its
+        // remaining 100 bytes: finishes at t=3.
+        assert_eq!(done[0].1, a);
+        assert!((done[0].0.as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(done[1].1, b);
+        assert!((done[1].0.as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_reshapes_rates() {
+        let mut net = FairShareEngine::new();
+        let l = net.add_link(bw(100.0));
+        let a = net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+        // At t=0.5, a has 50 bytes left; b arrives and both run at 50 B/s.
+        let b = net.submit(SimTime::from_secs(0.5), &[l], ByteSize::bytes(100));
+        let done = drain_engine(&mut net);
+        // a finishes at 0.5 + 50/50 = 1.5; b then speeds to 100 B/s, has
+        // 100 - 50 = 50 left, finishing at 2.0.
+        assert_eq!(done[0].1, a);
+        assert!((done[0].0.as_secs() - 1.5).abs() < 1e-9);
+        assert_eq!(done[1].1, b);
+        assert!((done[1].0.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_fairness_across_links() {
+        // Classic example: flow A crosses links 1 and 2, flow B only link 1,
+        // flow C only link 2. Link caps 100 each. Max-min: A=50, B=50, C=50.
+        let mut net = FairShareEngine::new();
+        let l1 = net.add_link(bw(100.0));
+        let l2 = net.add_link(bw(100.0));
+        net.submit(SimTime::ZERO, &[l1, l2], ByteSize::bytes(50));
+        net.submit(SimTime::ZERO, &[l1], ByteSize::bytes(50));
+        net.submit(SimTime::ZERO, &[l2], ByteSize::bytes(50));
+        // All three finish together at t = 1.
+        let done = drain_engine(&mut net);
+        for (t, _) in done {
+            assert!((t.as_secs() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_bottleneck() {
+        // Flow A on slow link (10), flow B shares fast link (100) with A.
+        let mut net = FairShareEngine::new();
+        let slow = net.add_link(bw(10.0));
+        let fast = net.add_link(bw(100.0));
+        let a = net.submit(SimTime::ZERO, &[slow, fast], ByteSize::bytes(10));
+        let b = net.submit(SimTime::ZERO, &[fast], ByteSize::bytes(90));
+        // A is bottlenecked at 10; B gets the remaining 90 on the fast link.
+        let done = drain_engine(&mut net);
+        assert_eq!(done[0].1, a);
+        assert!((done[0].0.as_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(done[1].1, b);
+        assert!((done[1].0.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_path_instant() {
+        let mut net = FairShareEngine::new();
+        net.submit(SimTime::from_secs(2.0), &[], ByteSize::gib(1));
+        let done = drain_engine(&mut net);
+        assert_eq!(done[0].0, SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn zero_size_flows_complete_first() {
+        let mut net = FairShareEngine::new();
+        let l = net.add_link(bw(100.0));
+        net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+        let z = net.submit(SimTime::ZERO, &[l], ByteSize::ZERO);
+        let (t, id) = net.next_completion().unwrap();
+        assert_eq!(id, z);
+        assert_eq!(t, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,257 @@
+//! The FIFO facility network engine (CSIM-style).
+//!
+//! Each link is a single-holder facility. A transfer atomically acquires
+//! every link on its path, holds them for `size / min(bandwidth)` seconds,
+//! then releases them. Transfers that cannot acquire all their links queue
+//! in submission order; whenever links free up, the queue is scanned in
+//! order and every transfer whose links are all free starts (later transfers
+//! may overtake blocked ones on disjoint links).
+
+use crate::network::{LinkId, NetworkEngine, TransferId};
+use crate::SimTime;
+use ear_types::{Bandwidth, ByteSize};
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Debug)]
+struct Pending {
+    id: TransferId,
+    path: Vec<LinkId>,
+    size: ByteSize,
+}
+
+#[derive(Debug)]
+struct Active {
+    path: Vec<LinkId>,
+    finish: SimTime,
+}
+
+/// FIFO facility engine; see the module docs.
+///
+/// ```
+/// use ear_des::{drain_engine, FifoEngine, NetworkEngine, SimTime};
+/// use ear_types::{Bandwidth, ByteSize};
+///
+/// let mut net = FifoEngine::new();
+/// let l = net.add_link(Bandwidth::bytes_per_sec(100.0));
+/// let a = net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100)); // 1 s
+/// let b = net.submit(SimTime::ZERO, &[l], ByteSize::bytes(200)); // queued, 2 s
+/// let done = drain_engine(&mut net);
+/// assert_eq!(done[0], (SimTime::from_secs(1.0), a));
+/// assert_eq!(done[1], (SimTime::from_secs(3.0), b));
+/// ```
+#[derive(Debug, Default)]
+pub struct FifoEngine {
+    bandwidths: Vec<Bandwidth>,
+    busy: Vec<bool>,
+    pending: VecDeque<Pending>,
+    active: BTreeMap<TransferId, Active>,
+    next_id: u64,
+}
+
+impl FifoEngine {
+    /// Creates an engine with no links.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn links_free(&self, path: &[LinkId]) -> bool {
+        path.iter().all(|l| !self.busy[l.0])
+    }
+
+    fn start(&mut self, now: SimTime, id: TransferId, path: Vec<LinkId>, size: ByteSize) {
+        let min_bw = path
+            .iter()
+            .map(|l| self.bandwidths[l.0].as_bytes_per_sec())
+            .fold(f64::INFINITY, f64::min);
+        let duration = if path.is_empty() {
+            0.0
+        } else {
+            size.as_f64() / min_bw
+        };
+        for l in &path {
+            self.busy[l.0] = true;
+        }
+        self.active.insert(
+            id,
+            Active {
+                path,
+                finish: now + duration,
+            },
+        );
+    }
+
+    /// Starts every queued transfer whose links are now free, in FIFO order.
+    fn drain_pending(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.links_free(&self.pending[i].path) {
+                let p = self.pending.remove(i).expect("index in range");
+                self.start(now, p.id, p.path, p.size);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl NetworkEngine for FifoEngine {
+    fn add_link(&mut self, bandwidth: Bandwidth) -> LinkId {
+        self.bandwidths.push(bandwidth);
+        self.busy.push(false);
+        LinkId(self.bandwidths.len() - 1)
+    }
+
+    fn submit(&mut self, now: SimTime, path: &[LinkId], size: ByteSize) -> TransferId {
+        for l in path {
+            assert!(l.0 < self.bandwidths.len(), "unknown link {l:?}");
+        }
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        if self.links_free(path) {
+            self.start(now, id, path.to_vec(), size);
+        } else {
+            self.pending.push_back(Pending {
+                id,
+                path: path.to_vec(),
+                size,
+            });
+        }
+        id
+    }
+
+    fn next_completion(&self) -> Option<(SimTime, TransferId)> {
+        self.active
+            .iter()
+            .min_by(|a, b| a.1.finish.cmp(&b.1.finish).then(a.0.cmp(b.0)))
+            .map(|(id, a)| (a.finish, *id))
+    }
+
+    fn pop_completion(&mut self, now: SimTime) -> TransferId {
+        let (finish, id) = self
+            .next_completion()
+            .expect("pop_completion called with no active transfer");
+        assert!(
+            (finish.as_secs() - now.as_secs()).abs() < 1e-9,
+            "pop_completion at {now}, but next completion is {finish}"
+        );
+        let done = self.active.remove(&id).expect("active");
+        for l in &done.path {
+            self.busy[l.0] = false;
+        }
+        self.drain_pending(now);
+        id
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    fn queued_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::drain_engine;
+
+    fn bw(bytes_per_sec: f64) -> Bandwidth {
+        Bandwidth::bytes_per_sec(bytes_per_sec)
+    }
+
+    #[test]
+    fn single_transfer_duration() {
+        let mut net = FifoEngine::new();
+        let l = net.add_link(bw(50.0));
+        net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+        let done = drain_engine(&mut net);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].0.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_is_limited_by_slowest_link() {
+        let mut net = FifoEngine::new();
+        let fast = net.add_link(bw(1000.0));
+        let slow = net.add_link(bw(10.0));
+        net.submit(SimTime::ZERO, &[fast, slow], ByteSize::bytes(100));
+        let done = drain_engine(&mut net);
+        assert!((done[0].0.as_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_serializes_fifo() {
+        let mut net = FifoEngine::new();
+        let l = net.add_link(bw(100.0));
+        let a = net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+        let b = net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+        let c = net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+        let done = drain_engine(&mut net);
+        assert_eq!(
+            done,
+            vec![
+                (SimTime::from_secs(1.0), a),
+                (SimTime::from_secs(2.0), b),
+                (SimTime::from_secs(3.0), c),
+            ]
+        );
+    }
+
+    #[test]
+    fn disjoint_paths_run_in_parallel() {
+        let mut net = FifoEngine::new();
+        let l1 = net.add_link(bw(100.0));
+        let l2 = net.add_link(bw(100.0));
+        net.submit(SimTime::ZERO, &[l1], ByteSize::bytes(100));
+        net.submit(SimTime::ZERO, &[l2], ByteSize::bytes(100));
+        let done = drain_engine(&mut net);
+        assert!((done[0].0.as_secs() - 1.0).abs() < 1e-9);
+        assert!((done[1].0.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn later_transfer_overtakes_on_free_links() {
+        let mut net = FifoEngine::new();
+        let l1 = net.add_link(bw(100.0));
+        let l2 = net.add_link(bw(100.0));
+        // a holds l1; b needs l1+l2 (queued); c needs only l2 and can start
+        // immediately even though it was submitted after b.
+        let a = net.submit(SimTime::ZERO, &[l1], ByteSize::bytes(200));
+        let b = net.submit(SimTime::ZERO, &[l1, l2], ByteSize::bytes(100));
+        let c = net.submit(SimTime::ZERO, &[l2], ByteSize::bytes(100));
+        assert_eq!(net.active_count(), 2);
+        assert_eq!(net.queued_count(), 1);
+        let done = drain_engine(&mut net);
+        assert_eq!(done[0], (SimTime::from_secs(1.0), c));
+        assert_eq!(done[1], (SimTime::from_secs(2.0), a));
+        assert_eq!(done[2], (SimTime::from_secs(3.0), b));
+    }
+
+    #[test]
+    fn empty_path_completes_instantly() {
+        let mut net = FifoEngine::new();
+        net.submit(SimTime::from_secs(5.0), &[], ByteSize::mib(64));
+        let done = drain_engine(&mut net);
+        assert_eq!(done[0].0, SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn zero_size_transfer_is_instant_but_ordered() {
+        let mut net = FifoEngine::new();
+        let l = net.add_link(bw(100.0));
+        let a = net.submit(SimTime::ZERO, &[l], ByteSize::bytes(100));
+        let b = net.submit(SimTime::ZERO, &[l], ByteSize::ZERO);
+        let done = drain_engine(&mut net);
+        // b waits for a to release the link, then completes instantly.
+        assert_eq!(done[0], (SimTime::from_secs(1.0), a));
+        assert_eq!(done[1], (SimTime::from_secs(1.0), b));
+    }
+
+    #[test]
+    #[should_panic(expected = "no active transfer")]
+    fn pop_on_empty_panics() {
+        let mut net = FifoEngine::new();
+        net.pop_completion(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,67 @@
+//! Network engines: models of how concurrent transfers share links.
+//!
+//! The paper's CSIM simulator "holds the corresponding resources for some
+//! duration of the request subject to the specified link bandwidth"
+//! (Section V-B) — a FIFO *facility* model, implemented by
+//! [`FifoEngine`](crate::FifoEngine). A max-min fair-sharing fluid model
+//! ([`FairShareEngine`](crate::FairShareEngine)) is provided as an ablation;
+//! the two bracket real TCP behaviour.
+
+use crate::SimTime;
+use ear_types::{Bandwidth, ByteSize};
+
+/// Identifier of a link inside a network engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Identifier of a transfer inside a network engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(pub u64);
+
+/// A model of link contention. Implementations own the link state; the
+/// simulation loop owns the clock and asks the engine when the next transfer
+/// completes.
+///
+/// Contract: `pop_completion(t)` may only be called with the `t` returned by
+/// [`next_completion`](NetworkEngine::next_completion), and times passed to
+/// [`submit`](NetworkEngine::submit)/`pop_completion` must be
+/// non-decreasing.
+pub trait NetworkEngine {
+    /// Registers a link with the given bandwidth and returns its id.
+    fn add_link(&mut self, bandwidth: Bandwidth) -> LinkId;
+
+    /// Submits a transfer of `size` bytes crossing `path` (all links held
+    /// for the duration). An empty path completes instantaneously (a
+    /// node-local copy).
+    fn submit(&mut self, now: SimTime, path: &[LinkId], size: ByteSize) -> TransferId;
+
+    /// The time and id of the next transfer to complete, if any transfer is
+    /// active or queued.
+    fn next_completion(&self) -> Option<(SimTime, TransferId)>;
+
+    /// Completes the transfer previously reported by `next_completion`,
+    /// advancing internal state to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if no completion is due at `now`.
+    fn pop_completion(&mut self, now: SimTime) -> TransferId;
+
+    /// Transfers currently holding links.
+    fn active_count(&self) -> usize;
+
+    /// Transfers waiting for links (always 0 for sharing models that admit
+    /// everything).
+    fn queued_count(&self) -> usize;
+}
+
+/// Drains an engine to completion, returning `(time, id)` pairs — a test and
+/// bench helper for running an engine without a surrounding simulation.
+pub fn drain_engine<E: NetworkEngine + ?Sized>(engine: &mut E) -> Vec<(SimTime, TransferId)> {
+    let mut out = Vec::new();
+    while let Some((t, _)) = engine.next_completion() {
+        let id = engine.pop_completion(t);
+        out.push((t, id));
+    }
+    out
+}

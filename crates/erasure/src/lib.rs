@@ -1,0 +1,33 @@
+//! Erasure-coding substrate for the EAR reproduction: GF(2⁸) arithmetic and
+//! systematic Reed–Solomon codes.
+//!
+//! The paper's encoding operation (Section II-A) transforms `k` replicated
+//! data blocks into an `(n, k)` stripe with `n - k` parity blocks so that any
+//! `k` of the `n` blocks reconstruct the originals. Facebook's HDFS prototype
+//! used the Reed–Solomon codes of HDFS-RAID; this crate provides a
+//! from-scratch equivalent with two provably MDS generator constructions
+//! (systematic Vandermonde, the default, and Cauchy).
+//!
+//! # Example
+//!
+//! ```
+//! use ear_erasure::ReedSolomon;
+//! use ear_types::ErasureParams;
+//!
+//! // (10, 8) as in the paper's testbed experiments.
+//! let rs = ReedSolomon::new(ErasureParams::new(10, 8).unwrap());
+//! let data: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 1024]).collect();
+//! let parity = rs.encode(&data)?;
+//! assert_eq!(parity.len(), 2);
+//! # Ok::<(), ear_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf256;
+mod matrix;
+mod rs;
+
+pub use matrix::Matrix;
+pub use rs::{Construction, ReedSolomon};

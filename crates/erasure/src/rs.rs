@@ -1,0 +1,512 @@
+//! Systematic Reed–Solomon coding over GF(2⁸).
+//!
+//! A stripe of `k` data shards is expanded with `n - k` parity shards such
+//! that any `k` of the `n` shards reconstruct the originals — the erasure
+//! model of Section II-A of the paper.
+
+use crate::gf256;
+use crate::matrix::Matrix;
+use ear_types::{ErasureParams, Error, Result};
+
+/// How the generator matrix is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Construction {
+    /// `G = V · V_top⁻¹` where `V` is the `n × k` Vandermonde matrix; the
+    /// top `k × k` block becomes the identity (classic systematic RS, the
+    /// HDFS-RAID default).
+    #[default]
+    Vandermonde,
+    /// `G = [I; C]` where `C` is an `(n-k) × k` Cauchy matrix
+    /// (Cauchy Reed–Solomon, per Blömer et al.).
+    Cauchy,
+}
+
+/// A systematic `(n, k)` Reed–Solomon codec.
+///
+/// ```
+/// use ear_erasure::ReedSolomon;
+/// use ear_types::ErasureParams;
+///
+/// let rs = ReedSolomon::new(ErasureParams::new(5, 3).unwrap());
+/// let data = vec![b"abcd".to_vec(), b"efgh".to_vec(), b"ijkl".to_vec()];
+/// let parity = rs.encode(&data).unwrap();
+/// assert_eq!(parity.len(), 2);
+///
+/// // Lose any two shards; reconstruction recovers them.
+/// let mut shards: Vec<Option<Vec<u8>>> =
+///     data.iter().cloned().map(Some).chain(parity.iter().cloned().map(Some)).collect();
+/// shards[0] = None;
+/// shards[4] = None;
+/// rs.reconstruct(&mut shards).unwrap();
+/// assert_eq!(shards[0].as_deref(), Some(b"abcd".as_slice()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    params: ErasureParams,
+    /// The full `n × k` generator; rows `0..k` form the identity.
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a codec with the default [`Construction::Vandermonde`].
+    pub fn new(params: ErasureParams) -> Self {
+        Self::with_construction(params, Construction::default())
+    }
+
+    /// Creates a codec with an explicit generator construction.
+    pub fn with_construction(params: ErasureParams, construction: Construction) -> Self {
+        let n = params.n();
+        let k = params.k();
+        let generator = match construction {
+            Construction::Vandermonde => {
+                let v = Matrix::vandermonde(n, k);
+                let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+                let top_inv = top
+                    .inverted()
+                    .expect("top rows of a Vandermonde matrix are invertible");
+                v.multiply(&top_inv)
+            }
+            Construction::Cauchy => {
+                let mut g = Matrix::zero(n, k);
+                for i in 0..k {
+                    g.set(i, i, 1);
+                }
+                let c = Matrix::cauchy(n - k, k);
+                for i in 0..(n - k) {
+                    for j in 0..k {
+                        g.set(k + i, j, c.get(i, j));
+                    }
+                }
+                g
+            }
+        };
+        debug_assert_eq!(
+            generator.select_rows(&(0..k).collect::<Vec<_>>()),
+            Matrix::identity(k),
+            "generator must be systematic"
+        );
+        ReedSolomon { params, generator }
+    }
+
+    /// The `(n, k)` parameters of this codec.
+    #[inline]
+    pub fn params(&self) -> ErasureParams {
+        self.params
+    }
+
+    /// The parity rows of the generator (an `(n-k) × k` matrix).
+    pub fn parity_matrix(&self) -> Matrix {
+        self.generator
+            .select_rows(&(self.params.k()..self.params.n()).collect::<Vec<_>>())
+    }
+
+    /// Encodes `k` equally-sized data shards into `n - k` parity shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] if the number of shards is not `k`, or
+    /// [`Error::ShardLengthMismatch`] if shard lengths differ.
+    pub fn encode<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>> {
+        let k = self.params.k();
+        if data.len() != k {
+            return Err(Error::Invariant(format!(
+                "encode expects {k} data shards, got {}",
+                data.len()
+            )));
+        }
+        let len = data[0].as_ref().len();
+        if data.iter().any(|d| d.as_ref().len() != len) {
+            return Err(Error::ShardLengthMismatch);
+        }
+        let m = self.params.parity();
+        let mut parity = vec![vec![0u8; len]; m];
+        for (row, out) in parity.iter_mut().enumerate() {
+            for (j, shard) in data.iter().enumerate() {
+                let coef = self.generator.get(k + row, j);
+                gf256::mul_acc(out, shard.as_ref(), coef);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Checks that `parity` is consistent with `data`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same validation errors as [`ReedSolomon::encode`], and
+    /// additionally checks the parity shard count.
+    pub fn verify<T: AsRef<[u8]>, U: AsRef<[u8]>>(&self, data: &[T], parity: &[U]) -> Result<bool> {
+        if parity.len() != self.params.parity() {
+            return Err(Error::Invariant(format!(
+                "verify expects {} parity shards, got {}",
+                self.params.parity(),
+                parity.len()
+            )));
+        }
+        let expected = self.encode(data)?;
+        Ok(expected
+            .iter()
+            .zip(parity)
+            .all(|(e, p)| e.as_slice() == p.as_ref()))
+    }
+
+    /// Reconstructs all missing shards in place.
+    ///
+    /// `shards` must have length `n`; present shards are `Some`, erased
+    /// shards `None`. On success every slot is `Some` and holds the original
+    /// contents.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotEnoughShards`] if fewer than `k` shards are present.
+    /// * [`Error::ShardLengthMismatch`] if present shards differ in length.
+    /// * [`Error::Invariant`] if `shards.len() != n`.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<()> {
+        let n = self.params.n();
+        let k = self.params.k();
+        if shards.len() != n {
+            return Err(Error::Invariant(format!(
+                "reconstruct expects {n} shard slots, got {}",
+                shards.len()
+            )));
+        }
+        let present: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < k {
+            return Err(Error::NotEnoughShards {
+                available: present.len(),
+                required: k,
+            });
+        }
+        let len = shards[present[0]].as_ref().expect("present").len();
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().expect("present").len() != len)
+        {
+            return Err(Error::ShardLengthMismatch);
+        }
+        if present.len() == n {
+            return Ok(());
+        }
+
+        // Decode: pick the first k present shards, invert the corresponding
+        // generator rows, and multiply to recover the k data shards.
+        let rows: Vec<usize> = present.iter().copied().take(k).collect();
+        let sub = self.generator.select_rows(&rows);
+        let dec = sub.inverted().map_err(|_| {
+            Error::Invariant("selected generator rows are singular (non-MDS generator?)".into())
+        })?;
+
+        let mut data: Vec<Vec<u8>> = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut out = vec![0u8; len];
+            for (j, &src_row) in rows.iter().enumerate() {
+                let coef = dec.get(i, j);
+                let src = shards[src_row].as_ref().expect("present");
+                gf256::mul_acc(&mut out, src, coef);
+            }
+            data.push(out);
+        }
+
+        // Fill in missing data shards.
+        for (i, shard) in shards.iter_mut().take(k).enumerate() {
+            if shard.is_none() {
+                *shard = Some(data[i].clone());
+            }
+        }
+        // Recompute missing parity shards from the (now complete) data.
+        let need_parity: Vec<usize> = (k..n).filter(|&i| shards[i].is_none()).collect();
+        if !need_parity.is_empty() {
+            for &p in &need_parity {
+                let row = p; // generator row index
+                let mut out = vec![0u8; len];
+                for (j, d) in data.iter().enumerate() {
+                    let coef = self.generator.get(row, j);
+                    gf256::mul_acc(&mut out, d, coef);
+                }
+                shards[p] = Some(out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper: reconstructs and returns only the `k` data
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReedSolomon::reconstruct`].
+    pub fn reconstruct_data(&self, shards: &mut [Option<Vec<u8>>]) -> Result<Vec<Vec<u8>>> {
+        self.reconstruct(shards)?;
+        Ok(shards
+            .iter()
+            .take(self.params.k())
+            .map(|s| s.clone().expect("reconstructed"))
+            .collect())
+    }
+
+    /// Updates the parity shards in place after data shard `index` changed
+    /// from `old` to `new`, without touching the other `k - 1` data shards.
+    ///
+    /// Reed–Solomon encoding is linear, so each parity shard changes by
+    /// `g[row][index] · (old ⊕ new)`; this is the parity-delta technique
+    /// used by update-efficient erasure-coded stores.
+    ///
+    /// ```
+    /// use ear_erasure::ReedSolomon;
+    /// use ear_types::ErasureParams;
+    ///
+    /// let rs = ReedSolomon::new(ErasureParams::new(5, 3).unwrap());
+    /// let mut data = vec![vec![1u8; 8], vec![2; 8], vec![3; 8]];
+    /// let mut parity = rs.encode(&data)?;
+    /// let old = data[1].clone();
+    /// data[1] = vec![9; 8];
+    /// rs.update_parity(1, &old, &data[1], &mut parity)?;
+    /// assert!(rs.verify(&data, &parity)?);
+    /// # Ok::<(), ear_types::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Invariant`] if `index >= k` or the parity count is wrong.
+    /// * [`Error::ShardLengthMismatch`] if lengths disagree.
+    pub fn update_parity(
+        &self,
+        index: usize,
+        old: &[u8],
+        new: &[u8],
+        parity: &mut [Vec<u8>],
+    ) -> Result<()> {
+        let k = self.params.k();
+        if index >= k {
+            return Err(Error::Invariant(format!(
+                "data shard index {index} out of range (k = {k})"
+            )));
+        }
+        if parity.len() != self.params.parity() {
+            return Err(Error::Invariant(format!(
+                "expected {} parity shards, got {}",
+                self.params.parity(),
+                parity.len()
+            )));
+        }
+        if old.len() != new.len() || parity.iter().any(|p| p.len() != old.len()) {
+            return Err(Error::ShardLengthMismatch);
+        }
+        let delta: Vec<u8> = old.iter().zip(new).map(|(a, b)| a ^ b).collect();
+        for (row, p) in parity.iter_mut().enumerate() {
+            let coef = self.generator.get(k + row, index);
+            gf256::mul_acc(p, &delta, coef);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 7 + 3) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_produces_expected_counts() {
+        let rs = ReedSolomon::new(ErasureParams::new(14, 10).unwrap());
+        let data = sample_data(10, 64);
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity.len(), 4);
+        assert!(parity.iter().all(|p| p.len() == 64));
+        assert!(rs.verify(&data, &parity).unwrap());
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let rs = ReedSolomon::new(ErasureParams::new(6, 4).unwrap());
+        let data = sample_data(4, 32);
+        let mut parity = rs.encode(&data).unwrap();
+        parity[1][5] ^= 0xFF;
+        assert!(!rs.verify(&data, &parity).unwrap());
+    }
+
+    #[test]
+    fn reconstruct_any_k_of_n() {
+        // Exhaustively erase every (n-k)-subset for a small code.
+        let params = ErasureParams::new(6, 4).unwrap();
+        for construction in [Construction::Vandermonde, Construction::Cauchy] {
+            let rs = ReedSolomon::with_construction(params, construction);
+            let data = sample_data(4, 16);
+            let parity = rs.encode(&data).unwrap();
+            let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity.iter().cloned()).collect();
+            for a in 0..6 {
+                for b in (a + 1)..6 {
+                    let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                    shards[a] = None;
+                    shards[b] = None;
+                    rs.reconstruct(&mut shards).unwrap();
+                    for (i, s) in shards.iter().enumerate() {
+                        assert_eq!(
+                            s.as_ref().unwrap(),
+                            &full[i],
+                            "{construction:?} erased ({a},{b}) slot {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_rejects_too_many_erasures() {
+        let rs = ReedSolomon::new(ErasureParams::new(5, 3).unwrap());
+        let data = sample_data(3, 8);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        let err = rs.reconstruct(&mut shards).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::NotEnoughShards {
+                available: 2,
+                required: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn encode_validates_inputs() {
+        let rs = ReedSolomon::new(ErasureParams::new(5, 3).unwrap());
+        assert!(rs.encode(&sample_data(2, 8)).is_err());
+        let uneven = vec![vec![0u8; 8], vec![0u8; 8], vec![0u8; 9]];
+        assert!(matches!(
+            rs.encode(&uneven).unwrap_err(),
+            Error::ShardLengthMismatch
+        ));
+    }
+
+    #[test]
+    fn reconstruct_noop_when_complete() {
+        let rs = ReedSolomon::new(ErasureParams::new(4, 2).unwrap());
+        let data = sample_data(2, 8);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        let before = shards.clone();
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards, before);
+    }
+
+    #[test]
+    fn reconstruct_data_returns_k_shards() {
+        let rs = ReedSolomon::new(ErasureParams::new(5, 3).unwrap());
+        let data = sample_data(3, 8);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None, Some(data[1].clone()), None]
+            .into_iter()
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        let rec = rs.reconstruct_data(&mut shards).unwrap();
+        assert_eq!(rec, data);
+    }
+
+    #[test]
+    fn zero_length_shards_are_fine() {
+        let rs = ReedSolomon::new(ErasureParams::new(4, 2).unwrap());
+        let data = vec![Vec::new(), Vec::new()];
+        let parity = rs.encode(&data).unwrap();
+        assert!(parity.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn update_parity_matches_full_reencode() {
+        for construction in [Construction::Vandermonde, Construction::Cauchy] {
+            let rs =
+                ReedSolomon::with_construction(ErasureParams::new(9, 6).unwrap(), construction);
+            let mut data = sample_data(6, 32);
+            let mut parity = rs.encode(&data).unwrap();
+            for idx in 0..6 {
+                let old = data[idx].clone();
+                for b in data[idx].iter_mut() {
+                    *b = b.wrapping_add(idx as u8 + 1);
+                }
+                rs.update_parity(idx, &old, &data[idx], &mut parity)
+                    .unwrap();
+            }
+            let full = rs.encode(&data).unwrap();
+            assert_eq!(
+                parity, full,
+                "{construction:?}: deltas must equal re-encode"
+            );
+        }
+    }
+
+    #[test]
+    fn update_parity_validates_inputs() {
+        let rs = ReedSolomon::new(ErasureParams::new(5, 3).unwrap());
+        let data = sample_data(3, 8);
+        let mut parity = rs.encode(&data).unwrap();
+        // Out-of-range index.
+        assert!(rs
+            .update_parity(3, &data[0], &data[0], &mut parity)
+            .is_err());
+        // Length mismatch.
+        assert!(matches!(
+            rs.update_parity(0, &data[0], &[0u8; 4], &mut parity)
+                .unwrap_err(),
+            Error::ShardLengthMismatch
+        ));
+        // Wrong parity count.
+        let mut short = parity[..1].to_vec();
+        assert!(rs.update_parity(0, &data[0], &data[0], &mut short).is_err());
+    }
+
+    #[test]
+    fn noop_update_leaves_parity_unchanged() {
+        let rs = ReedSolomon::new(ErasureParams::new(6, 4).unwrap());
+        let data = sample_data(4, 16);
+        let mut parity = rs.encode(&data).unwrap();
+        let before = parity.clone();
+        rs.update_parity(2, &data[2], &data[2], &mut parity)
+            .unwrap();
+        assert_eq!(parity, before);
+    }
+
+    #[test]
+    fn cauchy_and_vandermonde_agree_on_systematic_part() {
+        let params = ErasureParams::new(8, 6).unwrap();
+        let data = sample_data(6, 24);
+        for c in [Construction::Vandermonde, Construction::Cauchy] {
+            let rs = ReedSolomon::with_construction(params, c);
+            let parity = rs.encode(&data).unwrap();
+            // Systematic: data shards are stored verbatim; only parity
+            // differs between constructions. Reconstruction must round-trip.
+            let mut shards: Vec<Option<Vec<u8>>> = vec![None; 8];
+            for (i, p) in parity.iter().enumerate() {
+                shards[6 + i] = Some(p.clone());
+            }
+            for i in 0..4 {
+                shards[i] = Some(data[i].clone());
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            assert_eq!(shards[4].as_ref().unwrap(), &data[4]);
+            assert_eq!(shards[5].as_ref().unwrap(), &data[5]);
+        }
+    }
+}

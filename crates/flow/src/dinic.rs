@@ -1,0 +1,274 @@
+//! Dinic's maximum-flow algorithm on small integer-capacity networks.
+//!
+//! The EAR placement algorithm (Section III-B of the paper) reduces the
+//! "can we keep one replica per block on distinct nodes with at most `c`
+//! blocks per rack" question to a max-flow computation on a four-layer
+//! network; this module provides the solver.
+
+use std::collections::VecDeque;
+
+/// Identifier of a directed edge in a [`FlowNetwork`]; returned by
+/// [`FlowNetwork::add_edge`] so callers can query per-edge flow after a
+/// max-flow run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    /// Remaining capacity.
+    cap: u64,
+    /// Index of the reverse edge in `edges`.
+    rev: usize,
+    /// Original capacity, kept so flow = original - cap and for reset.
+    original: u64,
+}
+
+/// A directed flow network with integer capacities, solved with Dinic's
+/// algorithm (O(V²E), far more than fast enough for EAR's graphs of a few
+/// hundred vertices).
+///
+/// ```
+/// use ear_flow::FlowNetwork;
+///
+/// // s -> a -> t and s -> b -> t, unit capacities: max flow 2.
+/// let mut net = FlowNetwork::new(4);
+/// let (s, a, b, t) = (0, 1, 2, 3);
+/// net.add_edge(s, a, 1);
+/// net.add_edge(s, b, 1);
+/// net.add_edge(a, t, 1);
+/// net.add_edge(b, t, 1);
+/// assert_eq!(net.max_flow(s, t), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `vertices` vertices and no edges.
+    pub fn new(vertices: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); vertices],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a directed edge `from -> to` with capacity `cap` and returns its
+    /// id. A residual edge of capacity 0 is added automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> EdgeId {
+        assert!(from < self.graph.len(), "edge source out of range");
+        assert!(to < self.graph.len(), "edge target out of range");
+        let fwd = self.edges.len();
+        let bwd = fwd + 1;
+        self.edges.push(Edge {
+            to,
+            cap,
+            rev: bwd,
+            original: cap,
+        });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            rev: fwd,
+            original: 0,
+        });
+        self.graph[from].push(fwd);
+        self.graph[to].push(bwd);
+        EdgeId(fwd)
+    }
+
+    /// Flow currently routed through `edge` (after a [`max_flow`] call).
+    ///
+    /// [`max_flow`]: FlowNetwork::max_flow
+    pub fn flow_on(&self, edge: EdgeId) -> u64 {
+        let e = &self.edges[edge.0];
+        e.original - e.cap
+    }
+
+    /// Restores all capacities, discarding any routed flow.
+    pub fn reset(&mut self) {
+        for e in &mut self.edges {
+            e.cap = e.original;
+        }
+    }
+
+    /// Computes the maximum flow from `source` to `sink`.
+    ///
+    /// Subsequent calls continue from the current residual state; call
+    /// [`reset`](FlowNetwork::reset) first to start over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either is out of range.
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> u64 {
+        assert!(source < self.graph.len() && sink < self.graph.len());
+        assert_ne!(source, sink, "source and sink must differ");
+        let mut total = 0;
+        loop {
+            let level = self.bfs_levels(source);
+            if level[sink].is_none() {
+                return total;
+            }
+            let mut iter = vec![0usize; self.graph.len()];
+            loop {
+                let pushed = self.dfs_augment(source, sink, u64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn bfs_levels(&self, source: usize) -> Vec<Option<u32>> {
+        let mut level = vec![None; self.graph.len()];
+        let mut queue = VecDeque::new();
+        level[source] = Some(0);
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let lv = level[v].expect("queued vertices have levels");
+            for &ei in &self.graph[v] {
+                let e = &self.edges[ei];
+                if e.cap > 0 && level[e.to].is_none() {
+                    level[e.to] = Some(lv + 1);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        level
+    }
+
+    fn dfs_augment(
+        &mut self,
+        v: usize,
+        sink: usize,
+        limit: u64,
+        level: &[Option<u32>],
+        iter: &mut [usize],
+    ) -> u64 {
+        if v == sink {
+            return limit;
+        }
+        while iter[v] < self.graph[v].len() {
+            let ei = self.graph[v][iter[v]];
+            let (to, cap) = {
+                let e = &self.edges[ei];
+                (e.to, e.cap)
+            };
+            let advance = cap > 0
+                && match (level[v], level[to]) {
+                    (Some(a), Some(b)) => b == a + 1,
+                    _ => false,
+                };
+            if advance {
+                let pushed = self.dfs_augment(to, sink, limit.min(cap), level, iter);
+                if pushed > 0 {
+                    let rev = self.edges[ei].rev;
+                    self.edges[ei].cap -= pushed;
+                    self.edges[rev].cap += pushed;
+                    return pushed;
+                }
+            }
+            iter[v] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 1), 5);
+        assert_eq!(net.flow_on(e), 5);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3, two paths with a cross edge.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(0, 2, 10);
+        net.add_edge(1, 2, 1);
+        net.add_edge(1, 3, 6);
+        net.add_edge(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 16);
+    }
+
+    #[test]
+    fn bottleneck_limits_flow() {
+        // s -> a (100) -> t (3)
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 100);
+        net.add_edge(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn reset_restores_capacity() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1), 7);
+        assert_eq!(net.max_flow(0, 1), 0); // residual exhausted
+        net.reset();
+        assert_eq!(net.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn bipartite_as_flow() {
+        // 3 left, 3 right; left i connects to right i and right (i+1)%3.
+        // Perfect matching exists: flow 3.
+        let mut net = FlowNetwork::new(8);
+        let (s, t) = (0, 7);
+        for i in 0..3 {
+            net.add_edge(s, 1 + i, 1);
+            net.add_edge(4 + i, t, 1);
+        }
+        for i in 0..3 {
+            net.add_edge(1 + i, 4 + i, 1);
+            net.add_edge(1 + i, 4 + (i + 1) % 3, 1);
+        }
+        assert_eq!(net.max_flow(s, t), 3);
+    }
+
+    #[test]
+    fn flow_conservation_on_edges() {
+        let mut net = FlowNetwork::new(4);
+        let e1 = net.add_edge(0, 1, 2);
+        let e2 = net.add_edge(0, 2, 2);
+        let e3 = net.add_edge(1, 3, 2);
+        let e4 = net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 3);
+        assert_eq!(net.flow_on(e1) + net.flow_on(e2), 3);
+        assert_eq!(net.flow_on(e3) + net.flow_on(e4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_sink_panics() {
+        let mut net = FlowNetwork::new(2);
+        net.max_flow(1, 1);
+    }
+}

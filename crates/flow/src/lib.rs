@@ -1,0 +1,43 @@
+//! Max-flow and bipartite matching for encoding-aware replica placement.
+//!
+//! The heart of the EAR algorithm (Section III-B of the paper) is a
+//! feasibility question: given where the replicas of a stripe's data blocks
+//! currently live, can the system keep exactly one replica per block such
+//! that every node keeps at most one block and every rack keeps at most `c`
+//! blocks? The paper answers it by building a flow network
+//! (`S → blocks → nodes → racks → T`) and checking whether the max flow
+//! saturates all blocks.
+//!
+//! This crate provides:
+//!
+//! * [`FlowNetwork`] — a Dinic max-flow solver.
+//! * [`hopcroft_karp`] — maximum bipartite matching, the alternative
+//!   formulation used as an ablation.
+//! * [`max_kept_matching`] — the stripe-level feasibility check and matching
+//!   extraction, including the *target racks* variant of Section III-D.
+//!
+//! # Example
+//!
+//! ```
+//! use ear_flow::max_kept_matching;
+//! use ear_types::{ClusterTopology, NodeId};
+//!
+//! let topo = ClusterTopology::uniform(4, 2);
+//! let layouts = vec![
+//!     vec![NodeId(0), NodeId(2)],
+//!     vec![NodeId(1), NodeId(4)],
+//! ];
+//! let outcome = max_kept_matching(&topo, &layouts, 1, None);
+//! assert!(outcome.is_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dinic;
+mod matching;
+mod stripe_graph;
+
+pub use dinic::{EdgeId, FlowNetwork};
+pub use matching::hopcroft_karp;
+pub use stripe_graph::{max_kept_matching, MatchingOutcome};

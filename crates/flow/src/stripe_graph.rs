@@ -1,0 +1,294 @@
+//! The flow graph of the EAR algorithm (Fig. 4(b), Fig. 5, Fig. 6 of the
+//! paper).
+//!
+//! Given the replica layouts of the data blocks of one stripe, we build a
+//! four-layer network
+//!
+//! ```text
+//! S --1--> block --1--> node --1--> rack --c--> T
+//! ```
+//!
+//! where a `block -> node` edge exists iff a replica of that block lives on
+//! that node. A max flow equal to the number of blocks certifies that a
+//! *maximum matching* exists: a choice of exactly one replica to keep per
+//! block such that no node keeps two blocks and no rack keeps more than `c`
+//! blocks of the stripe — i.e. the stripe will satisfy node-level and
+//! rack-level fault tolerance after encoding without relocating anything.
+//!
+//! The *target racks* variant (Section III-D) simply omits the `rack -> T`
+//! edges of non-target racks.
+
+use crate::dinic::{EdgeId, FlowNetwork};
+use ear_types::{ClusterTopology, NodeId, RackId};
+
+/// Result of the matching computation on a stripe's replica layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingOutcome {
+    /// Size of the maximum matching (the max flow).
+    pub size: usize,
+    /// For each block, the node whose replica is kept — `Some` for matched
+    /// blocks. All `Some` exactly when `size == layouts.len()`.
+    pub kept: Vec<Option<NodeId>>,
+}
+
+impl MatchingOutcome {
+    /// Whether every block was matched (the layout is feasible).
+    pub fn is_complete(&self) -> bool {
+        self.kept.iter().all(Option::is_some)
+    }
+}
+
+/// Computes the maximum "kept replica" matching for a stripe.
+///
+/// * `topo` — the cluster topology.
+/// * `layouts` — `layouts[i]` lists the nodes holding replicas of data block
+///   `i` of the stripe.
+/// * `c` — maximum blocks of the stripe allowed per rack after encoding.
+/// * `eligible_racks` — if `Some`, only these racks may hold blocks after
+///   encoding (the target racks of Section III-D); replicas elsewhere can
+///   still exist but cannot be the kept copy.
+///
+/// ```
+/// use ear_flow::max_kept_matching;
+/// use ear_types::{ClusterTopology, NodeId};
+///
+/// // Fig. 4: 4 racks x 2 nodes, 3 blocks, c = 1.
+/// let topo = ClusterTopology::uniform(4, 2);
+/// let layouts = vec![
+///     vec![NodeId(0), NodeId(2)], // block 1: racks 0 and 1
+///     vec![NodeId(1), NodeId(4)], // block 2: racks 0 and 2
+///     vec![NodeId(3), NodeId(6)], // block 3: racks 1 and 3
+/// ];
+/// let m = max_kept_matching(&topo, &layouts, 1, None);
+/// assert!(m.is_complete());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `c == 0` or a layout references a node outside the topology.
+pub fn max_kept_matching(
+    topo: &ClusterTopology,
+    layouts: &[Vec<NodeId>],
+    c: usize,
+    eligible_racks: Option<&[RackId]>,
+) -> MatchingOutcome {
+    assert!(c > 0, "c must be positive");
+    let b = layouts.len();
+    if b == 0 {
+        return MatchingOutcome {
+            size: 0,
+            kept: Vec::new(),
+        };
+    }
+    let n_nodes = topo.num_nodes();
+    let n_racks = topo.num_racks();
+
+    let eligible = |r: RackId| -> bool {
+        match eligible_racks {
+            None => true,
+            Some(set) => set.contains(&r),
+        }
+    };
+
+    // Vertex layout: S, T, blocks, nodes, racks.
+    let s = 0usize;
+    let t = 1usize;
+    let block_v = |i: usize| 2 + i;
+    let node_v = |v: NodeId| 2 + b + v.index();
+    let rack_v = |r: RackId| 2 + b + n_nodes + r.index();
+
+    let mut net = FlowNetwork::new(2 + b + n_nodes + n_racks);
+    let mut block_edges: Vec<Vec<(EdgeId, NodeId)>> = vec![Vec::new(); b];
+
+    for (i, layout) in layouts.iter().enumerate() {
+        net.add_edge(s, block_v(i), 1);
+        for &node in layout {
+            assert!(node.index() < n_nodes, "layout node outside topology");
+            if eligible(topo.rack_of(node)) {
+                let e = net.add_edge(block_v(i), node_v(node), 1);
+                block_edges[i].push((e, node));
+            }
+        }
+    }
+    // node -> rack and rack -> T edges only for nodes that actually hold
+    // replicas (keeps the graph minimal) and eligible racks.
+    let mut node_added = vec![false; n_nodes];
+    let mut rack_added = vec![false; n_racks];
+    for layout in layouts {
+        for &node in layout {
+            let rack = topo.rack_of(node);
+            if !eligible(rack) {
+                continue;
+            }
+            if !node_added[node.index()] {
+                node_added[node.index()] = true;
+                net.add_edge(node_v(node), rack_v(rack), 1);
+            }
+            if !rack_added[rack.index()] {
+                rack_added[rack.index()] = true;
+                net.add_edge(rack_v(rack), t, c as u64);
+            }
+        }
+    }
+
+    let size = net.max_flow(s, t) as usize;
+    let kept = block_edges
+        .iter()
+        .map(|edges| {
+            edges
+                .iter()
+                .find(|(e, _)| net.flow_on(*e) == 1)
+                .map(|&(_, node)| node)
+        })
+        .collect();
+    MatchingOutcome { size, kept }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks the matching result against the constraints it must satisfy.
+    fn assert_matching_valid(
+        topo: &ClusterTopology,
+        layouts: &[Vec<NodeId>],
+        c: usize,
+        eligible: Option<&[RackId]>,
+        outcome: &MatchingOutcome,
+    ) {
+        let mut node_used = std::collections::HashSet::new();
+        let mut rack_count = std::collections::HashMap::new();
+        for (i, kept) in outcome.kept.iter().enumerate() {
+            if let Some(node) = kept {
+                assert!(layouts[i].contains(node), "kept replica must exist");
+                assert!(node_used.insert(*node), "node keeps at most one block");
+                let r = topo.rack_of(*node);
+                if let Some(set) = eligible {
+                    assert!(set.contains(&r), "kept replica in eligible rack");
+                }
+                *rack_count.entry(r).or_insert(0usize) += 1;
+            }
+        }
+        for (_, count) in rack_count {
+            assert!(count <= c, "rack holds at most c blocks");
+        }
+        assert_eq!(
+            outcome.size,
+            outcome.kept.iter().flatten().count(),
+            "size equals matched blocks"
+        );
+    }
+
+    #[test]
+    fn feasible_layout_is_matched_completely() {
+        let topo = ClusterTopology::uniform(4, 2);
+        let layouts = vec![
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(1), NodeId(4)],
+            vec![NodeId(3), NodeId(6)],
+        ];
+        let m = max_kept_matching(&topo, &layouts, 1, None);
+        assert!(m.is_complete());
+        assert_matching_valid(&topo, &layouts, 1, None, &m);
+    }
+
+    #[test]
+    fn infeasible_layout_detected() {
+        // Section III-A's availability-violation example: three blocks whose
+        // replicas all live in the same two racks, c = 1 — at most 2 blocks
+        // can be kept on distinct racks.
+        let topo = ClusterTopology::uniform(4, 3);
+        let layouts = vec![
+            vec![NodeId(0), NodeId(3)],
+            vec![NodeId(1), NodeId(4)],
+            vec![NodeId(2), NodeId(5)],
+        ];
+        let m = max_kept_matching(&topo, &layouts, 1, None);
+        assert_eq!(m.size, 2);
+        assert!(!m.is_complete());
+        assert_matching_valid(&topo, &layouts, 1, None, &m);
+    }
+
+    #[test]
+    fn larger_c_relaxes_rack_constraint() {
+        let topo = ClusterTopology::uniform(4, 3);
+        let layouts = vec![
+            vec![NodeId(0), NodeId(3)],
+            vec![NodeId(1), NodeId(4)],
+            vec![NodeId(2), NodeId(5)],
+        ];
+        // With c = 2 the same layout becomes feasible (2 blocks in one rack,
+        // 1 in the other).
+        let m = max_kept_matching(&topo, &layouts, 2, None);
+        assert!(m.is_complete());
+        assert_matching_valid(&topo, &layouts, 2, None, &m);
+    }
+
+    #[test]
+    fn node_collision_limits_matching() {
+        // Two blocks whose only replica is the same node.
+        let topo = ClusterTopology::uniform(2, 2);
+        let layouts = vec![vec![NodeId(0)], vec![NodeId(0)]];
+        let m = max_kept_matching(&topo, &layouts, 2, None);
+        assert_eq!(m.size, 1);
+    }
+
+    #[test]
+    fn target_racks_restrict_kept_copies() {
+        // Section III-D example: (6,3), c = 3, R' = 2 target racks.
+        let topo = ClusterTopology::uniform(6, 4);
+        let targets = [RackId(0), RackId(1)];
+        // All blocks have a replica in rack 0 (core) and one in rack 2
+        // (not a target) — only the rack-0 copies can be kept.
+        let layouts = vec![
+            vec![NodeId(0), NodeId(8)],
+            vec![NodeId(1), NodeId(9)],
+            vec![NodeId(2), NodeId(10)],
+        ];
+        let m = max_kept_matching(&topo, &layouts, 3, Some(&targets));
+        assert!(m.is_complete());
+        assert_matching_valid(&topo, &layouts, 3, Some(&targets), &m);
+        for kept in m.kept.iter().flatten() {
+            assert_eq!(topo.rack_of(*kept), RackId(0));
+        }
+    }
+
+    #[test]
+    fn target_racks_can_make_layout_infeasible() {
+        let topo = ClusterTopology::uniform(3, 2);
+        let targets = [RackId(2)];
+        // No replica in rack 2 at all.
+        let layouts = vec![vec![NodeId(0), NodeId(2)]];
+        let m = max_kept_matching(&topo, &layouts, 1, Some(&targets));
+        assert_eq!(m.size, 0);
+        assert!(!m.is_complete());
+    }
+
+    #[test]
+    fn empty_stripe() {
+        let topo = ClusterTopology::uniform(2, 2);
+        let m = max_kept_matching(&topo, &[], 1, None);
+        assert_eq!(m.size, 0);
+        assert!(m.is_complete());
+    }
+
+    #[test]
+    fn paper_fig4_example() {
+        // Fig. 4: 8 nodes in 4 racks (2 per rack), 3 blocks, c = 1.
+        // Block 1 on nodes {0 (rack1), 2 (rack2)}; block 2 on {1 (rack1),
+        // 4 (rack3)}; block 3 on {3 (rack2), 5 (rack3)}. Max matching = 3.
+        let topo = ClusterTopology::uniform(4, 2);
+        let layouts = vec![
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(1), NodeId(4)],
+            vec![NodeId(3), NodeId(5)],
+        ];
+        let m = max_kept_matching(&topo, &layouts, 1, None);
+        assert!(m.is_complete());
+        assert_matching_valid(&topo, &layouts, 1, None, &m);
+        // All three kept replicas are in distinct racks.
+        let racks: std::collections::HashSet<_> =
+            m.kept.iter().flatten().map(|n| topo.rack_of(*n)).collect();
+        assert_eq!(racks.len(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the flow substrate: max-flow bounds, agreement
+//! between the Dinic and Hopcroft–Karp formulations, and validity of the
+//! stripe matching under arbitrary replica layouts.
+
+use ear_flow::{hopcroft_karp, max_kept_matching, FlowNetwork};
+use ear_types::{ClusterTopology, NodeId};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Random bipartite adjacency: left size, right size, edge density seed.
+fn bipartite_strategy() -> impl Strategy<Value = (usize, usize, Vec<Vec<usize>>)> {
+    (1usize..=10, 1usize..=10).prop_flat_map(|(l, r)| {
+        proptest::collection::vec(proptest::collection::vec(0..r, 0..=r), l).prop_map(
+            move |mut adj| {
+                for nbrs in &mut adj {
+                    nbrs.sort_unstable();
+                    nbrs.dedup();
+                }
+                (l, r, adj)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hopcroft–Karp and the flow formulation agree on matching size.
+    #[test]
+    fn matching_formulations_agree((l, r, adj) in bipartite_strategy()) {
+        let m = hopcroft_karp(l, r, &adj);
+        let hk_size = m.iter().flatten().count() as u64;
+
+        let mut net = FlowNetwork::new(l + r + 2);
+        let (s, t) = (l + r, l + r + 1);
+        for li in 0..l {
+            net.add_edge(s, li, 1);
+        }
+        for ri in 0..r {
+            net.add_edge(l + ri, t, 1);
+        }
+        for (li, nbrs) in adj.iter().enumerate() {
+            for &ri in nbrs {
+                net.add_edge(li, l + ri, 1);
+            }
+        }
+        prop_assert_eq!(hk_size, net.max_flow(s, t));
+
+        // The matching itself is valid: edges exist, right vertices unique.
+        let mut used = HashSet::new();
+        for (li, r_opt) in m.iter().enumerate() {
+            if let Some(ri) = r_opt {
+                prop_assert!(adj[li].contains(ri));
+                prop_assert!(used.insert(*ri));
+            }
+        }
+    }
+
+    /// Max flow is bounded by both the source and sink cut capacities, and
+    /// is monotone under capacity increase.
+    #[test]
+    fn max_flow_respects_cuts(
+        caps_out in proptest::collection::vec(0u64..20, 1..8),
+        caps_in in proptest::collection::vec(0u64..20, 1..8),
+        bump in 1u64..10,
+    ) {
+        // Star network: s -> mid_i -> t.
+        let n = caps_out.len().min(caps_in.len());
+        let mut net = FlowNetwork::new(n + 2);
+        let (s, t) = (n, n + 1);
+        for i in 0..n {
+            net.add_edge(s, i, caps_out[i]);
+            net.add_edge(i, t, caps_in[i]);
+        }
+        let flow = net.max_flow(s, t);
+        let expected: u64 = (0..n).map(|i| caps_out[i].min(caps_in[i])).sum();
+        prop_assert_eq!(flow, expected);
+
+        // Monotonicity: adding a parallel edge can only increase max flow.
+        let mut net2 = FlowNetwork::new(n + 2);
+        for i in 0..n {
+            net2.add_edge(s, i, caps_out[i] + bump);
+            net2.add_edge(i, t, caps_in[i]);
+        }
+        prop_assert!(net2.max_flow(s, t) >= flow);
+    }
+
+    /// For arbitrary replica layouts, the kept matching never violates the
+    /// node/rack constraints, and its size is maximal with respect to the
+    /// trivial upper bounds.
+    #[test]
+    fn kept_matching_is_always_valid(
+        racks in 2usize..8,
+        nodes_per_rack in 1usize..4,
+        c in 1usize..3,
+        layout_seed in proptest::collection::vec(
+            proptest::collection::vec(0u32..32, 1..4), 1..8),
+    ) {
+        let topo = ClusterTopology::uniform(racks, nodes_per_rack);
+        let total = topo.num_nodes() as u32;
+        let layouts: Vec<Vec<NodeId>> = layout_seed
+            .iter()
+            .map(|nodes| {
+                let mut v: Vec<NodeId> = nodes.iter().map(|&x| NodeId(x % total)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let outcome = max_kept_matching(&topo, &layouts, c, None);
+
+        // Constraint validity.
+        let mut node_used = HashSet::new();
+        let mut rack_load: HashMap<u32, usize> = HashMap::new();
+        for (i, kept) in outcome.kept.iter().enumerate() {
+            if let Some(node) = kept {
+                prop_assert!(layouts[i].contains(node));
+                prop_assert!(node_used.insert(*node));
+                *rack_load.entry(topo.rack_of(*node).0).or_insert(0) += 1;
+            }
+        }
+        for (_, load) in rack_load {
+            prop_assert!(load <= c);
+        }
+
+        // Upper bounds: cannot exceed block count, distinct replica nodes,
+        // or total rack capacity.
+        let distinct_nodes: HashSet<NodeId> =
+            layouts.iter().flatten().copied().collect();
+        prop_assert!(outcome.size <= layouts.len());
+        prop_assert!(outcome.size <= distinct_nodes.len());
+        prop_assert!(outcome.size <= racks * c);
+    }
+}

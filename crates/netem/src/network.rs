@@ -1,0 +1,198 @@
+//! The emulated CFS network: per-node and per-rack token-bucket links.
+
+use crate::bucket::TokenBucket;
+use ear_types::{Bandwidth, ClusterTopology, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Chunk size for pacing transfers: small enough that concurrent transfers
+/// interleave fairly, large enough that bookkeeping stays cheap.
+const CHUNK: u64 = 64 * 1024;
+
+/// The emulated network of a CFS: node uplinks/downlinks and rack
+/// uplinks/downlinks, mirroring the topology of Fig. 1. Threads emulate data
+/// movement by drawing tokens along their transfer's path, chunk by chunk;
+/// contention on shared links emerges naturally.
+///
+/// Cloneable (`Arc` inside) so every emulated component can hold a handle.
+#[derive(Debug, Clone)]
+pub struct EmulatedNetwork {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    topo: ClusterTopology,
+    node_up: Vec<TokenBucket>,
+    node_down: Vec<TokenBucket>,
+    rack_up: Vec<TokenBucket>,
+    rack_down: Vec<TokenBucket>,
+    cross_rack_bytes: AtomicU64,
+    intra_rack_bytes: AtomicU64,
+}
+
+impl EmulatedNetwork {
+    /// Builds the network for `topo` with the given node and rack link
+    /// bandwidths.
+    pub fn new(topo: &ClusterTopology, node_bw: Bandwidth, rack_bw: Bandwidth) -> Self {
+        let inner = Inner {
+            topo: topo.clone(),
+            node_up: (0..topo.num_nodes())
+                .map(|_| TokenBucket::new(node_bw.as_bytes_per_sec()))
+                .collect(),
+            node_down: (0..topo.num_nodes())
+                .map(|_| TokenBucket::new(node_bw.as_bytes_per_sec()))
+                .collect(),
+            rack_up: (0..topo.num_racks())
+                .map(|_| TokenBucket::new(rack_bw.as_bytes_per_sec()))
+                .collect(),
+            rack_down: (0..topo.num_racks())
+                .map(|_| TokenBucket::new(rack_bw.as_bytes_per_sec()))
+                .collect(),
+            cross_rack_bytes: AtomicU64::new(0),
+            intra_rack_bytes: AtomicU64::new(0),
+        };
+        EmulatedNetwork {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// The topology this network spans.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.inner.topo
+    }
+
+    /// Moves `bytes` from `src` to `dst`, blocking the calling thread for as
+    /// long as the transfer would occupy the network. Local transfers
+    /// (`src == dst`) return immediately.
+    pub fn transfer(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        if src == dst || bytes == 0 {
+            return;
+        }
+        let i = &self.inner;
+        let sr = i.topo.rack_of(src);
+        let dr = i.topo.rack_of(dst);
+        let cross = sr != dr;
+        if cross {
+            i.cross_rack_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            i.intra_rack_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        let mut left = bytes;
+        while left > 0 {
+            let chunk = left.min(CHUNK);
+            i.node_up[src.index()].acquire(chunk);
+            if cross {
+                i.rack_up[sr.index()].acquire(chunk);
+                i.rack_down[dr.index()].acquire(chunk);
+            }
+            i.node_down[dst.index()].acquire(chunk);
+            left -= chunk;
+        }
+    }
+
+    /// Injects load on a node's links without a destination (the Iperf UDP
+    /// background traffic of Experiment A.1): draws `bytes` from the node's
+    /// uplink and, if `cross_rack`, its rack's uplink.
+    pub fn inject_upstream(&self, src: NodeId, bytes: u64, cross_rack: bool) {
+        let i = &self.inner;
+        let sr = i.topo.rack_of(src);
+        let mut left = bytes;
+        while left > 0 {
+            let chunk = left.min(CHUNK);
+            i.node_up[src.index()].acquire(chunk);
+            if cross_rack {
+                i.rack_up[sr.index()].acquire(chunk);
+            }
+            left -= chunk;
+        }
+    }
+
+    /// Total bytes moved across racks so far.
+    pub fn cross_rack_bytes(&self) -> u64 {
+        self.inner.cross_rack_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes moved within racks so far.
+    pub fn intra_rack_bytes(&self) -> u64 {
+        self.inner.intra_rack_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_types::ByteSize;
+    use std::time::Instant;
+
+    fn bw(mb: f64) -> Bandwidth {
+        Bandwidth::bytes_per_sec(mb * 1e6)
+    }
+
+    #[test]
+    fn local_transfer_is_free() {
+        let topo = ClusterTopology::uniform(2, 2);
+        let net = EmulatedNetwork::new(&topo, bw(1.0), bw(1.0));
+        let start = Instant::now();
+        net.transfer(NodeId(0), NodeId(0), ByteSize::mib(100).as_u64());
+        assert!(start.elapsed().as_secs_f64() < 0.05);
+        assert_eq!(net.cross_rack_bytes(), 0);
+        assert_eq!(net.intra_rack_bytes(), 0);
+    }
+
+    #[test]
+    fn transfer_duration_matches_bandwidth() {
+        let topo = ClusterTopology::uniform(2, 1);
+        let net = EmulatedNetwork::new(&topo, bw(20.0), bw(20.0));
+        let start = Instant::now();
+        net.transfer(NodeId(0), NodeId(1), 4_000_000); // 0.2 s at 20 MB/s
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(
+            (0.1..0.8).contains(&elapsed),
+            "expected ~0.2 s, got {elapsed}"
+        );
+        assert_eq!(net.cross_rack_bytes(), 4_000_000);
+    }
+
+    #[test]
+    fn rack_uplink_is_a_shared_bottleneck() {
+        // Two intra-rack-sourced cross-rack transfers from different nodes
+        // share the rack uplink: together they take about twice as long as
+        // one alone.
+        let topo = ClusterTopology::uniform(2, 2);
+        let net = EmulatedNetwork::new(&topo, bw(50.0), bw(10.0));
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            let n1 = net.clone();
+            let n2 = net.clone();
+            s.spawn(move || n1.transfer(NodeId(0), NodeId(2), 1_000_000));
+            s.spawn(move || n2.transfer(NodeId(1), NodeId(3), 1_000_000));
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        // 2 MB over a shared 10 MB/s rack link: ~0.2 s.
+        assert!(
+            (0.12..0.8).contains(&elapsed),
+            "expected ~0.2 s, got {elapsed}"
+        );
+    }
+
+    #[test]
+    fn intra_rack_avoids_rack_links() {
+        let topo = ClusterTopology::uniform(1, 2);
+        // Rack links are tiny, but intra-rack transfers never touch them.
+        let net = EmulatedNetwork::new(&topo, bw(20.0), bw(0.001));
+        let start = Instant::now();
+        net.transfer(NodeId(0), NodeId(1), 2_000_000);
+        assert!(start.elapsed().as_secs_f64() < 0.8);
+        assert_eq!(net.intra_rack_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn inject_upstream_consumes_bandwidth() {
+        let topo = ClusterTopology::uniform(2, 1);
+        let net = EmulatedNetwork::new(&topo, bw(10.0), bw(10.0));
+        let start = Instant::now();
+        net.inject_upstream(NodeId(0), 1_000_000, true);
+        assert!(start.elapsed().as_secs_f64() > 0.05);
+    }
+}

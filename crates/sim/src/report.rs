@@ -1,0 +1,170 @@
+//! Measurements produced by a simulation run.
+
+/// Everything a simulation run measured; the experiment harnesses derive the
+/// paper's figures from these raw series.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Policy name ("rr" or "ear").
+    pub policy: &'static str,
+    /// Per write request: `(arrival_time, response_time)` in seconds.
+    pub write_responses: Vec<(f64, f64)>,
+    /// Completion time of each write request, seconds.
+    pub write_completions: Vec<f64>,
+    /// Completion time of each encoded stripe, seconds (sorted by
+    /// completion; Fig. 12's cumulative curve).
+    pub encode_completions: Vec<f64>,
+    /// When encoding began.
+    pub encode_start: f64,
+    /// When the last stripe finished encoding (equals `encode_start` when
+    /// nothing was encoded).
+    pub encode_end: f64,
+    /// Total bytes of data blocks encoded (`stripes × k × block_size`).
+    pub encoded_bytes: u64,
+    /// Bytes carried by each write (`block_size`).
+    pub write_bytes_each: u64,
+    /// Cross-rack block downloads performed by encoding, across all stripes.
+    pub cross_rack_downloads: usize,
+    /// Stripes whose post-encoding layout required relocation (always 0
+    /// under EAR).
+    pub stripes_with_relocation: usize,
+    /// When the simulation fully drained.
+    pub sim_end: f64,
+}
+
+impl SimReport {
+    /// Encoding throughput in MiB/s: encoded data divided by the encoding
+    /// span (the paper's metric, Experiment A.1).
+    pub fn encoding_throughput(&self) -> f64 {
+        let span = self.encode_end - self.encode_start;
+        if span <= 0.0 || self.encoded_bytes == 0 {
+            return 0.0;
+        }
+        self.encoded_bytes as f64 / (1024.0 * 1024.0) / span
+    }
+
+    /// Write throughput in MiB/s over the encoding window (write bytes
+    /// completed while encoding ran).
+    pub fn write_throughput_during_encoding(&self) -> f64 {
+        let span = self.encode_end - self.encode_start;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let bytes: u64 = self
+            .write_completions
+            .iter()
+            .filter(|&&t| t >= self.encode_start && t <= self.encode_end)
+            .count() as u64
+            * self.write_bytes_each;
+        bytes as f64 / (1024.0 * 1024.0) / span
+    }
+
+    /// Mean response time of all writes, seconds.
+    pub fn mean_write_response(&self) -> f64 {
+        if self.write_responses.is_empty() {
+            return 0.0;
+        }
+        self.write_responses.iter().map(|(_, r)| r).sum::<f64>() / self.write_responses.len() as f64
+    }
+
+    /// Mean response time of writes that arrived during the encoding window.
+    pub fn mean_write_response_during_encoding(&self) -> f64 {
+        let rs: Vec<f64> = self
+            .write_responses
+            .iter()
+            .filter(|(a, _)| *a >= self.encode_start && *a <= self.encode_end)
+            .map(|(_, r)| *r)
+            .collect();
+        if rs.is_empty() {
+            0.0
+        } else {
+            rs.iter().sum::<f64>() / rs.len() as f64
+        }
+    }
+
+    /// Mean response time of writes that arrived before encoding started.
+    pub fn mean_write_response_before_encoding(&self) -> f64 {
+        let rs: Vec<f64> = self
+            .write_responses
+            .iter()
+            .filter(|(a, _)| *a < self.encode_start)
+            .map(|(_, r)| *r)
+            .collect();
+        if rs.is_empty() {
+            0.0
+        } else {
+            rs.iter().sum::<f64>() / rs.len() as f64
+        }
+    }
+
+    /// Cumulative encoded-stripe counts at each completion instant:
+    /// `(time_since_encode_start, count)` (Fig. 12's series).
+    pub fn cumulative_encoded(&self) -> Vec<(f64, usize)> {
+        let mut times = self.encode_completions.clone();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t - self.encode_start, i + 1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        SimReport {
+            policy: "ear",
+            write_responses: vec![(0.0, 1.0), (5.0, 2.0), (15.0, 3.0)],
+            write_completions: vec![1.0, 7.0, 18.0],
+            encode_completions: vec![12.0, 16.0, 14.0],
+            encode_start: 10.0,
+            encode_end: 16.0,
+            encoded_bytes: 6 * 1024 * 1024,
+            write_bytes_each: 1024 * 1024,
+            cross_rack_downloads: 0,
+            stripes_with_relocation: 0,
+            sim_end: 18.0,
+        }
+    }
+
+    #[test]
+    fn encoding_throughput_uses_encode_span() {
+        let r = sample();
+        assert!((r.encoding_throughput() - 1.0).abs() < 1e-12); // 6 MiB / 6 s
+    }
+
+    #[test]
+    fn write_throughput_counts_only_encode_window() {
+        let r = sample();
+        // Only the completion at t=18 is outside [10, 16]; t=1 and 7 are
+        // before. None inside -> 0.
+        assert_eq!(r.write_throughput_during_encoding(), 0.0);
+        let mut r2 = r.clone();
+        r2.write_completions = vec![11.0, 12.0];
+        assert!((r2.write_throughput_during_encoding() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_means_split_by_encode_start() {
+        let r = sample();
+        assert!((r.mean_write_response() - 2.0).abs() < 1e-12);
+        assert!((r.mean_write_response_before_encoding() - 1.5).abs() < 1e-12);
+        assert!((r.mean_write_response_during_encoding() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_encoded_sorted() {
+        let r = sample();
+        assert_eq!(r.cumulative_encoded(), vec![(2.0, 1), (4.0, 2), (6.0, 3)]);
+    }
+
+    #[test]
+    fn zero_span_is_zero_throughput() {
+        let mut r = sample();
+        r.encode_end = r.encode_start;
+        assert_eq!(r.encoding_throughput(), 0.0);
+        assert_eq!(r.write_throughput_during_encoding(), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type shared by the EAR crates.
+
+use std::fmt;
+
+/// Convenient alias for `Result<T, ear_types::Error>`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while validating configurations or computing placements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Erasure-coding parameters are invalid (e.g. `k >= n` or `k == 0`).
+    InvalidErasureParams {
+        /// Total number of blocks per stripe.
+        n: usize,
+        /// Number of data blocks per stripe.
+        k: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A replication configuration is invalid (e.g. zero replicas).
+    InvalidReplication {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The topology cannot host the requested placement
+    /// (e.g. `R < ceil(n / c)` so a stripe cannot fit, or not enough nodes).
+    TopologyTooSmall {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The placement algorithm exhausted its retry budget without finding a
+    /// layout whose flow graph admits a maximum matching.
+    PlacementExhausted {
+        /// Index of the data block (0-based) whose layout could not be fixed.
+        block_index: usize,
+        /// Number of layouts tried.
+        attempts: usize,
+    },
+    /// Erasure decode was asked to reconstruct from fewer than `k` shards.
+    NotEnoughShards {
+        /// Shards available.
+        available: usize,
+        /// Shards required (`k`).
+        required: usize,
+    },
+    /// Shards passed to encode/decode have inconsistent lengths.
+    ShardLengthMismatch,
+    /// A generic invariant violation with context.
+    Invariant(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidErasureParams { n, k, reason } => {
+                write!(f, "invalid erasure parameters (n={n}, k={k}): {reason}")
+            }
+            Error::InvalidReplication { reason } => {
+                write!(f, "invalid replication configuration: {reason}")
+            }
+            Error::TopologyTooSmall { reason } => {
+                write!(f, "topology cannot host the placement: {reason}")
+            }
+            Error::PlacementExhausted {
+                block_index,
+                attempts,
+            } => write!(
+                f,
+                "no feasible replica layout for data block {block_index} after {attempts} attempts"
+            ),
+            Error::NotEnoughShards {
+                available,
+                required,
+            } => write!(
+                f,
+                "cannot reconstruct stripe: {available} shards available, {required} required"
+            ),
+            Error::ShardLengthMismatch => write!(f, "shards have inconsistent lengths"),
+            Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            Error::InvalidErasureParams {
+                n: 4,
+                k: 6,
+                reason: "k must be less than n",
+            },
+            Error::InvalidReplication {
+                reason: "at least one replica required",
+            },
+            Error::TopologyTooSmall {
+                reason: "need 14 racks".into(),
+            },
+            Error::PlacementExhausted {
+                block_index: 3,
+                attempts: 100,
+            },
+            Error::NotEnoughShards {
+                available: 2,
+                required: 4,
+            },
+            Error::ShardLengthMismatch,
+            Error::Invariant("x".into()),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Strongly-typed identifiers for cluster entities.
+//!
+//! Newtypes keep node, rack, block, and stripe indices from being confused
+//! with one another (C-NEWTYPE): a [`NodeId`] cannot be passed where a
+//! [`RackId`] is expected.
+
+use std::fmt;
+
+/// Identifier of a storage node (a DataNode in HDFS terms).
+///
+/// Node ids are dense indices `0..num_nodes` assigned by a
+/// [`ClusterTopology`](crate::ClusterTopology).
+///
+/// ```
+/// use ear_types::NodeId;
+/// let n = NodeId(7);
+/// assert_eq!(n.index(), 7);
+/// assert_eq!(n.to_string(), "node7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a rack: a group of nodes behind one top-of-rack switch.
+///
+/// Rack ids are dense indices `0..num_racks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RackId(pub u32);
+
+/// Identifier of a fixed-size data block (the CFS read/write unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockId(pub u64);
+
+/// Identifier of an erasure-coded stripe of `n` blocks (`k` data + `n-k`
+/// parity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StripeId(pub u64);
+
+impl NodeId {
+    /// The raw index as `usize`, for indexing into per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RackId {
+    /// The raw index as `usize`, for indexing into per-rack vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// The raw index as `usize`, for indexing into per-block vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StripeId {
+    /// The raw index as `usize`, for indexing into per-stripe vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for RackId {
+    fn from(v: u32) -> Self {
+        RackId(v)
+    }
+}
+
+impl From<u64> for BlockId {
+    fn from(v: u64) -> Self {
+        BlockId(v)
+    }
+}
+
+impl From<u64> for StripeId {
+    fn from(v: u64) -> Self {
+        StripeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rack{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block{}", self.0)
+    }
+}
+
+impl fmt::Display for StripeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stripe{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(RackId(4).to_string(), "rack4");
+        assert_eq!(BlockId(5).to_string(), "block5");
+        assert_eq!(StripeId(6).to_string(), "stripe6");
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        assert_eq!(NodeId::from(9u32).index(), 9);
+        assert_eq!(RackId::from(9u32).index(), 9);
+        assert_eq!(BlockId::from(9u64).index(), 9);
+        assert_eq!(StripeId::from(9u64).index(), 9);
+    }
+}

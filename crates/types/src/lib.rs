@@ -1,0 +1,41 @@
+//! Core identifiers, topology, and configuration types shared by every crate
+//! in the EAR (encoding-aware replication) reproduction.
+//!
+//! This crate is intentionally dependency-free: it defines the vocabulary of
+//! the system — [`NodeId`], [`RackId`], [`BlockId`], [`StripeId`], the
+//! [`ClusterTopology`], the erasure-coding parameters [`ErasureParams`], the
+//! replication policy knobs [`ReplicationConfig`], and the EAR-specific
+//! configuration [`EarConfig`] — so that the placement algorithms, the
+//! discrete-event simulator, and the testbed emulator all speak the same
+//! language.
+//!
+//! # Example
+//!
+//! ```
+//! use ear_types::{ClusterTopology, ErasureParams, RackId};
+//!
+//! // A cluster of 5 racks with 6 nodes each, as in the paper's motivating
+//! // example (Section II-B).
+//! let topo = ClusterTopology::uniform(5, 6);
+//! assert_eq!(topo.num_nodes(), 30);
+//! assert_eq!(topo.nodes_in_rack(RackId(2)).len(), 6);
+//!
+//! // (5,4) erasure coding: 4 data blocks + 1 parity block per stripe.
+//! let params = ErasureParams::new(5, 4).unwrap();
+//! assert_eq!(params.parity(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ids;
+mod params;
+mod topology;
+mod units;
+
+pub use error::{Error, Result};
+pub use ids::{BlockId, NodeId, RackId, StripeId};
+pub use params::{EarConfig, ErasureParams, RackSpread, ReplicationConfig};
+pub use topology::ClusterTopology;
+pub use units::{Bandwidth, ByteSize};

@@ -1,0 +1,390 @@
+//! Configuration parameters: erasure coding, replication, and EAR knobs.
+
+use crate::{Error, Result};
+
+/// Parameters of an `(n, k)` systematic erasure code (Section II-A).
+///
+/// A stripe holds `k` data blocks and `n - k` parity blocks; any `k` of the
+/// `n` blocks reconstruct the originals.
+///
+/// ```
+/// use ear_types::ErasureParams;
+/// let p = ErasureParams::new(14, 10).unwrap(); // Facebook's choice
+/// assert_eq!(p.parity(), 4);
+/// assert!(ErasureParams::new(4, 6).is_err()); // k must be < n
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ErasureParams {
+    n: usize,
+    k: usize,
+}
+
+impl ErasureParams {
+    /// Creates `(n, k)` parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidErasureParams`] if `k == 0`, `k >= n`, or
+    /// `n > 255` (the GF(2⁸) Reed–Solomon limit used by this project).
+    pub fn new(n: usize, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidErasureParams {
+                n,
+                k,
+                reason: "k must be positive",
+            });
+        }
+        if k >= n {
+            return Err(Error::InvalidErasureParams {
+                n,
+                k,
+                reason: "k must be less than n",
+            });
+        }
+        if n > 255 {
+            return Err(Error::InvalidErasureParams {
+                n,
+                k,
+                reason: "n must be at most 255 for GF(256) Reed-Solomon",
+            });
+        }
+        Ok(ErasureParams { n, k })
+    }
+
+    /// Total blocks per stripe (`n`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data blocks per stripe (`k`).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity blocks per stripe (`n - k`).
+    #[inline]
+    pub fn parity(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Storage overhead factor `n / k` (e.g. 1.4 for `(14, 10)`).
+    pub fn overhead(&self) -> f64 {
+        self.n as f64 / self.k as f64
+    }
+}
+
+/// How replicas of a block are spread across racks during replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RackSpread {
+    /// HDFS default (Section II-A): the first replica goes to one rack, all
+    /// remaining replicas go to distinct nodes in a single *different* rack.
+    /// With 3-way replication this tolerates a two-node or single-rack
+    /// failure.
+    #[default]
+    TwoRacks,
+    /// Each replica is placed in a distinct rack (used in Experiment B.2,
+    /// Fig. 13(f), when varying the number of replicas).
+    DistinctRacks,
+}
+
+/// Replication policy knobs: replica count and rack spread.
+///
+/// ```
+/// use ear_types::ReplicationConfig;
+/// let c = ReplicationConfig::hdfs_default(); // 3 replicas over 2 racks
+/// assert_eq!(c.replicas(), 3);
+/// assert_eq!(c.racks_spanned(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicationConfig {
+    replicas: usize,
+    spread: RackSpread,
+}
+
+impl ReplicationConfig {
+    /// Creates a replication configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidReplication`] if `replicas == 0`, or if
+    /// `spread` is [`RackSpread::TwoRacks`] with fewer than 2 replicas
+    /// (a single replica cannot span two racks).
+    pub fn new(replicas: usize, spread: RackSpread) -> Result<Self> {
+        if replicas == 0 {
+            return Err(Error::InvalidReplication {
+                reason: "at least one replica required",
+            });
+        }
+        if replicas == 1 && spread == RackSpread::TwoRacks {
+            return Err(Error::InvalidReplication {
+                reason: "two-rack spread requires at least two replicas",
+            });
+        }
+        Ok(ReplicationConfig { replicas, spread })
+    }
+
+    /// HDFS's default: 3-way replication over two racks.
+    pub fn hdfs_default() -> Self {
+        ReplicationConfig {
+            replicas: 3,
+            spread: RackSpread::TwoRacks,
+        }
+    }
+
+    /// The testbed configuration of Section V-A: 2-way replication, one
+    /// replica per rack.
+    pub fn two_way() -> Self {
+        ReplicationConfig {
+            replicas: 2,
+            spread: RackSpread::TwoRacks,
+        }
+    }
+
+    /// Number of replicas per block (`r`).
+    #[inline]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Rack-spread policy.
+    #[inline]
+    pub fn spread(&self) -> RackSpread {
+        self.spread
+    }
+
+    /// How many distinct racks the replicas of one block occupy.
+    pub fn racks_spanned(&self) -> usize {
+        match self.spread {
+            RackSpread::TwoRacks => 2.min(self.replicas),
+            RackSpread::DistinctRacks => self.replicas,
+        }
+    }
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self::hdfs_default()
+    }
+}
+
+/// Full EAR configuration (Section III).
+///
+/// * `erasure` — the `(n, k)` code applied at encoding time.
+/// * `replication` — how blocks are replicated before encoding.
+/// * `c` — the maximum number of blocks of one stripe allowed in a single
+///   rack after encoding; the stripe then tolerates `floor((n-k)/c)` rack
+///   failures (Section III-B).
+/// * `target_racks` — optional `R' < R`: restrict all blocks of every stripe
+///   to `R'` randomly chosen racks to cut cross-rack recovery traffic
+///   (Section III-D). Requires `R' >= ceil(n / c)`.
+/// * `max_retries_per_block` — retry budget for regenerating a block's
+///   replica layout when the flow-graph check fails (Algorithm, Fig. 5);
+///   Theorem 1 shows the expected number of retries is small.
+///
+/// ```
+/// use ear_types::{EarConfig, ErasureParams, ReplicationConfig};
+/// let cfg = EarConfig::new(
+///     ErasureParams::new(14, 10).unwrap(),
+///     ReplicationConfig::hdfs_default(),
+///     1,
+/// ).unwrap();
+/// assert_eq!(cfg.tolerable_rack_failures(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarConfig {
+    erasure: ErasureParams,
+    replication: ReplicationConfig,
+    c: usize,
+    target_racks: Option<usize>,
+    max_retries_per_block: usize,
+}
+
+impl EarConfig {
+    /// Default retry budget; far above Theorem 1's expectation so that
+    /// failures indicate a genuinely infeasible topology.
+    pub const DEFAULT_MAX_RETRIES: usize = 10_000;
+
+    /// Creates an EAR configuration with `c` blocks of a stripe allowed per
+    /// rack.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `c == 0` or `c >= n` (the stripe would fit in one
+    /// rack, providing no rack-level fault tolerance at all).
+    pub fn new(erasure: ErasureParams, replication: ReplicationConfig, c: usize) -> Result<Self> {
+        if c == 0 {
+            return Err(Error::InvalidReplication {
+                reason: "c (max stripe blocks per rack) must be positive",
+            });
+        }
+        if c >= erasure.n() {
+            return Err(Error::InvalidReplication {
+                reason: "c must be less than n, otherwise a whole stripe fits in one rack",
+            });
+        }
+        Ok(EarConfig {
+            erasure,
+            replication,
+            c,
+            target_racks: None,
+            max_retries_per_block: Self::DEFAULT_MAX_RETRIES,
+        })
+    }
+
+    /// The paper's strictest setting: `c = 1`, tolerating `n - k` rack
+    /// failures as in Facebook's f4 (Section III-B).
+    pub fn max_rack_tolerance(erasure: ErasureParams, replication: ReplicationConfig) -> Self {
+        EarConfig {
+            erasure,
+            replication,
+            c: 1,
+            target_racks: None,
+            max_retries_per_block: Self::DEFAULT_MAX_RETRIES,
+        }
+    }
+
+    /// Restricts all stripe blocks to `r_prime` target racks (Section III-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TopologyTooSmall`] if `r_prime * c < n`, because a
+    /// stripe of `n` blocks could not fit in the target racks.
+    pub fn with_target_racks(mut self, r_prime: usize) -> Result<Self> {
+        if r_prime * self.c < self.erasure.n() {
+            return Err(Error::TopologyTooSmall {
+                reason: format!(
+                    "need R' * c >= n but {} * {} < {}",
+                    r_prime,
+                    self.c,
+                    self.erasure.n()
+                ),
+            });
+        }
+        self.target_racks = Some(r_prime);
+        Ok(self)
+    }
+
+    /// Overrides the per-block retry budget.
+    pub fn with_max_retries(mut self, retries: usize) -> Self {
+        self.max_retries_per_block = retries.max(1);
+        self
+    }
+
+    /// The erasure-coding parameters.
+    #[inline]
+    pub fn erasure(&self) -> ErasureParams {
+        self.erasure
+    }
+
+    /// The replication configuration used before encoding.
+    #[inline]
+    pub fn replication(&self) -> ReplicationConfig {
+        self.replication
+    }
+
+    /// Maximum blocks of one stripe per rack after encoding.
+    #[inline]
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Optional number of target racks `R'`.
+    #[inline]
+    pub fn target_racks(&self) -> Option<usize> {
+        self.target_racks
+    }
+
+    /// Per-block layout retry budget.
+    #[inline]
+    pub fn max_retries_per_block(&self) -> usize {
+        self.max_retries_per_block
+    }
+
+    /// Number of rack failures the encoded stripe tolerates:
+    /// `floor((n - k) / c)`.
+    pub fn tolerable_rack_failures(&self) -> usize {
+        self.erasure.parity() / self.c
+    }
+
+    /// Minimum number of racks required to host one stripe: `ceil(n / c)`.
+    pub fn min_racks_for_stripe(&self) -> usize {
+        self.erasure.n().div_ceil(self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erasure_params_validation() {
+        assert!(ErasureParams::new(5, 4).is_ok());
+        assert!(ErasureParams::new(5, 5).is_err());
+        assert!(ErasureParams::new(5, 0).is_err());
+        assert!(ErasureParams::new(256, 100).is_err());
+    }
+
+    #[test]
+    fn erasure_params_accessors() {
+        let p = ErasureParams::new(12, 10).unwrap();
+        assert_eq!(p.n(), 12);
+        assert_eq!(p.k(), 10);
+        assert_eq!(p.parity(), 2);
+        assert!((p.overhead() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_config_validation() {
+        assert!(ReplicationConfig::new(3, RackSpread::TwoRacks).is_ok());
+        assert!(ReplicationConfig::new(0, RackSpread::TwoRacks).is_err());
+        assert!(ReplicationConfig::new(1, RackSpread::TwoRacks).is_err());
+        assert!(ReplicationConfig::new(1, RackSpread::DistinctRacks).is_ok());
+    }
+
+    #[test]
+    fn racks_spanned() {
+        assert_eq!(ReplicationConfig::hdfs_default().racks_spanned(), 2);
+        assert_eq!(
+            ReplicationConfig::new(5, RackSpread::DistinctRacks)
+                .unwrap()
+                .racks_spanned(),
+            5
+        );
+        assert_eq!(ReplicationConfig::two_way().racks_spanned(), 2);
+    }
+
+    #[test]
+    fn ear_config_rack_tolerance() {
+        let p = ErasureParams::new(14, 10).unwrap();
+        let r = ReplicationConfig::hdfs_default();
+        let cfg = EarConfig::new(p, r, 1).unwrap();
+        assert_eq!(cfg.tolerable_rack_failures(), 4);
+        assert_eq!(cfg.min_racks_for_stripe(), 14);
+
+        let cfg2 = EarConfig::new(p, r, 2).unwrap();
+        assert_eq!(cfg2.tolerable_rack_failures(), 2);
+        assert_eq!(cfg2.min_racks_for_stripe(), 7);
+    }
+
+    #[test]
+    fn ear_config_validation() {
+        let p = ErasureParams::new(6, 3).unwrap();
+        let r = ReplicationConfig::hdfs_default();
+        assert!(EarConfig::new(p, r, 0).is_err());
+        assert!(EarConfig::new(p, r, 6).is_err());
+        // Section III-D example: (6,3), c = 3, R' = 2 target racks.
+        let cfg = EarConfig::new(p, r, 3)
+            .unwrap()
+            .with_target_racks(2)
+            .unwrap();
+        assert_eq!(cfg.target_racks(), Some(2));
+        assert_eq!(cfg.tolerable_rack_failures(), 1);
+        // R' * c < n is rejected.
+        assert!(EarConfig::new(p, r, 2)
+            .unwrap()
+            .with_target_racks(2)
+            .is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! The full write → encode pipeline on the in-process mini-CFS (the
+//! HDFS-testbed stand-in): write replicated blocks under RR and EAR, run the
+//! RaidNode's encoding job, and compare encoding throughput, cross-rack
+//! traffic, and relocation counts — Experiment A.1 in miniature.
+//!
+//! Run with `cargo run --release --example encoding_pipeline`.
+
+use ear::cluster::{ClusterConfig, ClusterPolicy, MiniCfs, RaidNode};
+use ear::types::{Bandwidth, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig};
+
+fn run_policy(policy: ClusterPolicy) -> Result<(), Box<dyn std::error::Error>> {
+    let params = ErasureParams::new(10, 8)?;
+    let ear = EarConfig::new(params, ReplicationConfig::two_way(), 1)?;
+    let mut cfg = ClusterConfig::testbed(policy, ear);
+    cfg.block_size = ByteSize::mib(1);
+    cfg.node_bandwidth = Bandwidth::bytes_per_sec(32e6);
+    cfg.rack_bandwidth = Bandwidth::bytes_per_sec(32e6);
+    let cfs = MiniCfs::new(cfg)?;
+
+    // Write until 12 stripes are sealed for encoding.
+    let nodes = cfs.topology().num_nodes() as u64;
+    let mut i = 0u64;
+    while cfs.namenode().pending_stripe_count() < 12 {
+        let data = cfs.make_block(i);
+        cfs.write_block(NodeId((i % nodes) as u32), data)?;
+        i += 1;
+    }
+    let cross_before = cfs.network().cross_rack_bytes();
+
+    // Encode everything with 12 parallel map tasks.
+    let (stats, relocations) = RaidNode::encode_all(&cfs, 12)?;
+    let cross_encode = cfs.network().cross_rack_bytes() - cross_before;
+
+    println!(
+        "{:>4}: {:5.1} MiB/s encoding throughput | {:3} cross-rack downloads | \
+         {:2} stripes need relocation | {:5.1} MiB cross-rack encode traffic",
+        match policy {
+            ClusterPolicy::Rr => "RR",
+            ClusterPolicy::Ear => "EAR",
+        },
+        stats.throughput_mibps(),
+        stats.cross_rack_downloads,
+        stats.stripes_with_relocation,
+        cross_encode as f64 / (1024.0 * 1024.0),
+    );
+
+    // Repair any violations with the BlockMover (RR only).
+    if !relocations.is_empty() {
+        let moved = RaidNode::relocate(&cfs, &relocations)?;
+        println!("      BlockMover relocated {moved} blocks to restore rack fault tolerance");
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Encoding 12 stripes of (10,8) on a 12-rack mini-CFS (1 MiB blocks, 32 MB/s links)\n");
+    run_policy(ClusterPolicy::Rr)?;
+    run_policy(ClusterPolicy::Ear)?;
+    println!("\nEAR encodes entirely within core racks: zero cross-rack downloads,");
+    println!("no relocation, and a large throughput gain (paper Fig. 8).");
+    Ok(())
+}

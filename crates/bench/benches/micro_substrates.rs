@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ear_core::{EarStripeBuilder, RandomReplication};
 use ear_des::{drain_engine, FairShareEngine, FifoEngine, NetworkEngine, SimTime};
-use ear_erasure::{Construction, ReedSolomon};
+use ear_erasure::{gf256, Construction, Kernel, ReedSolomon};
 use ear_flow::{hopcroft_karp, max_kept_matching, FlowNetwork};
 use ear_types::{
     Bandwidth, ByteSize, ClusterTopology, EarConfig, ErasureParams, NodeId, RackId,
@@ -17,6 +17,55 @@ use ear_types::{
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// GF(2⁸) kernel tiers: per-tier `mul_acc` and fused `mul_acc_many`
+/// throughput in bytes/sec, plus the pre-kernel code shape (k independent
+/// full-length scalar passes) as the `legacy_scalar_unfused` baseline. This
+/// is the group the perf trajectory tracks for the SIMD speedup.
+fn bench_gf_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_kernels");
+    let len = 64 * 1024;
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let src: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+    let mut dst: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+
+    group.throughput(Throughput::Bytes(len as u64));
+    for kernel in Kernel::available() {
+        group.bench_function(BenchmarkId::new("mul_acc_64k", kernel.name()), |b| {
+            b.iter(|| kernel.mul_acc(&mut dst, &src, 0x9D))
+        });
+    }
+
+    // One Reed–Solomon output row: k = 10 sources fused into one pass.
+    let k = 10usize;
+    let sources: Vec<Vec<u8>> = (0..k)
+        .map(|_| (0..len).map(|_| rng.gen()).collect())
+        .collect();
+    let coefs: Vec<u8> = (0..k).map(|i| (i * 37 + 3) as u8).collect();
+    let pairs: Vec<(&[u8], u8)> = sources
+        .iter()
+        .map(|v| v.as_slice())
+        .zip(coefs.iter().copied())
+        .collect();
+    group.throughput(Throughput::Bytes((len * k) as u64));
+    group.bench_function(
+        BenchmarkId::new("mul_acc_many_64k_x10", "legacy_scalar_unfused"),
+        |b| {
+            b.iter(|| {
+                for (s, &coef) in sources.iter().zip(&coefs) {
+                    gf256::mul_acc(&mut dst, s, coef);
+                }
+            })
+        },
+    );
+    for kernel in Kernel::available() {
+        group.bench_function(
+            BenchmarkId::new("mul_acc_many_64k_x10", kernel.name()),
+            |b| b.iter(|| kernel.mul_acc_many(&mut dst, &pairs)),
+        );
+    }
+    group.finish();
+}
 
 fn bench_reed_solomon(c: &mut Criterion) {
     let mut group = c.benchmark_group("reed_solomon");
@@ -175,6 +224,7 @@ fn bench_network_engines(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_gf_kernels,
     bench_reed_solomon,
     bench_matching,
     bench_placement,

@@ -90,8 +90,10 @@ fn encode_throughput(
 /// Figure 8(a): throughput vs `(n, k)`.
 pub fn run_a(scale: Scale) -> String {
     let stripes = scale.pick(12, 96);
-    let mut out =
-        format!("Figure 8(a): raw encoding throughput vs (n,k) — {stripes} stripes, 12 racks\n\n");
+    let kernel = ear_erasure::Kernel::active().name();
+    let mut out = format!(
+        "Figure 8(a): raw encoding throughput vs (n,k) — {stripes} stripes, 12 racks, gf kernel {kernel}\n\n"
+    );
     let mut t = Table::new(&[
         "(n,k)",
         "RR MiB/s",
@@ -125,8 +127,9 @@ pub fn run_b(scale: Scale) -> String {
         vec![0.0, 400.0, 800.0],
         vec![0.0, 200.0, 400.0, 600.0, 800.0],
     );
+    let kernel = ear_erasure::Kernel::active().name();
     let mut out = format!(
-        "Figure 8(b): encoding throughput vs UDP background rate — (10,8), {stripes} stripes\n\n"
+        "Figure 8(b): encoding throughput vs UDP background rate — (10,8), {stripes} stripes, gf kernel {kernel}\n\n"
     );
     let mut t = Table::new(&["rate Mb/s", "RR MiB/s", "EAR MiB/s", "gain"]);
     for rate in rates {

@@ -24,6 +24,9 @@ pub struct EncodeStats {
     pub stripes_with_relocation: usize,
     /// Per-stripe completion offsets from job start, seconds (Fig. 12).
     pub completion_times: Vec<f64>,
+    /// Name of the GF(2⁸) kernel tier the codec dispatched to (`scalar`,
+    /// `swar`, `ssse3`, `avx2`); empty until a job has run.
+    pub gf_kernel: &'static str,
 }
 
 impl EncodeStats {
@@ -110,9 +113,10 @@ impl RaidNode {
             .map_err(|_| Error::Invariant("stats still shared".into()))?
             .into_inner();
         stats.wall_seconds = start.elapsed().as_secs_f64();
-        stats
-            .completion_times
-            .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        stats.gf_kernel = cfs.codec().kernel().name();
+        // total_cmp: a NaN duration (however unlikely) must never panic an
+        // encode job; it sorts deterministically instead.
+        stats.completion_times.sort_by(f64::total_cmp);
         let relocations = Arc::try_unwrap(relocations)
             .map_err(|_| Error::Invariant("relocations still shared".into()))?
             .into_inner();
@@ -281,6 +285,10 @@ mod tests {
         write_stripes(&cfs, 8); // RR seals every k = 4 writes: 2 stripes
         let (stats, _) = RaidNode::encode_all(&cfs, 2).unwrap();
         assert_eq!(stats.stripes, 2);
+        assert!(
+            !stats.gf_kernel.is_empty(),
+            "encode stats must report the GF kernel tier"
+        );
         // Each data block now has exactly one replica.
         for b in 0..8u64 {
             assert_eq!(cfs.namenode().locations(BlockId(b)).unwrap().len(), 1);

@@ -30,6 +30,9 @@ pub struct RecoveryStats {
     pub cross_rack_uploads: usize,
     /// Wall-clock duration, seconds.
     pub wall_seconds: f64,
+    /// Name of the GF(2⁸) kernel tier the codec dispatched to for degraded
+    /// reads (`scalar`, `swar`, `ssse3`, `avx2`).
+    pub gf_kernel: &'static str,
 }
 
 /// Rebuilds every encoded-stripe block lost with `failed` and re-registers
@@ -44,7 +47,10 @@ pub struct RecoveryStats {
 /// than `n - k` blocks, or [`Error::Invariant`] on metadata inconsistencies.
 pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
     let start = std::time::Instant::now();
-    let mut stats = RecoveryStats::default();
+    let mut stats = RecoveryStats {
+        gf_kernel: cfs.codec().kernel().name(),
+        ..RecoveryStats::default()
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(failed.0 as u64 ^ 0x5EC0);
     let topo = cfs.topology();
     let k = cfs.codec().params().k();
@@ -288,6 +294,10 @@ mod tests {
         assert!(!lost.is_empty());
         let stats = recover_node(&cfs, victim).unwrap();
         assert!(stats.blocks_recovered >= lost.len());
+        assert!(
+            !stats.gf_kernel.is_empty(),
+            "recovery stats must report the GF kernel tier"
+        );
         for b in lost {
             let loc = cfs.namenode().locations(b).unwrap()[0];
             assert_ne!(loc, victim);

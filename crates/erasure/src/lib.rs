@@ -22,12 +22,17 @@
 //! # Ok::<(), ear_types::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD kernels in `kernels::x86` carry a
+// scoped `#[allow(unsafe_code)]` for `target_feature` intrinsics; everything
+// else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gf256;
+pub mod kernels;
 mod matrix;
 mod rs;
 
+pub use kernels::{Kernel, KernelTier};
 pub use matrix::Matrix;
 pub use rs::{Construction, ReedSolomon};

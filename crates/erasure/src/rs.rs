@@ -4,7 +4,7 @@
 //! that any `k` of the `n` shards reconstruct the originals — the erasure
 //! model of Section II-A of the paper.
 
-use crate::gf256;
+use crate::kernels::Kernel;
 use crate::matrix::Matrix;
 use ear_types::{ErasureParams, Error, Result};
 
@@ -46,16 +46,28 @@ pub struct ReedSolomon {
     params: ErasureParams,
     /// The full `n × k` generator; rows `0..k` form the identity.
     generator: Matrix,
+    /// The GF(2⁸) bulk kernel driving every encode/decode/repair hot loop.
+    kernel: Kernel,
 }
 
 impl ReedSolomon {
-    /// Creates a codec with the default [`Construction::Vandermonde`].
+    /// Creates a codec with the default [`Construction::Vandermonde`] and
+    /// the process-wide [`Kernel::active`] GF(2⁸) kernel (best supported
+    /// tier, honoring the `EAR_GF_KERNEL` override).
     pub fn new(params: ErasureParams) -> Self {
         Self::with_construction(params, Construction::default())
     }
 
-    /// Creates a codec with an explicit generator construction.
+    /// Creates a codec with an explicit generator construction and the
+    /// process-wide kernel.
     pub fn with_construction(params: ErasureParams, construction: Construction) -> Self {
+        Self::with_kernel(params, construction, Kernel::active())
+    }
+
+    /// Creates a codec pinned to a specific GF(2⁸) kernel — used by tests
+    /// and benchmarks that compare tiers; production code should prefer the
+    /// auto-selected [`ReedSolomon::new`].
+    pub fn with_kernel(params: ErasureParams, construction: Construction, kernel: Kernel) -> Self {
         let n = params.n();
         let k = params.k();
         let generator = match construction {
@@ -86,13 +98,23 @@ impl ReedSolomon {
             Matrix::identity(k),
             "generator must be systematic"
         );
-        ReedSolomon { params, generator }
+        ReedSolomon {
+            params,
+            generator,
+            kernel,
+        }
     }
 
     /// The `(n, k)` parameters of this codec.
     #[inline]
     pub fn params(&self) -> ErasureParams {
         self.params
+    }
+
+    /// The GF(2⁸) kernel this codec dispatches to.
+    #[inline]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// The parity rows of the generator (an `(n-k) × k` matrix).
@@ -122,10 +144,14 @@ impl ReedSolomon {
         let m = self.params.parity();
         let mut parity = vec![vec![0u8; len]; m];
         for (row, out) in parity.iter_mut().enumerate() {
-            for (j, shard) in data.iter().enumerate() {
-                let coef = self.generator.get(k + row, j);
-                gf256::mul_acc(out, shard.as_ref(), coef);
-            }
+            // One fused pass per output row: all k sources are accumulated
+            // block by block so the destination tile stays in L1.
+            let srcs: Vec<(&[u8], u8)> = data
+                .iter()
+                .enumerate()
+                .map(|(j, shard)| (shard.as_ref(), self.generator.get(k + row, j)))
+                .collect();
+            self.kernel.mul_acc_many(out, &srcs);
         }
         Ok(parity)
     }
@@ -200,11 +226,15 @@ impl ReedSolomon {
         let mut data: Vec<Vec<u8>> = Vec::with_capacity(k);
         for i in 0..k {
             let mut out = vec![0u8; len];
-            for (j, &src_row) in rows.iter().enumerate() {
-                let coef = dec.get(i, j);
-                let src = shards[src_row].as_ref().expect("present");
-                gf256::mul_acc(&mut out, src, coef);
-            }
+            let srcs: Vec<(&[u8], u8)> = rows
+                .iter()
+                .enumerate()
+                .map(|(j, &src_row)| {
+                    let src: &[u8] = shards[src_row].as_ref().expect("present");
+                    (src, dec.get(i, j))
+                })
+                .collect();
+            self.kernel.mul_acc_many(&mut out, &srcs);
             data.push(out);
         }
 
@@ -220,10 +250,12 @@ impl ReedSolomon {
             for &p in &need_parity {
                 let row = p; // generator row index
                 let mut out = vec![0u8; len];
-                for (j, d) in data.iter().enumerate() {
-                    let coef = self.generator.get(row, j);
-                    gf256::mul_acc(&mut out, d, coef);
-                }
+                let srcs: Vec<(&[u8], u8)> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(j, d)| (d.as_slice(), self.generator.get(row, j)))
+                    .collect();
+                self.kernel.mul_acc_many(&mut out, &srcs);
                 shards[p] = Some(out);
             }
         }
@@ -296,7 +328,7 @@ impl ReedSolomon {
         let delta: Vec<u8> = old.iter().zip(new).map(|(a, b)| a ^ b).collect();
         for (row, p) in parity.iter_mut().enumerate() {
             let coef = self.generator.get(k + row, index);
-            gf256::mul_acc(p, &delta, coef);
+            self.kernel.mul_acc(p, &delta, coef);
         }
         Ok(())
     }
@@ -314,6 +346,31 @@ mod tests {
                     .collect()
             })
             .collect()
+    }
+
+    #[test]
+    fn encode_and_reconstruct_bit_identical_across_kernel_tiers() {
+        use crate::kernels::{Kernel, KernelTier};
+        let params = ErasureParams::new(10, 8).unwrap();
+        // Long enough to cross mul_acc_many's blocking tile, odd so every
+        // vector tier exercises its scalar tail.
+        let data = sample_data(8, 40 * 1024 + 7);
+        let scalar = Kernel::select(KernelTier::Scalar).expect("scalar always available");
+        let reference = ReedSolomon::with_kernel(params, Construction::default(), scalar)
+            .encode(&data)
+            .unwrap();
+        for kernel in Kernel::available() {
+            let rs = ReedSolomon::with_kernel(params, Construction::default(), kernel);
+            let parity = rs.encode(&data).unwrap();
+            assert_eq!(parity, reference, "{} parity differs", kernel.name());
+            let mut shards: Vec<Option<Vec<u8>>> =
+                data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+            shards[0] = None;
+            shards[9] = None;
+            rs.reconstruct(&mut shards).unwrap();
+            assert_eq!(shards[0].as_ref().unwrap(), &data[0], "{}", kernel.name());
+            assert_eq!(shards[9].as_ref().unwrap(), &reference[1], "{}", kernel.name());
+        }
     }
 
     #[test]

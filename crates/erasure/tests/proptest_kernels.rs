@@ -1,0 +1,115 @@
+//! Property tests: every GF(2⁸) kernel tier available on this machine must
+//! be byte-identical to the reference scalar implementation for random
+//! buffers, coefficients, lengths, and alignments — including length 0/1
+//! edge cases and unaligned heads/tails.
+
+use ear_erasure::{gf256, Kernel};
+use proptest::prelude::*;
+
+/// Random buffer lengths biased toward vector-width boundaries.
+fn len_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        1usize..=64,
+        prop_oneof![Just(7usize), Just(8), Just(15), Just(16), Just(31), Just(32), Just(33)],
+        65usize..=4096,
+        // Past the mul_acc_many L1 blocking tile.
+        (16 * 1024 - 2)..=(16 * 1024 + 34),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `mul_acc` agrees with the scalar reference on every available tier.
+    #[test]
+    fn mul_acc_equivalent_across_tiers(
+        len in len_strategy(),
+        coef in any::<u8>(),
+        seed in any::<u64>(),
+        head in 0usize..=33,
+    ) {
+        let mut bytes = vec![0u8; len + head];
+        let mut s = seed;
+        for b in bytes.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (s >> 33) as u8;
+        }
+        // Unaligned head: slice `head` bytes into the allocation.
+        let src = &bytes[head..];
+        let mut reference = vec![0x5Au8; src.len()];
+        gf256::mul_acc(&mut reference, src, coef);
+        for kernel in Kernel::available() {
+            let mut out = vec![0x5Au8; src.len()];
+            kernel.mul_acc(&mut out, src, coef);
+            prop_assert_eq!(&out, &reference, "tier {}", kernel.name());
+        }
+    }
+
+    /// `mul_slice` agrees with the scalar reference on every available tier.
+    #[test]
+    fn mul_slice_equivalent_across_tiers(
+        len in len_strategy(),
+        coef in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let mut src = vec![0u8; len];
+        let mut s = seed;
+        for b in src.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (s >> 33) as u8;
+        }
+        let mut reference = vec![0u8; len];
+        gf256::mul_slice(&mut reference, &src, coef);
+        for kernel in Kernel::available() {
+            let mut out = vec![0xA5u8; len];
+            kernel.mul_slice(&mut out, &src, coef);
+            prop_assert_eq!(&out, &reference, "tier {}", kernel.name());
+        }
+    }
+
+    /// The fused `mul_acc_many` equals k sequential scalar `mul_acc` passes
+    /// on every available tier, for random source counts and coefficients.
+    #[test]
+    fn mul_acc_many_equivalent_across_tiers(
+        len in len_strategy(),
+        coefs in proptest::collection::vec(any::<u8>(), 1..=14),
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as u8
+        };
+        let srcs: Vec<Vec<u8>> = (0..coefs.len())
+            .map(|_| (0..len).map(|_| next()).collect())
+            .collect();
+        let init: Vec<u8> = (0..len).map(|_| next()).collect();
+        let mut reference = init.clone();
+        for (src, &coef) in srcs.iter().zip(&coefs) {
+            gf256::mul_acc(&mut reference, src, coef);
+        }
+        let pairs: Vec<(&[u8], u8)> = srcs
+            .iter()
+            .map(|v| v.as_slice())
+            .zip(coefs.iter().copied())
+            .collect();
+        for kernel in Kernel::available() {
+            let mut out = init.clone();
+            kernel.mul_acc_many(&mut out, &pairs);
+            prop_assert_eq!(&out, &reference, "tier {}", kernel.name());
+        }
+    }
+
+    /// Single-element algebra: kernels implement the same field multiply as
+    /// `gf256::mul` for every (coefficient, byte) pair proptest throws.
+    #[test]
+    fn kernels_agree_with_field_mul_pointwise(a in any::<u8>(), b in any::<u8>()) {
+        for kernel in Kernel::available() {
+            let mut out = [0u8];
+            kernel.mul_slice(&mut out, &[b], a);
+            prop_assert_eq!(out[0], gf256::mul(a, b), "tier {}", kernel.name());
+        }
+    }
+}

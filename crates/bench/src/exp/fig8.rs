@@ -44,7 +44,8 @@ fn fill(cfs: &MiniCfs, stripes: usize, k: usize) -> Result<usize> {
     Ok(cfs.namenode().pending_stripe_count())
 }
 
-/// One measurement: encoding throughput in MiB/s.
+/// One measurement: the full encode statistics (throughput, cross-rack
+/// downloads, fault seed) for a policy and code.
 fn encode_throughput(
     policy: ClusterPolicy,
     n: usize,
@@ -52,7 +53,7 @@ fn encode_throughput(
     stripes: usize,
     scale: Scale,
     background_mbps: f64,
-) -> Result<(f64, usize)> {
+) -> Result<ear_cluster::EncodeStats> {
     let cfs = testbed(policy, n, k, scale)?;
     fill(&cfs, stripes, k)?;
 
@@ -83,17 +84,13 @@ fn encode_throughput(
         stop.store(true, Ordering::Relaxed);
         Ok(stats)
     });
-    let stats = stats?;
-    Ok((stats.throughput_mibps(), stats.cross_rack_downloads))
+    stats
 }
 
 /// Figure 8(a): throughput vs `(n, k)`.
 pub fn run_a(scale: Scale) -> String {
     let stripes = scale.pick(12, 96);
     let kernel = ear_erasure::Kernel::active().name();
-    let mut out = format!(
-        "Figure 8(a): raw encoding throughput vs (n,k) — {stripes} stripes, 12 racks, gf kernel {kernel}\n\n"
-    );
     let mut t = Table::new(&[
         "(n,k)",
         "RR MiB/s",
@@ -102,20 +99,27 @@ pub fn run_a(scale: Scale) -> String {
         "RR xrack",
         "EAR xrack",
     ]);
+    let mut fault_seed = None;
     for (n, k) in [(6usize, 4usize), (8, 6), (10, 8), (12, 10)] {
-        let (rr, rr_x) =
+        let rr_stats =
             encode_throughput(ClusterPolicy::Rr, n, k, stripes, scale, 0.0).expect("rr run");
-        let (ear, ear_x) =
+        let ear_stats =
             encode_throughput(ClusterPolicy::Ear, n, k, stripes, scale, 0.0).expect("ear run");
+        fault_seed = fault_seed.or(rr_stats.fault_seed).or(ear_stats.fault_seed);
+        let (rr, ear) = (rr_stats.throughput_mibps(), ear_stats.throughput_mibps());
         t.row_owned(vec![
             format!("({n},{k})"),
             format!("{rr:.1}"),
             format!("{ear:.1}"),
             format!("{:+.1}%", (ear / rr - 1.0) * 100.0),
-            rr_x.to_string(),
-            ear_x.to_string(),
+            rr_stats.cross_rack_downloads.to_string(),
+            ear_stats.cross_rack_downloads.to_string(),
         ]);
     }
+    let seed = crate::fault_seed_label(fault_seed);
+    let mut out = format!(
+        "Figure 8(a): raw encoding throughput vs (n,k) — {stripes} stripes, 12 racks, gf kernel {kernel}, fault seed {seed}\n\n"
+    );
     out.push_str(&t.render());
     out
 }
@@ -128,15 +132,15 @@ pub fn run_b(scale: Scale) -> String {
         vec![0.0, 200.0, 400.0, 600.0, 800.0],
     );
     let kernel = ear_erasure::Kernel::active().name();
-    let mut out = format!(
-        "Figure 8(b): encoding throughput vs UDP background rate — (10,8), {stripes} stripes, gf kernel {kernel}\n\n"
-    );
     let mut t = Table::new(&["rate Mb/s", "RR MiB/s", "EAR MiB/s", "gain"]);
+    let mut fault_seed = None;
     for rate in rates {
-        let (rr, _) =
+        let rr_stats =
             encode_throughput(ClusterPolicy::Rr, 10, 8, stripes, scale, rate).expect("rr run");
-        let (ear, _) =
+        let ear_stats =
             encode_throughput(ClusterPolicy::Ear, 10, 8, stripes, scale, rate).expect("ear run");
+        fault_seed = fault_seed.or(rr_stats.fault_seed).or(ear_stats.fault_seed);
+        let (rr, ear) = (rr_stats.throughput_mibps(), ear_stats.throughput_mibps());
         t.row_owned(vec![
             format!("{rate:.0}"),
             format!("{rr:.1}"),
@@ -144,6 +148,10 @@ pub fn run_b(scale: Scale) -> String {
             format!("{:+.1}%", (ear / rr - 1.0) * 100.0),
         ]);
     }
+    let seed = crate::fault_seed_label(fault_seed);
+    let mut out = format!(
+        "Figure 8(b): encoding throughput vs UDP background rate — (10,8), {stripes} stripes, gf kernel {kernel}, fault seed {seed}\n\n"
+    );
     out.push_str(&t.render());
     out
 }

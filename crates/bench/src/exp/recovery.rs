@@ -20,6 +20,8 @@ pub struct RecoveryPoint {
     pub rack_failures_tolerated: usize,
     /// Fraction of recovery downloads that crossed racks.
     pub cross_rack_fraction: f64,
+    /// Seed of the fault plan active during the runs (`None` = fault-free).
+    pub fault_seed: Option<u64>,
 }
 
 /// Measures recovery traffic for one `(c, target_racks)` point.
@@ -55,6 +57,7 @@ pub fn measure(c: usize, target_racks: Option<usize>, scale: Scale) -> Result<Re
     RaidNode::encode_all(&cfs, 6)?;
 
     let (mut cross, mut total) = (0usize, 0usize);
+    let mut fault_seed = cfs.fault_seed();
     for es in cfs.namenode().encoded_stripes() {
         let victim = cfs
             .namenode()
@@ -63,6 +66,7 @@ pub fn measure(c: usize, target_racks: Option<usize>, scale: Scale) -> Result<Re
         let stats = recover_node(&cfs, victim)?;
         cross += stats.cross_rack_downloads;
         total += stats.blocks_downloaded;
+        fault_seed = fault_seed.or(stats.fault_seed);
     }
     Ok(RecoveryPoint {
         c,
@@ -73,24 +77,23 @@ pub fn measure(c: usize, target_racks: Option<usize>, scale: Scale) -> Result<Re
         } else {
             cross as f64 / total as f64
         },
+        fault_seed,
     })
 }
 
 /// Sweeps `c` and the target-rack restriction, rendering the trade-off
 /// table.
 pub fn run(scale: Scale) -> String {
-    let mut out = String::from(
-        "Section III-D: rack fault tolerance vs cross-rack recovery traffic\n\
-         ((6,3) erasure coding, 6 racks x 6 nodes; single-node failure recovery)\n\n",
-    );
     let mut t = Table::new(&[
         "c",
         "target racks",
         "rack failures tolerated",
         "cross-rack recovery fraction",
     ]);
+    let mut fault_seed = None;
     for (c, targets) in [(1usize, None), (3, None), (3, Some(2))] {
         let p = measure(c, targets, scale).expect("recovery run");
+        fault_seed = fault_seed.or(p.fault_seed);
         t.row_owned(vec![
             p.c.to_string(),
             p.target_racks.map_or("all".into(), |r| r.to_string()),
@@ -98,6 +101,12 @@ pub fn run(scale: Scale) -> String {
             format!("{:.2}", p.cross_rack_fraction),
         ]);
     }
+    let mut out = format!(
+        "Section III-D: rack fault tolerance vs cross-rack recovery traffic\n\
+         ((6,3) erasure coding, 6 racks x 6 nodes; single-node failure recovery;\n\
+         fault seed {})\n\n",
+        crate::fault_seed_label(fault_seed),
+    );
     out.push_str(&t.render());
     out.push_str(
         "\nLower c spreads the stripe over more racks (better rack fault tolerance,\n\

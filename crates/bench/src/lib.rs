@@ -28,6 +28,12 @@ pub enum Scale {
     Full,
 }
 
+/// Renders a fault-plan seed for report headers: `none` when the run was
+/// fault-free, the decimal seed otherwise (replayable via `ear chaos --seed`).
+pub fn fault_seed_label(seed: Option<u64>) -> String {
+    seed.map_or_else(|| "none".to_string(), |s| s.to_string())
+}
+
 impl Scale {
     /// Reads the scale from the `EAR_SCALE` environment variable
     /// (`full` → [`Scale::Full`], anything else → [`Scale::Quick`]).

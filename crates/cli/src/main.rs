@@ -12,6 +12,8 @@ mod args;
 
 use args::{ArgError, Args};
 use ear_bench::{exp, Scale};
+use ear_cluster::chaos::{run_plan, ChaosConfig};
+use ear_cluster::ClusterPolicy;
 use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear_sim::{run as sim_run, PolicyKind, SimConfig};
 use ear_types::{
@@ -33,6 +35,8 @@ USAGE:
   ear analyze violation --racks R --k K
   ear analyze crossrack --racks R --k K
   ear analyze theorem1 --racks R --c C --k K
+  ear chaos    [--policy rr|ear|both] [--plans N] [--seed S]
+               [--profile light|heavy|mixed]
   ear list
 ";
 
@@ -57,6 +61,7 @@ fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
         ["simulate"] => simulate(&args),
         ["place"] => place(&args),
         ["analyze", what] => analyze(what, &args),
+        ["chaos"] => chaos(&args),
         other => Err(Box::new(ArgError(format!(
             "unknown command: {}",
             other.join(" ")
@@ -151,6 +156,75 @@ fn simulate(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         r.stripes_with_relocation,
         r.sim_end,
     ))
+}
+
+fn chaos(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let plans: u64 = args.get_parsed("plans", 20)?;
+    let seed0: u64 = args.get_parsed("seed", 0)?;
+    let policies: Vec<ClusterPolicy> = match args.get("policy").unwrap_or("both") {
+        "rr" => vec![ClusterPolicy::Rr],
+        "ear" => vec![ClusterPolicy::Ear],
+        "both" => vec![ClusterPolicy::Ear, ClusterPolicy::Rr],
+        other => return Err(Box::new(ArgError(format!("unknown policy: {other}")))),
+    };
+    let profile = args.get("profile").unwrap_or("mixed");
+    let config_for = |policy: ClusterPolicy, seed: u64| -> Result<ChaosConfig, ArgError> {
+        match profile {
+            "light" => Ok(ChaosConfig::light(policy)),
+            "heavy" => Ok(ChaosConfig::heavy(policy)),
+            "mixed" => Ok(if seed.is_multiple_of(2) {
+                ChaosConfig::light(policy)
+            } else {
+                ChaosConfig::heavy(policy)
+            }),
+            other => Err(ArgError(format!("unknown profile: {other}"))),
+        }
+    };
+
+    let mut out = String::new();
+    let mut failures: Vec<(ClusterPolicy, u64)> = Vec::new();
+    for &policy in &policies {
+        let name = match policy {
+            ClusterPolicy::Ear => "ear",
+            ClusterPolicy::Rr => "rr",
+        };
+        for seed in seed0..seed0 + plans {
+            let cfg = config_for(policy, seed)?;
+            let r = run_plan(seed, &cfg)?;
+            let pass = r.passed(policy);
+            if !pass {
+                failures.push((policy, seed));
+            }
+            out.push_str(&format!(
+                "{name:>4} seed={seed:<4} acked={:<3} encoded={:<2} requeued={:<2} \
+                 verified={:<2} beyond-tolerance={:<2} violations={}/{} lost={} {}\n",
+                r.acked_blocks,
+                r.encoded_stripes,
+                r.requeued_stripes,
+                r.stripes_verified,
+                r.stripes_beyond_tolerance,
+                r.pre_repair_violations,
+                r.violations_after_repair,
+                r.lost_blocks.len(),
+                if pass { "PASS" } else { "FAIL" },
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\n{} plan(s) x {} policy(ies), profile {profile}: {}",
+        plans,
+        policies.len(),
+        if failures.is_empty() {
+            "all invariants held".to_string()
+        } else {
+            format!("{} FAILED: {failures:?}", failures.len())
+        }
+    ));
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(Box::new(ArgError(out)))
+    }
 }
 
 fn place(args: &Args) -> Result<String, Box<dyn std::error::Error>> {

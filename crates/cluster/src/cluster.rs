@@ -4,9 +4,21 @@ use crate::datanode::DataNode;
 use crate::namenode::NameNode;
 use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear_erasure::ReedSolomon;
+use ear_faults::{crc32c, FaultInjector, FaultPlan, IoFault};
 use ear_netem::EmulatedNetwork;
 use ear_types::{Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, Error, NodeId, Result};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Attempts per replica before a read or write gives up on it.
+pub(crate) const IO_ATTEMPTS: u32 = 3;
+
+/// Exponential backoff between retry rounds. Kept in the hundreds of
+/// microseconds: the emulated network paces in milliseconds, so this is
+/// "immediately, but not a busy loop" at testbed scale.
+pub(crate) fn backoff(attempt: u32) {
+    std::thread::sleep(Duration::from_micros(200u64 << attempt.min(8)));
+}
 
 /// Which placement policy the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,25 +79,49 @@ pub struct MiniCfs {
     datanodes: Vec<DataNode>,
     net: EmulatedNetwork,
     codec: ReedSolomon,
+    injector: FaultInjector,
 }
 
 impl MiniCfs {
-    /// Boots a cluster.
+    /// Boots a cluster with no fault injection.
     ///
     /// # Errors
     ///
     /// Returns validation errors when the topology cannot host the
     /// configured policies.
     pub fn new(config: ClusterConfig) -> Result<Self> {
+        Self::boot(config, None)
+    }
+
+    /// Boots a cluster that executes `plan`: its stragglers are throttled
+    /// immediately, and every subsequent block read/write consults the
+    /// plan's injector.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors when the topology cannot host the
+    /// configured policies.
+    pub fn with_faults(config: ClusterConfig, plan: FaultPlan) -> Result<Self> {
+        Self::boot(config, Some(plan))
+    }
+
+    fn boot(config: ClusterConfig, plan: Option<FaultPlan>) -> Result<Self> {
         let topo = ClusterTopology::uniform(config.racks, config.nodes_per_rack);
         let policy: Box<dyn PlacementPolicy> = match config.policy {
             ClusterPolicy::Rr => Box::new(RandomReplicationPolicy::new(config.ear, topo.clone())?),
             ClusterPolicy::Ear => Box::new(EncodingAwareReplication::new(config.ear, topo.clone())),
         };
         let namenode = NameNode::new(topo.clone(), policy, config.seed);
-        let datanodes = topo.nodes().map(DataNode::new).collect();
+        let datanodes: Vec<DataNode> = topo.nodes().map(DataNode::new).collect();
         let net = EmulatedNetwork::new(&topo, config.node_bandwidth, config.rack_bandwidth);
         let codec = ReedSolomon::new(config.ear.erasure());
+        let injector = match plan {
+            Some(p) => FaultInjector::new(p, topo.clone()),
+            None => FaultInjector::disabled(),
+        };
+        for &(node, factor) in injector.stragglers() {
+            net.throttle_node(node, factor);
+        }
         Ok(MiniCfs {
             config,
             topo,
@@ -93,7 +129,21 @@ impl MiniCfs {
             datanodes,
             net,
             codec,
+            injector,
         })
+    }
+
+    /// The fault injector in force (a no-op one unless the cluster was
+    /// booted with [`MiniCfs::with_faults`]).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// The active fault-plan seed, or `None` when no faults are injected —
+    /// recorded into experiment statistics so every printed result names
+    /// the chaos it survived.
+    pub fn fault_seed(&self) -> Option<u64> {
+        self.injector.seed()
     }
 
     /// The cluster configuration.
@@ -149,49 +199,143 @@ impl MiniCfs {
         let (id, layout) = self.namenode.allocate_block()?;
         let data = Arc::new(data);
         let mut src = client;
+        let mut stored: Vec<NodeId> = Vec::with_capacity(layout.len());
         for &dst in &layout {
-            self.net.transfer(src, dst, data.len() as u64);
-            self.datanodes[dst.index()].put(id, Arc::clone(&data));
+            let mut outcome = Ok(());
+            for attempt in 0..IO_ATTEMPTS {
+                outcome = self.store_block_at(src, dst, id, Arc::clone(&data), attempt);
+                match &outcome {
+                    Ok(()) => break,
+                    // Only transient faults are worth retrying on the same
+                    // node; a crashed node or dark rack stays that way.
+                    Err(Error::TransientIo { .. }) => backoff(attempt),
+                    Err(_) => break,
+                }
+            }
+            if let Err(e) = outcome {
+                // The write is not acknowledged; record honestly which
+                // replicas actually landed so later repair can see them.
+                self.namenode.set_locations(id, stored);
+                return Err(e);
+            }
+            stored.push(dst);
             src = dst;
         }
         Ok(id)
     }
 
-    /// Reads a block to `reader`, choosing the nearest replica (local, then
-    /// intra-rack, then any) as HDFS does.
+    /// Reads a block to `reader`, trying replicas nearest-first (local, then
+    /// intra-rack, then remote) as HDFS does. A replica that is down, slow
+    /// to answer, or fails checksum verification is skipped in favour of the
+    /// next; transient failures are retried with backoff.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Invariant`] if the block is unknown or all replicas
-    /// are lost.
+    /// * [`Error::Invariant`] if the block id was never allocated.
+    /// * [`Error::BlockUnavailable`] if the block has no replicas at all.
+    /// * The last per-replica error ([`Error::NodeDown`],
+    ///   [`Error::CorruptBlock`], …) if every replica failed every attempt.
     pub fn read_block(&self, reader: NodeId, id: BlockId) -> Result<Arc<Vec<u8>>> {
         let locations = self
             .namenode
             .locations(id)
             .ok_or_else(|| Error::Invariant(format!("unknown {id}")))?;
-        let source = self.pick_nearest(reader, &locations)?;
-        let data = self.datanodes[source.index()]
-            .get(id)
-            .ok_or_else(|| Error::Invariant(format!("{source} lost its replica of {id}")))?;
-        self.net.transfer(source, reader, data.len() as u64);
+        if locations.is_empty() {
+            return Err(Error::BlockUnavailable { block: id });
+        }
+        let ordered = self.by_proximity(reader, &locations);
+        let mut last = Error::BlockUnavailable { block: id };
+        for attempt in 0..IO_ATTEMPTS {
+            for &src in &ordered {
+                match self.fetch_block_from(src, reader, id, attempt) {
+                    Ok(data) => return Ok(data),
+                    Err(e) => last = e,
+                }
+            }
+            if attempt + 1 < IO_ATTEMPTS {
+                backoff(attempt);
+            }
+        }
+        Err(last)
+    }
+
+    /// Reads `block` from the specific replica on `src`, shipping the bytes
+    /// to `dst` and verifying their checksum against the write-time CRC32C.
+    /// This is the single injection boundary every read goes through:
+    /// corruption enters here (the fault layer hands back a copy with
+    /// flipped bits) and is caught here (the checksum mismatch becomes
+    /// [`Error::CorruptBlock`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NodeDown`] / [`Error::TransientIo`] from the fault layer.
+    /// * [`Error::BlockUnavailable`] if `src` does not hold the block.
+    /// * [`Error::CorruptBlock`] if the received bytes fail verification.
+    pub fn fetch_block_from(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockId,
+        attempt: u32,
+    ) -> Result<Arc<Vec<u8>>> {
+        let fault = self.injector.on_read(src, block, attempt);
+        match fault {
+            Some(IoFault::Corrupt) | None => {}
+            Some(f) => return Err(f.to_error(src, block)),
+        }
+        let (data, crc) = self.datanodes[src.index()]
+            .get_with_crc(block)
+            .ok_or(Error::BlockUnavailable { block })?;
+        let data = if fault == Some(IoFault::Corrupt) {
+            Arc::new(self.injector.corrupted_copy(src, block, &data))
+        } else {
+            data
+        };
+        // The bytes cross the wire before the reader can checksum them.
+        self.net.transfer(src, dst, data.len() as u64);
+        if crc32c(&data) != crc {
+            return Err(Error::CorruptBlock { block, node: src });
+        }
         Ok(data)
     }
 
-    /// Picks the closest of `locations` to `reader`: the reader itself if it
-    /// holds a replica, else a same-rack node, else the first location.
-    fn pick_nearest(&self, reader: NodeId, locations: &[NodeId]) -> Result<NodeId> {
-        if locations.is_empty() {
-            return Err(Error::Invariant("block has no replicas".into()));
+    /// Writes `block`'s bytes from `src` onto `dst`'s store, through the
+    /// fault layer. The single injection boundary for writes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NodeDown`] / [`Error::TransientIo`] from the fault layer.
+    pub fn store_block_at(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockId,
+        data: Arc<Vec<u8>>,
+        attempt: u32,
+    ) -> Result<()> {
+        if let Some(f) = self.injector.on_write(dst, block, attempt) {
+            return Err(f.to_error(dst, block));
         }
-        if locations.contains(&reader) {
-            return Ok(reader);
-        }
+        self.net.transfer(src, dst, data.len() as u64);
+        self.datanodes[dst.index()].put(block, data);
+        Ok(())
+    }
+
+    /// Orders `locations` by proximity to `reader`: the reader itself,
+    /// then same-rack nodes, then the rest (stable within each class).
+    fn by_proximity(&self, reader: NodeId, locations: &[NodeId]) -> Vec<NodeId> {
         let reader_rack = self.topo.rack_of(reader);
-        Ok(locations
-            .iter()
-            .copied()
-            .find(|&n| self.topo.rack_of(n) == reader_rack)
-            .unwrap_or(locations[0]))
+        let mut ordered = locations.to_vec();
+        ordered.sort_by_key(|&n| {
+            if n == reader {
+                0u8
+            } else if self.topo.rack_of(n) == reader_rack {
+                1
+            } else {
+                2
+            }
+        });
+        ordered
     }
 
     /// A block of deterministic pseudo-random content, sized to the

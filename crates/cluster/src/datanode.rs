@@ -1,16 +1,27 @@
 //! The DataNode: an in-memory block store, one per emulated machine.
 
+use ear_faults::crc32c;
 use ear_types::{BlockId, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// One stored replica: the bytes plus the CRC32C computed at write time, as
+/// HDFS stores a checksum file beside every block file.
+#[derive(Debug, Clone)]
+struct StoredBlock {
+    data: Arc<Vec<u8>>,
+    crc: u32,
+}
+
 /// One DataNode's block storage. Blocks are reference-counted byte buffers
-/// so replicas of the same block share memory across nodes.
+/// so replicas of the same block share memory across nodes. Every replica
+/// carries the CRC32C of its bytes at `put` time; readers compare it against
+/// what they actually received to catch silent corruption.
 #[derive(Debug)]
 pub struct DataNode {
     id: NodeId,
-    store: Mutex<HashMap<BlockId, Arc<Vec<u8>>>>,
+    store: Mutex<HashMap<BlockId, StoredBlock>>,
 }
 
 impl DataNode {
@@ -27,14 +38,29 @@ impl DataNode {
         self.id
     }
 
-    /// Stores (or overwrites) a block replica.
+    /// Stores (or overwrites) a block replica, checksumming it on the way
+    /// in.
     pub fn put(&self, block: BlockId, data: Arc<Vec<u8>>) {
-        self.store.lock().insert(block, data);
+        let crc = crc32c(&data);
+        self.store.lock().insert(block, StoredBlock { data, crc });
     }
 
     /// Fetches a block replica, if present.
     pub fn get(&self, block: BlockId) -> Option<Arc<Vec<u8>>> {
-        self.store.lock().get(&block).cloned()
+        self.store.lock().get(&block).map(|s| Arc::clone(&s.data))
+    }
+
+    /// Fetches a block replica together with its write-time CRC32C.
+    pub fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)> {
+        self.store
+            .lock()
+            .get(&block)
+            .map(|s| (Arc::clone(&s.data), s.crc))
+    }
+
+    /// The write-time CRC32C of a stored replica.
+    pub fn stored_crc(&self, block: BlockId) -> Option<u32> {
+        self.store.lock().get(&block).map(|s| s.crc)
     }
 
     /// Deletes a block replica; returns whether it existed.
@@ -55,7 +81,7 @@ impl DataNode {
     /// Total bytes stored (each replica counted at full size, as on a real
     /// disk).
     pub fn bytes_stored(&self) -> u64 {
-        self.store.lock().values().map(|b| b.len() as u64).sum()
+        self.store.lock().values().map(|s| s.data.len() as u64).sum()
     }
 }
 
@@ -87,5 +113,20 @@ mod tests {
         a.put(BlockId(1), Arc::clone(&data));
         b.put(BlockId(1), Arc::clone(&data));
         assert_eq!(Arc::strong_count(&data), 3);
+    }
+
+    #[test]
+    fn stored_crc_matches_bytes() {
+        let dn = DataNode::new(NodeId(0));
+        let data = Arc::new(vec![0x42u8; 1024]);
+        dn.put(BlockId(5), Arc::clone(&data));
+        let (bytes, crc) = dn.get_with_crc(BlockId(5)).unwrap();
+        assert_eq!(crc, crc32c(&bytes));
+        assert_eq!(dn.stored_crc(BlockId(5)), Some(crc));
+        // A copy with a flipped byte no longer matches the stored crc.
+        let mut bad = bytes.as_ref().clone();
+        bad[17] ^= 0x80;
+        assert_ne!(crc32c(&bad), crc);
+        assert_eq!(dn.stored_crc(BlockId(99)), None);
     }
 }

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod cluster;
 mod datanode;
 pub mod mapreduce;
@@ -48,6 +49,7 @@ mod namenode;
 mod raidnode;
 mod recovery;
 
+pub use chaos::{run_plan, ChaosConfig, ChaosReport};
 pub use cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
 pub use datanode::DataNode;
 pub use monitor::{plan_repairs, scan, Violation};

@@ -131,7 +131,7 @@ pub fn run_jobs(
     })?;
 
     let mut results = results.into_inner();
-    results.sort_by(|a, b| a.finish.partial_cmp(&b.finish).expect("finite"));
+    results.sort_by(|a, b| a.finish.total_cmp(&b.finish));
     Ok(results)
 }
 
@@ -165,7 +165,9 @@ fn run_one_job(
                 .namenode()
                 .locations(block)
                 .ok_or_else(|| ear_types::Error::Invariant(format!("unknown {block}")))?;
-            let map_node = *locations.choose(&mut rng).expect("blocks have replicas");
+            let map_node = *locations
+                .choose(&mut rng)
+                .ok_or(ear_types::Error::BlockUnavailable { block })?;
             let reducers = reducers.clone();
             handles.push(scope.spawn(move || -> Result<()> {
                 slots[map_node.index()].acquire();

@@ -97,7 +97,7 @@ impl NameNode {
             // EAR the sealed stripe's blocks are the ones whose layouts
             // match the plan — which are exactly the most recent k blocks
             // placed into that core rack. We track them by layout identity.
-            let blocks = take_stripe_blocks(&mut meta, &plan);
+            let blocks = take_stripe_blocks(&mut meta, &plan)?;
             let sid = StripeId(meta.next_stripe);
             meta.next_stripe += 1;
             meta.pending.push(PendingStripe {
@@ -135,6 +135,14 @@ impl NameNode {
     /// periodic scan).
     pub fn take_pending_stripes(&self) -> Vec<PendingStripe> {
         std::mem::take(&mut self.state.lock().pending)
+    }
+
+    /// Returns a stripe to the pre-encoding store after an encode attempt
+    /// gave up on it (e.g. too many of its sources are down). The data
+    /// blocks keep their replicas, so nothing is lost; a later encoding
+    /// round will pick the stripe up again.
+    pub fn requeue_stripe(&self, stripe: PendingStripe) {
+        self.state.lock().pending.push(stripe);
     }
 
     /// Number of stripes sealed and awaiting encoding.
@@ -183,17 +191,21 @@ impl NameNode {
 /// Pops the blocks belonging to `plan` off the unsealed list by matching
 /// layouts: the stripe's blocks are those whose recorded locations equal the
 /// plan's layouts, searched from the most recent.
-fn take_stripe_blocks(meta: &mut Meta, plan: &StripePlan) -> Vec<BlockId> {
+fn take_stripe_blocks(meta: &mut Meta, plan: &StripePlan) -> Result<Vec<BlockId>> {
     let mut blocks = Vec::with_capacity(plan.num_blocks());
     for layout in plan.data_layouts() {
         let pos = meta
             .unsealed
             .iter()
             .rposition(|b| meta.locations.get(b).map(Vec::as_slice) == Some(&layout.replicas))
-            .expect("sealed stripe's block must be among unsealed blocks");
+            .ok_or_else(|| {
+                ear_types::Error::Invariant(
+                    "sealed stripe's block must be among unsealed blocks".into(),
+                )
+            })?;
         blocks.push(meta.unsealed.remove(pos));
     }
-    blocks
+    Ok(blocks)
 }
 
 #[cfg(test)]

@@ -1,12 +1,17 @@
 //! The RaidNode: coordinates asynchronous encoding jobs (Section IV of the
 //! paper) and the BlockMover that repairs fault-tolerance violations.
 
-use crate::cluster::MiniCfs;
+use crate::cluster::{backoff, MiniCfs, IO_ATTEMPTS};
 use crate::namenode::PendingStripe;
-use ear_types::{BlockId, Error, NodeId, Result};
+use ear_types::{BlockId, Error, NodeId, Result, StripeId};
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Encode attempts per stripe before it is handed back to the NameNode's
+/// pending queue (its replicas stay intact, so nothing is lost).
+const STRIPE_ATTEMPTS: u32 = 3;
 
 /// Statistics of one encoding job (a batch of stripes).
 #[derive(Debug, Clone, Default)]
@@ -27,6 +32,14 @@ pub struct EncodeStats {
     /// Name of the GF(2⁸) kernel tier the codec dispatched to (`scalar`,
     /// `swar`, `ssse3`, `avx2`); empty until a job has run.
     pub gf_kernel: &'static str,
+    /// The fault-plan seed active during the job, `None` when the cluster
+    /// runs fault-free — recorded so every report names the chaos it
+    /// survived.
+    pub fault_seed: Option<u64>,
+    /// Stripes that exhausted their encode attempts, with the error that
+    /// stopped the last attempt. Each was returned to the NameNode's
+    /// pending queue with all replicas intact.
+    pub failed_stripes: Vec<(StripeId, Error)>,
 }
 
 impl EncodeStats {
@@ -59,7 +72,12 @@ impl RaidNode {
     ///
     /// # Errors
     ///
-    /// Propagates planning/encoding failures.
+    /// Propagates planning/encoding failures that indicate broken metadata
+    /// (invariant violations). Fault-induced failures never error the job:
+    /// a stripe whose attempts are exhausted is returned to the NameNode's
+    /// pending queue with its replicas intact and listed in
+    /// [`EncodeStats::failed_stripes`], so `encode_all` always terminates
+    /// with an honest account of what it could and could not encode.
     pub fn encode_all(cfs: &MiniCfs, map_tasks: usize) -> Result<(EncodeStats, Vec<Relocation>)> {
         let mut stripes = cfs.namenode().take_pending_stripes();
         if stripes.is_empty() {
@@ -67,7 +85,8 @@ impl RaidNode {
         }
         // Group stripes with a common core rack onto the same map task.
         stripes.sort_by_key(|s| s.plan.core_rack().map(|r| r.index()).unwrap_or(usize::MAX));
-        let queue: Arc<Mutex<Vec<PendingStripe>>> = Arc::new(Mutex::new(stripes));
+        let queue: Arc<Mutex<Vec<(PendingStripe, u32)>>> =
+            Arc::new(Mutex::new(stripes.into_iter().map(|s| (s, 0)).collect()));
         let relocations: Arc<Mutex<Vec<Relocation>>> = Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(Mutex::new(EncodeStats::default()));
         let start = Instant::now();
@@ -81,23 +100,39 @@ impl RaidNode {
                 let stats = Arc::clone(&stats);
                 handles.push(scope.spawn(move || -> Result<()> {
                     loop {
-                        let stripe = {
+                        let (stripe, tries) = {
                             let mut q = queue.lock();
                             match q.pop() {
                                 Some(s) => s,
                                 None => return Ok(()),
                             }
                         };
-                        let (cross, violated) = encode_stripe(cfs, &stripe, &relocations)?;
-                        let mut st = stats.lock();
-                        st.stripes += 1;
-                        st.cross_rack_downloads += cross;
-                        if violated {
-                            st.stripes_with_relocation += 1;
+                        match encode_stripe(cfs, &stripe, &relocations) {
+                            Ok((cross, violated)) => {
+                                let mut st = stats.lock();
+                                st.stripes += 1;
+                                st.cross_rack_downloads += cross;
+                                if violated {
+                                    st.stripes_with_relocation += 1;
+                                }
+                                st.encoded_bytes += stripe.blocks.len() as u64
+                                    * cfs.config().block_size.as_u64();
+                                st.completion_times.push(start.elapsed().as_secs_f64());
+                            }
+                            // A failed attempt left the stripe fully
+                            // replicated (encode_stripe mutates no metadata
+                            // until parity is durable), so restarting it is
+                            // always safe.
+                            Err(e) if tries + 1 < STRIPE_ATTEMPTS => {
+                                backoff(tries);
+                                queue.lock().push((stripe, tries + 1));
+                                let _ = e;
+                            }
+                            Err(e) => {
+                                stats.lock().failed_stripes.push((stripe.id, e));
+                                cfs.namenode().requeue_stripe(stripe);
+                            }
                         }
-                        st.encoded_bytes +=
-                            stripe.blocks.len() as u64 * cfs.config().block_size.as_u64();
-                        st.completion_times.push(start.elapsed().as_secs_f64());
                     }
                 }));
             }
@@ -114,6 +149,7 @@ impl RaidNode {
             .into_inner();
         stats.wall_seconds = start.elapsed().as_secs_f64();
         stats.gf_kernel = cfs.codec().kernel().name();
+        stats.fault_seed = cfs.fault_seed();
         // total_cmp: a NaN duration (however unlikely) must never panic an
         // encode job; it sorts deterministically instead.
         stats.completion_times.sort_by(f64::total_cmp);
@@ -146,6 +182,14 @@ impl RaidNode {
 /// Encodes one stripe: download `k` blocks to the encoding node, compute
 /// parity, upload it, and delete redundant replicas. Returns the number of
 /// cross-rack downloads and whether the stripe needs relocation.
+///
+/// # Transactionality
+///
+/// Under fault injection any download or upload can fail. This function
+/// mutates no cluster metadata and deletes no replica until *every* parity
+/// block is durably stored: an error return (at any point) leaves the
+/// stripe exactly as replicated as it was, so the caller can retry or
+/// requeue it with no risk of a half-encoded stripe.
 fn encode_stripe(
     cfs: &MiniCfs,
     stripe: &PendingStripe,
@@ -155,72 +199,91 @@ fn encode_stripe(
     let enc = plan.encoding_node;
     let topo = cfs.topology();
     let enc_rack = topo.rack_of(enc);
+    // A dead encoding node can serve no map task; fail fast so the retry
+    // (or a later job) can be replanned.
+    if cfs.injector().node_down(enc) {
+        return Err(Error::NodeDown { node: enc });
+    }
 
-    // Choose a source replica per block, preferring the encoding node's
-    // rack, and download them in parallel (HDFS-RAID issues parallel reads).
-    let sources: Vec<NodeId> = stripe
-        .blocks
-        .iter()
-        .map(|&b| {
-            let locs = cfs
-                .namenode()
-                .locations(b)
-                .ok_or_else(|| Error::Invariant(format!("unknown {b}")))?;
-            Ok(locs
-                .iter()
-                .copied()
-                .find(|&n| topo.rack_of(n) == enc_rack)
-                .unwrap_or(locs[0]))
-        })
-        .collect::<Result<_>>()?;
-    let cross = sources
-        .iter()
-        .filter(|&&s| topo.rack_of(s) != enc_rack)
-        .count();
+    // Nodes this stripe's downloads found fail-stop dead: shared across the
+    // stripe's blocks so each pays the discovery cost at most once.
+    let blacklist: Mutex<HashSet<NodeId>> = Mutex::new(HashSet::new());
 
-    let block_bytes = cfs.config().block_size.as_u64();
-    std::thread::scope(|scope| {
-        for &src in &sources {
-            let net = cfs.network().clone();
-            scope.spawn(move || net.transfer(src, enc, block_bytes));
-        }
+    // Download the k data blocks in parallel (HDFS-RAID issues parallel
+    // reads), each download falling back across replicas on failure.
+    let downloads: Vec<Result<(Arc<Vec<u8>>, NodeId)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stripe
+            .blocks
+            .iter()
+            .map(|&b| {
+                let blacklist = &blacklist;
+                scope.spawn(move || download_block(cfs, b, enc, blacklist))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::Invariant("download task panicked".into())))
+            })
+            .collect()
     });
-    let data: Vec<Arc<Vec<u8>>> = stripe
-        .blocks
-        .iter()
-        .zip(&sources)
-        .map(|(&b, &src)| {
-            cfs.datanode(src)
-                .get(b)
-                .ok_or_else(|| Error::Invariant(format!("{src} lost {b}")))
-        })
-        .collect::<Result<_>>()?;
+    let mut data: Vec<Arc<Vec<u8>>> = Vec::with_capacity(downloads.len());
+    let mut cross = 0usize;
+    for d in downloads {
+        let (bytes, src) = d?;
+        if topo.rack_of(src) != enc_rack {
+            cross += 1;
+        }
+        data.push(bytes);
+    }
 
     // Real Reed-Solomon encoding of the downloaded bytes.
     let data_refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
     let parity = cfs.codec().encode(&data_refs)?;
 
-    // Upload parity blocks in parallel and register them.
-    std::thread::scope(|scope| {
-        for &dst in &plan.parity_nodes {
-            let net = cfs.network().clone();
-            scope.spawn(move || net.transfer(enc, dst, block_bytes));
+    // Store every parity block before touching any metadata. Ids are
+    // allocated with an empty location set so a failure below leaves only
+    // unreferenced ids behind, never a registered block without bytes.
+    // Each store pays its own transfer through the fault boundary.
+    let mut stored: Vec<(BlockId, NodeId)> = Vec::with_capacity(parity.len());
+    let mut store_err = None;
+    for (p, &planned) in parity.into_iter().zip(&plan.parity_nodes) {
+        let id = cfs.namenode().register_block(Vec::new());
+        match store_parity(cfs, id, Arc::new(p), enc, planned, &plan.kept_data, &stored) {
+            Ok(dst) => stored.push((id, dst)),
+            Err(e) => {
+                store_err = Some(e);
+                break;
+            }
         }
-    });
-    let mut parity_ids = Vec::with_capacity(plan.parity_nodes.len());
-    for (p, &dst) in parity.into_iter().zip(&plan.parity_nodes) {
-        let id = cfs.namenode().register_block(vec![dst]);
-        cfs.datanode(dst).put(id, Arc::new(p));
-        parity_ids.push(id);
+    }
+    if let Some(e) = store_err {
+        // Roll back: drop the parity bytes already stored. The data blocks
+        // still have every replica, so the stripe is simply "not encoded".
+        for &(id, dst) in &stored {
+            cfs.datanode(dst).delete(id);
+        }
+        return Err(e);
+    }
+
+    // Parity is durable — only now does the stripe transition to "encoded":
+    // publish parity locations, record the stripe, delete extra replicas.
+    for &(id, dst) in &stored {
+        cfs.namenode().set_locations(id, vec![dst]);
     }
     cfs.namenode()
         .record_encoded(crate::namenode::EncodedStripe {
             id: stripe.id,
             data: stripe.blocks.clone(),
-            parity: parity_ids,
+            parity: stored.iter().map(|&(id, _)| id).collect(),
         });
 
-    // Delete redundant replicas, keeping the matching's choice.
+    // Delete redundant replicas, keeping the matching's choice. The kept
+    // node may be one the fault plan has crashed — that is fine: the shard
+    // stays within the stripe's `n - k` rebuild budget (a down node holds
+    // at most `c` blocks of any stripe), and keeping the planned placement
+    // preserves EAR's zero-violation property under faults.
     for (i, &block) in stripe.blocks.iter().enumerate() {
         let kept = plan.kept_data[i];
         let locs = cfs
@@ -243,6 +306,125 @@ fn encode_stripe(
         }
     }
     Ok((cross, violated))
+}
+
+/// Downloads one block to the encoding node, trying replicas in preference
+/// order (intra-rack first, known-dead nodes last): transient errors are
+/// retried with backoff on the same replica, a corrupt or dead replica falls
+/// back to the next. Returns the bytes and the replica that served them.
+fn download_block(
+    cfs: &MiniCfs,
+    block: BlockId,
+    enc: NodeId,
+    blacklist: &Mutex<HashSet<NodeId>>,
+) -> Result<(Arc<Vec<u8>>, NodeId)> {
+    let topo = cfs.topology();
+    let enc_rack = topo.rack_of(enc);
+    let locs = cfs
+        .namenode()
+        .locations(block)
+        .ok_or_else(|| Error::Invariant(format!("unknown {block}")))?;
+    if locs.is_empty() {
+        return Err(Error::BlockUnavailable { block });
+    }
+    let known_dead = blacklist.lock().clone();
+    let mut ordered = locs;
+    ordered.sort_by_key(|&n| {
+        (
+            known_dead.contains(&n),
+            topo.rack_of(n) != enc_rack,
+            n.index(),
+        )
+    });
+    let mut last = Error::BlockUnavailable { block };
+    for (i, &src) in ordered.iter().enumerate() {
+        // A sibling download may have found this node dead in the
+        // meantime; skip it while other replicas remain to be tried.
+        if i + 1 < ordered.len() && blacklist.lock().contains(&src) {
+            last = Error::NodeDown { node: src };
+            continue;
+        }
+        for attempt in 0..IO_ATTEMPTS {
+            match cfs.fetch_block_from(src, enc, block, attempt) {
+                Ok(bytes) => return Ok((bytes, src)),
+                Err(e @ Error::TransientIo { .. }) => {
+                    last = e;
+                    backoff(attempt);
+                }
+                Err(e @ Error::NodeDown { .. }) => {
+                    blacklist.lock().insert(src);
+                    last = e;
+                    break;
+                }
+                // Corrupt or missing: this replica will not recover within
+                // the job; move to the next one.
+                Err(e) => {
+                    last = e;
+                    break;
+                }
+            }
+        }
+    }
+    Err(last)
+}
+
+/// Stores one parity block, preferring the planned node and falling back to
+/// any live node that keeps the stripe within its rack fault tolerance
+/// (`<= c` stripe blocks per rack) and does not already hold a shard of
+/// this stripe. Returns the node that accepted the bytes.
+fn store_parity(
+    cfs: &MiniCfs,
+    id: BlockId,
+    data: Arc<Vec<u8>>,
+    enc: NodeId,
+    planned: NodeId,
+    kept_data: &[NodeId],
+    parity_so_far: &[(BlockId, NodeId)],
+) -> Result<NodeId> {
+    let topo = cfs.topology();
+    let c = cfs.config().ear.c();
+    let occupied: HashSet<NodeId> = kept_data
+        .iter()
+        .copied()
+        .chain(parity_so_far.iter().map(|&(_, n)| n))
+        .collect();
+    let mut rack_load = vec![0usize; topo.num_racks()];
+    for &n in &occupied {
+        rack_load[topo.rack_of(n).index()] += 1;
+    }
+
+    let mut candidates: Vec<NodeId> = vec![planned];
+    let mut fallbacks: Vec<NodeId> = topo
+        .nodes()
+        .filter(|&n| {
+            n != planned && !occupied.contains(&n) && rack_load[topo.rack_of(n).index()] < c
+        })
+        .collect();
+    // Prefer fallbacks in the planned node's rack (same placement intent).
+    fallbacks.sort_by_key(|&n| (topo.rack_of(n) != topo.rack_of(planned), n.index()));
+    candidates.extend(fallbacks);
+
+    let mut last = Error::NodeDown { node: planned };
+    for &dst in &candidates {
+        if cfs.injector().node_down(dst) {
+            last = Error::NodeDown { node: dst };
+            continue;
+        }
+        for attempt in 0..IO_ATTEMPTS {
+            match cfs.store_block_at(enc, dst, id, Arc::clone(&data), attempt) {
+                Ok(()) => return Ok(dst),
+                Err(e @ Error::TransientIo { .. }) => {
+                    last = e;
+                    backoff(attempt);
+                }
+                Err(e) => {
+                    last = e;
+                    break;
+                }
+            }
+        }
+    }
+    Err(last)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! rack, a recovery node co-located with surviving stripe blocks can fetch
 //! `c - 1` of its `k` inputs intra-rack.
 
-use crate::cluster::MiniCfs;
+use crate::cluster::{backoff, MiniCfs, IO_ATTEMPTS};
 use ear_types::{BlockId, Error, NodeId, Result};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -33,6 +33,9 @@ pub struct RecoveryStats {
     /// Name of the GF(2⁸) kernel tier the codec dispatched to for degraded
     /// reads (`scalar`, `swar`, `ssse3`, `avx2`).
     pub gf_kernel: &'static str,
+    /// The fault-plan seed active during recovery, `None` when the cluster
+    /// runs fault-free.
+    pub fault_seed: Option<u64>,
 }
 
 /// Rebuilds every encoded-stripe block lost with `failed` and re-registers
@@ -49,6 +52,7 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
     let start = std::time::Instant::now();
     let mut stats = RecoveryStats {
         gf_kernel: cfs.codec().kernel().name(),
+        fault_seed: cfs.fault_seed(),
         ..RecoveryStats::default()
     };
     let mut rng = ChaCha8Rng::seed_from_u64(failed.0 as u64 ^ 0x5EC0);
@@ -78,7 +82,7 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
         let locs: Vec<NodeId> = cfs
             .namenode()
             .locations(b)
-            .expect("listed above")
+            .ok_or_else(|| Error::Invariant(format!("unknown {b}")))?
             .into_iter()
             .filter(|&nd| nd != failed)
             .collect();
@@ -86,23 +90,50 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
         cfs.datanode(failed).delete(b);
     }
 
-    let healthy: Vec<NodeId> = topo.nodes().filter(|&nd| nd != failed).collect();
+    // "Healthy" excludes both the node being recovered and anything the
+    // fault plan has taken down in the meantime.
+    let healthy: Vec<NodeId> = topo
+        .nodes()
+        .filter(|&nd| nd != failed && !cfs.injector().node_down(nd))
+        .collect();
     for &block in &lost {
-        let survivors = cfs.namenode().locations(block).expect("registered");
+        let survivors = cfs
+            .namenode()
+            .locations(block)
+            .ok_or_else(|| Error::Invariant(format!("unknown {block}")))?;
         if !survivors.is_empty() {
-            // Replicated block: copy from a surviving replica.
-            let src = survivors[0];
+            // Replicated block: copy from a surviving replica, falling back
+            // across replicas and retrying transient failures.
             let dst = *healthy
                 .iter()
                 .filter(|&&nd| !survivors.contains(&nd))
                 .collect::<Vec<_>>()
                 .choose(&mut rng)
                 .ok_or_else(|| Error::Invariant("no healthy node for re-replication".into()))?;
-            let data = cfs
-                .datanode(src)
-                .get(block)
-                .ok_or_else(|| Error::Invariant(format!("{src} lost {block}")))?;
-            cfs.network().transfer(src, *dst, data.len() as u64);
+            let mut fetched = None;
+            let mut last = Error::BlockUnavailable { block };
+            'replicas: for &src in survivors
+                .iter()
+                .filter(|&&s| !cfs.injector().node_down(s))
+            {
+                for attempt in 0..IO_ATTEMPTS {
+                    match cfs.fetch_block_from(src, *dst, block, attempt) {
+                        Ok(d) => {
+                            fetched = Some((src, d));
+                            break 'replicas;
+                        }
+                        Err(e @ Error::TransientIo { .. }) => {
+                            last = e;
+                            backoff(attempt);
+                        }
+                        Err(e) => {
+                            last = e;
+                            break;
+                        }
+                    }
+                }
+            }
+            let (src, data) = fetched.ok_or(last)?;
             cfs.datanode(*dst).put(block, data);
             let mut locs = survivors;
             locs.push(*dst);
@@ -124,17 +155,24 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
         debug_assert_eq!(members.len(), n);
 
         // Choose the recovery node: a healthy node in the rack holding the
-        // most surviving stripe blocks (the best case Section III-D argues
-        // about), that does not already hold a block of the stripe.
-        let holder_of = |b: BlockId| -> Option<NodeId> {
+        // most *reachable* surviving stripe blocks (the best case Section
+        // III-D argues about), that does not already hold a block of the
+        // stripe. A holder the fault plan has taken down is unreachable as
+        // a source, but still counts as "used" for placement purposes.
+        let holder_any = |b: BlockId| -> Option<NodeId> {
             cfs.namenode().locations(b).and_then(|l| l.first().copied())
+        };
+        let holder_live = |b: BlockId| -> Option<NodeId> {
+            cfs.namenode()
+                .locations(b)
+                .and_then(|l| l.into_iter().find(|&h| !cfs.injector().node_down(h)))
         };
         let mut rack_count: HashMap<u32, usize> = HashMap::new();
         for &m in &members {
             if m == block {
                 continue;
             }
-            if let Some(h) = holder_of(m) {
+            if let Some(h) = holder_live(m) {
                 *rack_count.entry(topo.rack_of(h).0).or_insert(0) += 1;
             }
         }
@@ -143,26 +181,34 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
             .max_by_key(|&(r, c)| (*c, std::cmp::Reverse(*r)))
             .map(|(&r, _)| ear_types::RackId(r))
             .ok_or_else(|| Error::Invariant("stripe has no surviving blocks".into()))?;
-        let used: Vec<NodeId> = members.iter().filter_map(|&m| holder_of(m)).collect();
-        let recovery_node = topo
+        let used: Vec<NodeId> = members.iter().filter_map(|&m| holder_any(m)).collect();
+        let recovery_node = match topo
             .nodes_in_rack(best_rack)
             .iter()
             .copied()
-            .filter(|nd| *nd != failed && !used.contains(nd))
+            .filter(|nd| {
+                *nd != failed && !used.contains(nd) && !cfs.injector().node_down(*nd)
+            })
             .collect::<Vec<_>>()
             .choose(&mut rng)
             .copied()
-            .unwrap_or_else(|| *healthy.choose(&mut rng).expect("cluster has healthy nodes"));
+        {
+            Some(nd) => nd,
+            None => *healthy
+                .choose(&mut rng)
+                .ok_or_else(|| Error::Invariant("no healthy node to run recovery".into()))?,
+        };
 
-        // Download any k surviving blocks, preferring intra-rack sources.
+        // Download any k reachable surviving blocks, preferring intra-rack
+        // sources; a source that keeps failing is skipped in favour of the
+        // next until k shards are in hand.
         let mut sources: Vec<(usize, BlockId, NodeId)> = members
             .iter()
             .enumerate()
             .filter(|&(_, &m)| m != block)
-            .filter_map(|(idx, &m)| holder_of(m).map(|h| (idx, m, h)))
+            .filter_map(|(idx, &m)| holder_live(m).map(|h| (idx, m, h)))
             .collect();
         sources.sort_by_key(|&(_, _, h)| topo.rack_of(h) != topo.rack_of(recovery_node));
-        sources.truncate(k);
         if sources.len() < k {
             return Err(Error::NotEnoughShards {
                 available: sources.len(),
@@ -170,24 +216,41 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
             });
         }
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+        let mut got = 0usize;
         for &(idx, m, h) in &sources {
-            let data = cfs
-                .datanode(h)
-                .get(m)
-                .ok_or_else(|| Error::Invariant(format!("{h} lost {m}")))?;
-            cfs.network().transfer(h, recovery_node, data.len() as u64);
-            if topo.rack_of(h) != topo.rack_of(recovery_node) {
-                stats.cross_rack_downloads += 1;
+            if got == k {
+                break;
             }
-            stats.blocks_downloaded += 1;
-            shards[idx] = Some(data.as_ref().clone());
+            for attempt in 0..IO_ATTEMPTS {
+                match cfs.fetch_block_from(h, recovery_node, m, attempt) {
+                    Ok(data) => {
+                        if topo.rack_of(h) != topo.rack_of(recovery_node) {
+                            stats.cross_rack_downloads += 1;
+                        }
+                        stats.blocks_downloaded += 1;
+                        shards[idx] = Some(data.as_ref().clone());
+                        got += 1;
+                        break;
+                    }
+                    Err(Error::TransientIo { .. }) => backoff(attempt),
+                    Err(_) => break,
+                }
+            }
+        }
+        if got < k {
+            return Err(Error::NotEnoughShards {
+                available: got,
+                required: k,
+            });
         }
         cfs.codec().reconstruct(&mut shards)?;
         let lost_idx = members
             .iter()
             .position(|&m| m == block)
-            .expect("block is a member");
-        let rebuilt = shards[lost_idx].take().expect("reconstructed");
+            .ok_or_else(|| Error::Invariant(format!("{block} not a member of its stripe")))?;
+        let rebuilt = shards[lost_idx]
+            .take()
+            .ok_or_else(|| Error::Invariant(format!("{block} not reconstructed")))?;
 
         // Store the rebuilt block where the stripe's rack constraint still
         // holds: a rack with fewer than c surviving stripe blocks, on a node

@@ -1,0 +1,122 @@
+//! Property-based tests of the PlacementMonitor/BlockMover repair loop:
+//! for any hostable topology, policy, and write order, iterating
+//! `scan → plan_repairs → relocate` converges to zero rack-fault-tolerance
+//! violations — and EAR needs zero iterations (Section II-B vs Section III).
+
+use ear_cluster::{
+    plan_repairs, run_plan, scan, ChaosConfig, ClusterConfig, ClusterPolicy, MiniCfs, RaidNode,
+};
+use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig};
+use proptest::prelude::*;
+
+/// A cluster + workload EAR can host with c = 1.
+#[derive(Debug, Clone)]
+struct Scenario {
+    policy: ClusterPolicy,
+    n: usize,
+    k: usize,
+    racks: usize,
+    nodes_per_rack: usize,
+    stripes: usize,
+    seed: u64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        prop_oneof![Just(ClusterPolicy::Ear), Just(ClusterPolicy::Rr)],
+        prop_oneof![Just((6usize, 4usize)), Just((5, 4)), Just((6, 5))],
+        1usize..=3,   // racks beyond the c = 1 minimum of n
+        2usize..=3,   // nodes per rack
+        2usize..=4,   // stripes to seal
+        any::<u64>(), // cluster seed
+    )
+        .prop_map(|(policy, (n, k), extra, nodes_per_rack, stripes, seed)| Scenario {
+            policy,
+            n,
+            k,
+            racks: n + extra,
+            nodes_per_rack,
+            stripes,
+            seed,
+        })
+}
+
+fn build(s: &Scenario) -> MiniCfs {
+    let ear = EarConfig::new(
+        ErasureParams::new(s.n, s.k).expect("valid by construction"),
+        ReplicationConfig::two_way(),
+        1,
+    )
+    .expect("valid");
+    MiniCfs::new(ClusterConfig {
+        racks: s.racks,
+        nodes_per_rack: s.nodes_per_rack,
+        block_size: ByteSize::kib(16),
+        node_bandwidth: Bandwidth::bytes_per_sec(1e9),
+        rack_bandwidth: Bandwidth::bytes_per_sec(1e9),
+        ear,
+        policy: s.policy,
+        seed: s.seed,
+    })
+    .expect("hostable by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn repair_loop_converges_to_zero_violations(s in scenario_strategy()) {
+        let cfs = build(&s);
+        let nodes = cfs.topology().num_nodes() as u64;
+        let mut i = 0u64;
+        while cfs.namenode().pending_stripe_count() < s.stripes {
+            let data = cfs.make_block(i);
+            cfs.write_block(NodeId((i % nodes) as u32), data)
+                .map_err(|e| TestCaseError::fail(format!("write failed: {e}")))?;
+            i += 1;
+            prop_assert!(i < (s.stripes * s.k * 20) as u64, "failed to seal stripes");
+        }
+        let (stats, relocations) = RaidNode::encode_all(&cfs, 4)
+            .map_err(|e| TestCaseError::fail(format!("encode failed: {e}")))?;
+        prop_assert!(stats.failed_stripes.is_empty(), "fault-free encode lost stripes");
+        RaidNode::relocate(&cfs, &relocations)
+            .map_err(|e| TestCaseError::fail(format!("relocate failed: {e}")))?;
+
+        // EAR's layout is valid by construction: zero sweeps needed.
+        if s.policy == ClusterPolicy::Ear {
+            prop_assert_eq!(scan(&cfs).len(), 0, "EAR produced violations");
+        }
+
+        // The repair loop must converge, and each sweep must make progress.
+        let mut last = usize::MAX;
+        for _sweep in 0..8 {
+            let violations = scan(&cfs);
+            if violations.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(
+                violations.len() < last,
+                "repair sweep made no progress: {} violations remain",
+                violations.len()
+            );
+            last = violations.len();
+            let repairs = plan_repairs(&cfs, &violations);
+            prop_assert!(!repairs.is_empty(), "violations but no repairs planned");
+            RaidNode::relocate(&cfs, &repairs)
+                .map_err(|e| TestCaseError::fail(format!("repair relocation failed: {e}")))?;
+        }
+        prop_assert_eq!(scan(&cfs).len(), 0, "repair loop did not converge in 8 sweeps");
+    }
+
+    #[test]
+    fn chaos_invariants_hold_for_arbitrary_seeds(
+        seed in any::<u64>(),
+        policy in prop_oneof![Just(ClusterPolicy::Ear), Just(ClusterPolicy::Rr)],
+    ) {
+        // The soak test walks fixed seed ranges; this samples the whole
+        // seed space with the light fault mix.
+        let report = run_plan(seed, &ChaosConfig::light(policy))
+            .map_err(|e| TestCaseError::fail(format!("harness error: {e}")))?;
+        prop_assert!(report.passed(policy), "seed {seed}: {report:?}");
+    }
+}

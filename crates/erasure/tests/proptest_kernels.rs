@@ -15,7 +15,7 @@ fn len_strategy() -> impl Strategy<Value = usize> {
         prop_oneof![Just(7usize), Just(8), Just(15), Just(16), Just(31), Just(32), Just(33)],
         65usize..=4096,
         // Past the mul_acc_many L1 blocking tile.
-        (16 * 1024 - 2)..=(16 * 1024 + 34),
+        (16usize * 1024 - 2)..=(16 * 1024 + 34),
     ]
 }
 

@@ -1,0 +1,171 @@
+//! A self-contained ChaCha8 stream used to expand a fault-plan seed into a
+//! schedule. The fault layer deliberately does not depend on an external RNG
+//! crate: the exact stream is part of the plan format (a seed printed in a
+//! failing soak's log must replay bit-identically on any build), so the
+//! generator lives here where no dependency upgrade can change it.
+
+/// ChaCha with 8 rounds, keyed from a 64-bit seed, used as a deterministic
+/// word stream.
+#[derive(Debug, Clone)]
+pub struct ChaCha8 {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    next_word: usize,
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// SplitMix64 finalizer: mixes a 64-bit value into an avalanche-quality hash.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ChaCha8 {
+    /// Expands `seed` into a 256-bit key (SplitMix64 chain) and starts the
+    /// stream at block 0.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut key = [0u32; 8];
+        let mut s = seed;
+        for pair in key.chunks_mut(2) {
+            s = mix64(s);
+            pair[0] = s as u32;
+            pair[1] = (s >> 32) as u32;
+        }
+        ChaCha8 {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            next_word: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] stay zero (nonce).
+        let input = state;
+        for _ in 0..4 {
+            quarter(&mut state, 0, 4, 8, 12);
+            quarter(&mut state, 1, 5, 9, 13);
+            quarter(&mut state, 2, 6, 10, 14);
+            quarter(&mut state, 3, 7, 11, 15);
+            quarter(&mut state, 0, 5, 10, 15);
+            quarter(&mut state, 1, 6, 11, 12);
+            quarter(&mut state, 2, 7, 8, 13);
+            quarter(&mut state, 3, 4, 9, 14);
+        }
+        for (o, i) in state.iter_mut().zip(input) {
+            *o = o.wrapping_add(i);
+        }
+        self.buf = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.next_word = 0;
+    }
+
+    /// The next 32-bit word of the stream.
+    pub fn next_u32(&mut self) -> u32 {
+        if self.next_word >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.next_word];
+        self.next_word += 1;
+        w
+    }
+
+    /// The next 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    /// A uniform value in `[0, bound)`. Returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // 128-bit multiply-shift: unbiased enough for schedules (bias is
+        // < 2^-64 relative), and branch-free.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Takes `count` distinct indices from `0..pool` (partial Fisher–Yates).
+    pub fn sample_indices(&mut self, pool: usize, count: usize) -> Vec<usize> {
+        let count = count.min(pool);
+        let mut all: Vec<usize> = (0..pool).collect();
+        for i in 0..count {
+            let j = i + self.below((pool - i) as u64) as usize;
+            all.swap(i, j);
+        }
+        all.truncate(count);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8::from_seed(42);
+        let mut b = ChaCha8::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8::from_seed(1);
+        let mut b = ChaCha8::from_seed(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = ChaCha8::from_seed(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = ChaCha8::from_seed(3);
+        let s = r.sample_indices(10, 4);
+        assert_eq!(s.len(), 4);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+        assert!(s.iter().all(|&i| i < 10));
+        // Requesting more than the pool clamps.
+        assert_eq!(r.sample_indices(3, 9).len(), 3);
+    }
+}

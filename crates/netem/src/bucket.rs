@@ -1,6 +1,7 @@
 //! A blocking token bucket: the building block of the emulated network.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// A token bucket refilled continuously at a fixed byte rate.
@@ -15,7 +16,9 @@ use std::time::{Duration, Instant};
 /// transfers bypass pacing.
 #[derive(Debug)]
 pub struct TokenBucket {
-    rate: f64,
+    /// Refill rate in bytes/s, stored as `f64` bits so it can be retuned at
+    /// runtime (straggler emulation) without taking the state lock on reads.
+    rate_bits: AtomicU64,
     burst: f64,
     state: Mutex<State>,
 }
@@ -38,7 +41,7 @@ impl TokenBucket {
             "token bucket rate must be finite and positive"
         );
         TokenBucket {
-            rate: rate_bytes_per_sec,
+            rate_bits: AtomicU64::new(rate_bytes_per_sec.to_bits()),
             burst: (rate_bytes_per_sec * 0.005).max(64.0 * 1024.0),
             state: Mutex::new(State {
                 available: 0.0,
@@ -49,18 +52,40 @@ impl TokenBucket {
 
     /// The refill rate in bytes per second.
     pub fn rate(&self) -> f64 {
-        self.rate
+        f64::from_bits(self.rate_bits.load(Ordering::Relaxed))
+    }
+
+    /// Retunes the refill rate (straggler emulation: a slow NIC or an
+    /// oversubscribed link). Tokens accrued so far are settled at the old
+    /// rate first, so a rate change never retroactively re-prices the past.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn set_rate(&self, rate_bytes_per_sec: f64) {
+        assert!(
+            rate_bytes_per_sec.is_finite() && rate_bytes_per_sec > 0.0,
+            "token bucket rate must be finite and positive"
+        );
+        let mut s = self.state.lock();
+        let now = Instant::now();
+        let elapsed = now.duration_since(s.last_refill).as_secs_f64();
+        s.available = (s.available + elapsed * self.rate()).min(self.burst);
+        s.last_refill = now;
+        self.rate_bits
+            .store(rate_bytes_per_sec.to_bits(), Ordering::Relaxed);
     }
 
     /// Blocks until `bytes` tokens have been drawn from the bucket.
     pub fn acquire(&self, bytes: u64) {
         let mut remaining = bytes as f64;
         while remaining > 0.0 {
+            let rate = self.rate();
             let wait = {
                 let mut s = self.state.lock();
                 let now = Instant::now();
                 let elapsed = now.duration_since(s.last_refill).as_secs_f64();
-                s.available = (s.available + elapsed * self.rate).min(self.burst);
+                s.available = (s.available + elapsed * rate).min(self.burst);
                 s.last_refill = now;
                 if s.available > 0.0 {
                     let take = s.available.min(remaining);
@@ -71,7 +96,7 @@ impl TokenBucket {
                     // Sleep for the time one chunk of the deficit needs,
                     // capped to keep wakeups responsive under contention.
                     let deficit = remaining.min(self.burst / 8.0).max(1.0);
-                    Some(Duration::from_secs_f64(deficit / self.rate))
+                    Some(Duration::from_secs_f64(deficit / rate))
                 }
             };
             if let Some(d) = wait {
@@ -85,7 +110,7 @@ impl TokenBucket {
         let mut s = self.state.lock();
         let now = Instant::now();
         let elapsed = now.duration_since(s.last_refill).as_secs_f64();
-        s.available = (s.available + elapsed * self.rate).min(self.burst);
+        s.available = (s.available + elapsed * self.rate()).min(self.burst);
         s.last_refill = now;
         if s.available >= bytes as f64 {
             s.available -= bytes as f64;
@@ -163,5 +188,27 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn zero_rate_rejected() {
         let _ = TokenBucket::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn set_rate_rejects_nonpositive() {
+        TokenBucket::new(1e6).set_rate(-1.0);
+    }
+
+    #[test]
+    fn set_rate_slows_future_acquires() {
+        // Throttle a 50 MB/s bucket to 2 MB/s: a 400 KB acquisition from an
+        // empty bucket now takes ~0.2 s instead of ~8 ms.
+        let b = TokenBucket::new(50e6);
+        b.set_rate(2e6);
+        assert_eq!(b.rate(), 2e6);
+        let start = Instant::now();
+        b.acquire(400_000);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(
+            (0.1..0.8).contains(&elapsed),
+            "expected ~0.2 s, got {elapsed}"
+        );
     }
 }

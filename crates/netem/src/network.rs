@@ -23,6 +23,9 @@ pub struct EmulatedNetwork {
 #[derive(Debug)]
 struct Inner {
     topo: ClusterTopology,
+    /// Unthrottled node-link bandwidth, kept so throttle factors compose
+    /// idempotently (always relative to the base, not the current rate).
+    node_base_rate: f64,
     node_up: Vec<TokenBucket>,
     node_down: Vec<TokenBucket>,
     rack_up: Vec<TokenBucket>,
@@ -37,6 +40,7 @@ impl EmulatedNetwork {
     pub fn new(topo: &ClusterTopology, node_bw: Bandwidth, rack_bw: Bandwidth) -> Self {
         let inner = Inner {
             topo: topo.clone(),
+            node_base_rate: node_bw.as_bytes_per_sec(),
             node_up: (0..topo.num_nodes())
                 .map(|_| TokenBucket::new(node_bw.as_bytes_per_sec()))
                 .collect(),
@@ -106,6 +110,25 @@ impl EmulatedNetwork {
             }
             left -= chunk;
         }
+    }
+
+    /// Throttles (or restores) a node's uplink and downlink to `factor`
+    /// times the base node bandwidth — the straggler knob of the fault
+    /// layer. Factors are always relative to the construction-time rate, so
+    /// `throttle_node(n, 1.0)` restores full speed regardless of history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn throttle_node(&self, node: NodeId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "throttle factor must be finite and positive"
+        );
+        let i = &self.inner;
+        let rate = i.node_base_rate * factor;
+        i.node_up[node.index()].set_rate(rate);
+        i.node_down[node.index()].set_rate(rate);
     }
 
     /// Total bytes moved across racks so far.
@@ -185,6 +208,20 @@ mod tests {
         net.transfer(NodeId(0), NodeId(1), 2_000_000);
         assert!(start.elapsed().as_secs_f64() < 0.8);
         assert_eq!(net.intra_rack_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn throttled_node_slows_and_restores() {
+        let topo = ClusterTopology::uniform(2, 1);
+        let net = EmulatedNetwork::new(&topo, bw(50.0), bw(50.0));
+        net.throttle_node(NodeId(0), 0.04); // 2 MB/s
+        let start = Instant::now();
+        net.transfer(NodeId(0), NodeId(1), 400_000);
+        assert!(start.elapsed().as_secs_f64() > 0.1, "straggler must pace");
+        net.throttle_node(NodeId(0), 1.0);
+        let start = Instant::now();
+        net.transfer(NodeId(0), NodeId(1), 400_000);
+        assert!(start.elapsed().as_secs_f64() < 0.1, "restore must unpace");
     }
 
     #[test]

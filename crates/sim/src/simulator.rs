@@ -343,7 +343,19 @@ impl<'a> Simulator<'a> {
             return Ok(());
         };
         let stripe = &self.stripes[stripe_idx];
-        let plan = self.policy.plan_encoding(stripe, &mut self.rng)?;
+        // Plans draw from a per-stripe RNG derived from (seed, stripe) rather
+        // than the shared stream, so a stripe's plan does not depend on how
+        // encode, write, and relocation events happen to interleave. Two runs
+        // that differ only in `simulate_relocation` therefore produce
+        // identical plans, and the relocation transfers are the sole
+        // difference between them.
+        let mut stripe_rng = ChaCha8Rng::seed_from_u64(
+            self.config
+                .seed
+                .rotate_left(17)
+                .wrapping_add((stripe_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let plan = self.policy.plan_encoding(stripe, &mut stripe_rng)?;
         self.report.cross_rack_downloads += plan.cross_rack_downloads();
         if plan.violated_rack_fault_tolerance() {
             self.report.stripes_with_relocation += 1;
@@ -363,7 +375,7 @@ impl<'a> Simulator<'a> {
                 .unwrap_or_else(|| {
                     *layout
                         .replicas
-                        .choose(&mut self.rng)
+                        .choose(&mut stripe_rng)
                         .expect("non-empty layout")
                 });
             let path = self.net.path(&self.topo, source, enc);

@@ -24,11 +24,16 @@ fn small_b2_config() -> SimConfig {
 fn ear_encodes_faster_than_rr() {
     let mut ear_wins = 0;
     for seed in 0..3 {
-        let base = small_b2_config().with_seed(seed);
+        // 60 stripes per run: at 20 the race between background traffic and
+        // encode transfers is noisy enough that a single seed's RNG stream
+        // can flip the ordering; at 60 EAR's ~20% margin dominates the noise
+        // for any uniform stream.
+        let mut base = small_b2_config().with_seed(seed);
+        base.stripes_per_process = 15;
         let ear = run(&base.clone().with_policy(PolicyKind::Ear)).unwrap();
         let rr = run(&base.with_policy(PolicyKind::Rr)).unwrap();
-        assert_eq!(ear.encode_completions.len(), 20);
-        assert_eq!(rr.encode_completions.len(), 20);
+        assert_eq!(ear.encode_completions.len(), 60);
+        assert_eq!(rr.encode_completions.len(), 60);
         if ear.encoding_throughput() > rr.encoding_throughput() {
             ear_wins += 1;
         }
@@ -185,13 +190,18 @@ fn testbed_config_reproduces_throughput_ordering_across_k() {
 fn simulating_relocation_slows_rr_but_not_ear() {
     // The paper skips relocation traffic, over-estimating RR (Experiment
     // B.2). Enabling it must cost RR encoding time and leave EAR untouched
-    // (EAR never relocates).
+    // (EAR never relocates). Encoding plans come from a per-stripe RNG, so
+    // the two RR runs are identical except for the relocation transfers —
+    // the throughput comparison is exact, not statistical.
     let base = SimConfig {
         racks: 6,
         nodes_per_rack: 4,
         erasure: ErasureParams::new(6, 4).unwrap(),
         encode_processes: 4,
-        stripes_per_process: 15,
+        // Enough stripes that a tight 6-rack RR cluster violates with
+        // near-certainty (~5% per stripe) regardless of the RNG stream, so
+        // the test does not pin a particular seed's bit-sequence.
+        stripes_per_process: 60,
         write_rate: 0.0,
         background_rate: 0.0,
         seed: 77,

@@ -1,5 +1,6 @@
 //! Error type shared by the EAR crates.
 
+use crate::ids::{BlockId, NodeId};
 use std::fmt;
 
 /// Convenient alias for `Result<T, ear_types::Error>`.
@@ -48,6 +49,35 @@ pub enum Error {
     ShardLengthMismatch,
     /// A generic invariant violation with context.
     Invariant(String),
+    /// A datanode (or its whole rack) is down and cannot serve the request.
+    NodeDown {
+        /// The unavailable node.
+        node: NodeId,
+    },
+    /// A block read failed checksum verification on a node.
+    CorruptBlock {
+        /// The block whose stored bytes no longer match their checksum.
+        block: BlockId,
+        /// The node that served the corrupt copy.
+        node: NodeId,
+    },
+    /// An operation kept failing after its whole retry budget was spent.
+    RetriesExhausted {
+        /// What was being attempted (e.g. `"download"`).
+        what: &'static str,
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+    /// No live, uncorrupted replica of a block could be found anywhere.
+    BlockUnavailable {
+        /// The block that could not be served.
+        block: BlockId,
+    },
+    /// A single I/O attempt failed transiently; retrying may succeed.
+    TransientIo {
+        /// The node whose I/O attempt failed.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for Error {
@@ -78,6 +108,19 @@ impl fmt::Display for Error {
             ),
             Error::ShardLengthMismatch => write!(f, "shards have inconsistent lengths"),
             Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+            Error::NodeDown { node } => write!(f, "{node} is down"),
+            Error::CorruptBlock { block, node } => {
+                write!(f, "{block} failed checksum verification on {node}")
+            }
+            Error::RetriesExhausted { what, attempts } => {
+                write!(f, "{what} still failing after {attempts} attempts")
+            }
+            Error::BlockUnavailable { block } => {
+                write!(f, "no live replica of {block} available")
+            }
+            Error::TransientIo { node } => {
+                write!(f, "transient i/o error on {node}")
+            }
         }
     }
 }
@@ -118,6 +161,17 @@ mod tests {
             },
             Error::ShardLengthMismatch,
             Error::Invariant("x".into()),
+            Error::NodeDown { node: NodeId(3) },
+            Error::CorruptBlock {
+                block: BlockId(9),
+                node: NodeId(1),
+            },
+            Error::RetriesExhausted {
+                what: "download",
+                attempts: 5,
+            },
+            Error::BlockUnavailable { block: BlockId(2) },
+            Error::TransientIo { node: NodeId(0) },
         ];
         for e in errs {
             let msg = e.to_string();

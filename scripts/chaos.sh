@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Long chaos soak: many seeded fault plans against the EAR and RR testbed
+# clusters (DESIGN.md §7 fault model, EXPERIMENTS.md chaos section).
+#
+#   scripts/chaos.sh                 # 200 plans/policy, mixed profile
+#   scripts/chaos.sh 1000            # 1000 plans/policy
+#   scripts/chaos.sh 500 heavy ear   # 500 heavy plans, EAR only
+#   CHAOS_SEED=77 scripts/chaos.sh   # shift the seed range
+#
+# Every plan is deterministic in its seed; a failing line names the seed and
+# exits non-zero, and `ear chaos --seed <s> --policy <p> --profile <pr>`
+# replays it exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PLANS="${1:-200}"
+PROFILE="${2:-mixed}"
+POLICY="${3:-both}"
+SEED="${CHAOS_SEED:-0}"
+
+cargo run -q --release --offline -p ear-cli -- chaos \
+    --plans "$PLANS" --profile "$PROFILE" --policy "$POLICY" --seed "$SEED"

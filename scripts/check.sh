@@ -20,3 +20,8 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --workspace --offline -- -D warnings
+
+# Chaos smoke: a fixed-seed fault-injection sweep over both policies
+# (DESIGN.md §7). Deterministic — any failure names the seed to replay
+# with `ear chaos --seed <s>`. scripts/chaos.sh runs the long soaks.
+cargo run -q --release --offline -p ear-cli -- chaos --plans 5 --seed 0 --profile mixed

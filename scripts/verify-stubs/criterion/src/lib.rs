@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`: just enough API that the workspace's
+//! bench targets compile and *run* (each closure executed a handful of
+//! times, timings printed without statistics). No reports, no measurement
+//! rigor — this exists so `cargo test/bench` typecheck and smoke the bench
+//! code when the registry is unreachable.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark in stub mode.
+const STUB_ITERS: u32 = 3;
+
+/// The benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// The default configuration.
+    pub fn default() -> Self {
+        Criterion
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("[criterion-stub] group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Hook for `criterion_main!`; nothing to finalize in the stub.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload (printed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("[criterion-stub]   throughput {t:?}");
+        self
+    }
+
+    /// Overrides the sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: fmt::Display, T, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&format!("{}/{}", self.name, id), &mut g);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { nanos: 0, runs: 0 };
+    f(&mut b);
+    let mean = if b.runs > 0 { b.nanos / b.runs as u128 } else { 0 };
+    println!("[criterion-stub]   {id}: ~{mean} ns/iter ({} iters)", b.runs);
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    nanos: u128,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Times `routine` a few stub iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..STUB_ITERS {
+            let start = Instant::now();
+            let out = routine();
+            self.nanos += start.elapsed().as_nanos();
+            self.runs += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Per-iteration workload declaration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark id (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and parameter.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a parameter only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Opaque-to-the-optimizer identity (best effort without intrinsics).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function(BenchmarkId::new("sum", 4), |b| {
+            b.iter(|| (0..4u64).map(black_box).sum::<u64>())
+        });
+        let input = 3u64;
+        group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_api_runs_closures() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

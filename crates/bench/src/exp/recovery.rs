@@ -6,8 +6,11 @@
 //! mini-CFS by failing nodes and running real degraded reads.
 
 use crate::{Scale, Table};
+use ear_cluster::chaos::{run_heal_plan, HealSoakConfig};
 use ear_cluster::{recover_node, ClusterConfig, ClusterPolicy, MiniCfs, RaidNode};
-use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig, Result};
+use ear_types::{
+    Bandwidth, ByteSize, EarConfig, ErasureParams, Error, NodeId, ReplicationConfig, Result,
+};
 
 /// One configuration's recovery measurements.
 #[derive(Debug, Clone)]
@@ -59,10 +62,14 @@ pub fn measure(c: usize, target_racks: Option<usize>, scale: Scale) -> Result<Re
     let (mut cross, mut total) = (0usize, 0usize);
     let mut fault_seed = cfs.fault_seed();
     for es in cfs.namenode().encoded_stripes() {
+        // An encoded stripe whose lead block has no registered location is
+        // unrecoverable input, not a harness bug: report it as such.
+        let block = es.data[0];
         let victim = cfs
             .namenode()
-            .locations(es.data[0])
-            .expect("encoded block registered")[0];
+            .locations(block)
+            .and_then(|locs| locs.first().copied())
+            .ok_or(Error::BlockUnavailable { block })?;
         let stats = recover_node(&cfs, victim)?;
         cross += stats.cross_rack_downloads;
         total += stats.blocks_downloaded;
@@ -113,12 +120,69 @@ pub fn run(scale: Scale) -> String {
          more cross-rack recovery traffic); c = n - k with two target racks keeps\n\
          recovery almost entirely intra-rack at the cost of single-rack tolerance.\n",
     );
+    out.push('\n');
+    out.push_str(&heal_section(scale));
     out
+}
+
+/// The self-healing companion measurement: seeded kill plans healed by the
+/// background scheduler, reporting MTTR (detection + repair, in healer
+/// rounds) and repair traffic per plan.
+fn heal_section(scale: Scale) -> String {
+    let plans = scale.pick(2, 8) as u64;
+    let cfg = HealSoakConfig::default();
+    let mut t = Table::new(&[
+        "seed",
+        "rounds",
+        "MTTR (rounds)",
+        "re-replicated",
+        "reconstructed",
+        "cross-rack repair KiB",
+        "result",
+    ]);
+    for seed in 0..plans {
+        match run_heal_plan(seed, &cfg) {
+            Ok(r) => t.row_owned(vec![
+                seed.to_string(),
+                r.heal.rounds.to_string(),
+                r.heal
+                    .mttr_rounds
+                    .map_or("-".into(), |m| m.to_string()),
+                r.heal.blocks_re_replicated.to_string(),
+                r.heal.shards_reconstructed.to_string(),
+                (r.heal.cross_rack_repair_bytes / 1024).to_string(),
+                if r.passed() { "healed".into() } else { "FAILED".into() },
+            ]),
+            Err(e) => t.row_owned(vec![
+                seed.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("error: {e}"),
+            ]),
+        }
+    }
+    format!(
+        "Self-healing MTTR ({} kills per plan, background healer; (6,4) RS,\n\
+         8 racks x 3 nodes, 3-way replication)\n\n{}",
+        cfg.kills,
+        t.render()
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn report_includes_heal_stats() {
+        let out = run(Scale::Quick);
+        assert!(out.contains("Self-healing MTTR"), "{out}");
+        assert!(out.contains("healed"), "{out}");
+        assert!(out.contains("cross-rack repair KiB"), "{out}");
+    }
 
     #[test]
     fn tradeoff_direction_holds() {

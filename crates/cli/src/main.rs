@@ -12,8 +12,8 @@ mod args;
 
 use args::{ArgError, Args};
 use ear_bench::{exp, Scale};
-use ear_cluster::chaos::{run_plan, ChaosConfig};
-use ear_cluster::ClusterPolicy;
+use ear_cluster::chaos::{run_heal_plan, run_plan, ChaosConfig, HealSoakConfig};
+use ear_cluster::{ClusterPolicy, HealerConfig};
 use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear_sim::{run as sim_run, PolicyKind, SimConfig};
 use ear_types::{
@@ -37,6 +37,8 @@ USAGE:
   ear analyze theorem1 --racks R --c C --k K
   ear chaos    [--policy rr|ear|both] [--plans N] [--seed S]
                [--profile light|heavy|mixed]
+  ear heal     [--plans N] [--seed S] [--kills K] [--stripes S]
+               [--max-rounds R] [--byte-budget B]
   ear list
 ";
 
@@ -62,6 +64,7 @@ fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
         ["place"] => place(&args),
         ["analyze", what] => analyze(what, &args),
         ["chaos"] => chaos(&args),
+        ["heal"] => heal(&args),
         other => Err(Box::new(ArgError(format!(
             "unknown command: {}",
             other.join(" ")
@@ -227,6 +230,59 @@ fn chaos(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     }
 }
 
+fn heal(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let plans: u64 = args.get_parsed("plans", 10)?;
+    let seed0: u64 = args.get_parsed("seed", 0)?;
+    let defaults = HealSoakConfig::default();
+    let cfg = HealSoakConfig {
+        stripes: args.get_parsed("stripes", defaults.stripes)?,
+        kills: args.get_parsed("kills", defaults.kills)?,
+        healer: HealerConfig {
+            max_rounds: args.get_parsed("max-rounds", defaults.healer.max_rounds)?,
+            round_byte_budget: args
+                .get_parsed("byte-budget", defaults.healer.round_byte_budget)?,
+            ..defaults.healer.clone()
+        },
+        ..defaults
+    };
+
+    let mut out = String::new();
+    let mut failures: Vec<u64> = Vec::new();
+    for seed in seed0..seed0 + plans {
+        let r = run_heal_plan(seed, &cfg)?;
+        let pass = r.passed();
+        if !pass {
+            failures.push(seed);
+        }
+        out.push_str(&format!(
+            "seed={seed:<4} acked={:<3} encoded={:<2} {} violations={} \
+             under-redundant={} lost={} {}\n",
+            r.acked_blocks,
+            r.encoded_stripes,
+            r.heal.summary(),
+            r.violations_after_heal,
+            r.under_redundant,
+            r.lost_blocks.len(),
+            if pass { "PASS" } else { "FAIL" },
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} heal plan(s), {} kill(s) each: {}",
+        plans,
+        cfg.kills,
+        if failures.is_empty() {
+            "all healed to full redundancy".to_string()
+        } else {
+            format!("{} FAILED: {failures:?}", failures.len())
+        }
+    ));
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(Box::new(ArgError(out)))
+    }
+}
+
 fn place(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let n: usize = args.get_parsed("n", 6)?;
     let k: usize = args.get_parsed("k", 4)?;
@@ -359,6 +415,15 @@ mod tests {
         .unwrap();
         assert!(out.contains("stripes encoded: 4"), "{out}");
         assert!(out.contains("cross-rack downloads: 0"), "{out}");
+    }
+
+    #[test]
+    fn heal_reports_convergence() {
+        let out = run_words(&["heal", "--plans", "2", "--seed", "11"]).unwrap();
+        assert!(out.contains("converged"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("all healed to full redundancy"), "{out}");
+        assert!(out.contains("mttr-rounds="), "{out}");
     }
 
     #[test]

@@ -19,12 +19,13 @@
 //! one number that reproduces it.
 
 use crate::cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
+use crate::healer::{Healer, HealerConfig};
 use crate::monitor::{plan_repairs, scan};
 use crate::raidnode::RaidNode;
 use crate::recovery::recover_node;
 use ear_faults::{FaultConfig, FaultPlan};
 use ear_types::{
-    Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, ErasureParams, NodeId,
+    Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, ErasureParams, HealStats, NodeId,
     ReplicationConfig, Result, StripeId,
 };
 use std::collections::{HashMap, HashSet};
@@ -312,6 +313,227 @@ fn verify_blocks(cfs: &MiniCfs, acked: &HashMap<BlockId, u64>, k: usize, report:
     report.lost_blocks.dedup();
 }
 
+/// Shape of one heal-soak run: kills land *mid-run* (during the write and
+/// encode phases), and the background [`Healer`] — not the one-shot repair
+/// loop — is responsible for bringing the cluster back.
+#[derive(Debug, Clone)]
+pub struct HealSoakConfig {
+    /// Stripes to seal before encoding (some written blocks stay
+    /// replicated, so both repair paths are exercised).
+    pub stripes: usize,
+    /// Nodes killed by the plan; clamped to `n - k` so every acknowledged
+    /// block stays within the code's tolerance.
+    pub kills: usize,
+    /// Background noise expanded from each seed (`node_crashes` is
+    /// overridden by [`HealSoakConfig::kills`]).
+    pub faults: FaultConfig,
+    /// Budgets of the healer under test.
+    pub healer: HealerConfig,
+}
+
+impl Default for HealSoakConfig {
+    fn default() -> Self {
+        HealSoakConfig {
+            stripes: 3,
+            kills: 2,
+            faults: FaultConfig {
+                node_crashes: 2,
+                rack_outages: 0,
+                stragglers: 0,
+                straggler_factor: 1.0,
+                transient_error_rate: 0.01,
+                corruption_rate: 0.01,
+                heartbeat_loss_rate: 0.02,
+                // Activate kills while the write phase is still running.
+                crash_window: 200,
+            },
+            healer: HealerConfig::default(),
+        }
+    }
+}
+
+/// What one heal-soak run observed. Passes when [`HealSoakReport::passed`].
+#[derive(Debug, Clone, Default)]
+pub struct HealSoakReport {
+    /// The plan seed this report reproduces from.
+    pub seed: u64,
+    /// Human-readable description of the executed plan.
+    pub plan: String,
+    /// Blocks whose write was acknowledged.
+    pub acked_blocks: usize,
+    /// Writes that failed with a typed error (unacknowledged; not a loss).
+    pub failed_writes: usize,
+    /// Stripes the encode job completed.
+    pub encoded_stripes: usize,
+    /// The healer's accumulated statistics (rounds, MTTR, repair traffic).
+    pub heal: HealStats,
+    /// Scan violations after the healer converged (must be 0).
+    pub violations_after_heal: usize,
+    /// Acknowledged blocks still below target redundancy after convergence
+    /// (must be 0): a replicated block short of its replica target, or an
+    /// encoded stripe member with no live copy.
+    pub under_redundant: usize,
+    /// Acked blocks that should have been recoverable but were not —
+    /// **the loss invariant; must be empty**.
+    pub lost_blocks: Vec<BlockId>,
+    /// Replicated acked blocks with every copy dead or corrupt (beyond
+    /// what replication tolerates; excluded from the loss invariant).
+    pub blocks_beyond_tolerance: usize,
+    /// Encoded stripes with more than `n - k` shards unavailable.
+    pub stripes_beyond_tolerance: usize,
+}
+
+impl HealSoakReport {
+    /// Whether the healer restored every acknowledged block to target
+    /// redundancy, violation-free, without losing data.
+    pub fn passed(&self) -> bool {
+        self.heal.converged
+            && self.lost_blocks.is_empty()
+            && self.violations_after_heal == 0
+            && self.under_redundant == 0
+    }
+}
+
+/// The cluster shape heal soaks use: 8 racks × 3 nodes so two kills still
+/// leave every rack usable, 3-way replication (HDFS default) so replicated
+/// blocks survive two simultaneous failures, (6,4) RS for `n - k = 2`.
+fn heal_cluster(seed: u64) -> Result<ClusterConfig> {
+    let ear = EarConfig::new(
+        ErasureParams::new(6, 4)?,
+        ReplicationConfig::hdfs_default(),
+        1,
+    )?;
+    Ok(ClusterConfig {
+        racks: 8,
+        nodes_per_rack: 3,
+        block_size: ByteSize::kib(64),
+        node_bandwidth: Bandwidth::bytes_per_sec(512e6),
+        rack_bandwidth: Bandwidth::bytes_per_sec(512e6),
+        ear,
+        policy: ClusterPolicy::Ear,
+        seed: seed ^ 0x4EA1,
+    })
+}
+
+/// Runs one seeded heal soak: write → encode with kills landing mid-run,
+/// then hand the degraded cluster to the background [`Healer`] and verify
+/// it restores full redundancy within its round budget.
+///
+/// # Errors
+///
+/// Returns an error only on harness-level failures (a cluster that cannot
+/// boot). A stalled healer is *data*: `heal.converged` stays `false` and
+/// [`HealSoakReport::passed`] fails.
+pub fn run_heal_plan(seed: u64, cfg: &HealSoakConfig) -> Result<HealSoakReport> {
+    let cluster_cfg = heal_cluster(seed)?;
+    let topo = ClusterTopology::uniform(cluster_cfg.racks, cluster_cfg.nodes_per_rack);
+    let k = cluster_cfg.ear.erasure().k();
+    let n = cluster_cfg.ear.erasure().n();
+    let faults = FaultConfig {
+        node_crashes: cfg.kills.min(n - k),
+        ..cfg.faults.clone()
+    };
+    let plan = FaultPlan::generate(seed, &topo, &faults);
+    let mut report = HealSoakReport {
+        seed,
+        plan: plan.to_string(),
+        ..HealSoakReport::default()
+    };
+    let cfs = MiniCfs::with_faults(cluster_cfg, plan)?;
+    let nodes = cfs.topology().num_nodes() as u64;
+
+    // Write until enough stripes seal, plus a handful of extra blocks that
+    // stay replicated so the soak exercises re-replication too.
+    let mut acked: HashMap<BlockId, u64> = HashMap::new();
+    let max_writes = (cfg.stripes * k * 4) as u64;
+    let mut tag = 0u64;
+    while cfs.namenode().pending_stripe_count() < cfg.stripes && tag < max_writes {
+        match cfs.write_block(NodeId((tag % nodes) as u32), cfs.make_block(tag)) {
+            Ok(id) => {
+                acked.insert(id, tag);
+            }
+            Err(_) => report.failed_writes += 1,
+        }
+        tag += 1;
+    }
+    for extra in 0..3 {
+        let t = tag + extra;
+        if let Ok(id) = cfs.write_block(NodeId((t % nodes) as u32), cfs.make_block(t)) {
+            acked.insert(id, t);
+        } else {
+            report.failed_writes += 1;
+        }
+    }
+    report.acked_blocks = acked.len();
+
+    let (stats, relocations) = RaidNode::encode_all(&cfs, 4)?;
+    report.encoded_stripes = stats.stripes;
+    let mut relocations = relocations;
+    relocations.retain(|&(b, from, _)| cfs.datanode(from).contains(b));
+    let _ = RaidNode::relocate(&cfs, &relocations);
+
+    // The healer is now on its own: detect the kills via heartbeats, drain
+    // the degraded queues, scrub, converge.
+    let mut healer = Healer::with_config(&cfs, cfg.healer.clone());
+    report.heal = match healer.run_to_convergence() {
+        Ok(stats) => stats,
+        // Stalled: keep the partial stats (converged stays false).
+        Err(_) => healer.stats().clone(),
+    };
+
+    report.violations_after_heal = scan(&cfs).len();
+    count_redundancy(&cfs, &acked, &mut report);
+    verify_heal_blocks(&cfs, &acked, k, &mut report);
+    Ok(report)
+}
+
+/// Counts acked blocks still short of target redundancy, judged by the
+/// injector's ground truth (not the detector's view): replicated blocks
+/// must have their full replica count on live nodes, stripe members at
+/// least one live copy.
+fn count_redundancy(cfs: &MiniCfs, acked: &HashMap<BlockId, u64>, report: &mut HealSoakReport) {
+    let inj = cfs.injector();
+    let want = cfs.config().ear.replication().replicas();
+    let live_copies = |b: BlockId| {
+        cfs.namenode()
+            .locations(b)
+            .map_or(0, |locs| {
+                locs.iter()
+                    .filter(|&&h| !inj.node_down(h) && cfs.datanode(h).contains(b))
+                    .count()
+            })
+    };
+    let mut in_stripe: HashSet<BlockId> = HashSet::new();
+    for es in cfs.namenode().encoded_stripes() {
+        for &b in es.data.iter().chain(es.parity.iter()) {
+            in_stripe.insert(b);
+            if live_copies(b) == 0 {
+                report.under_redundant += 1;
+            }
+        }
+    }
+    for &b in acked.keys() {
+        if !in_stripe.contains(&b) && live_copies(b) < want {
+            report.under_redundant += 1;
+        }
+    }
+}
+
+/// The loss invariant for heal soaks: same direct-inspection check as
+/// [`verify_blocks`], against the healed cluster state.
+fn verify_heal_blocks(
+    cfs: &MiniCfs,
+    acked: &HashMap<BlockId, u64>,
+    k: usize,
+    report: &mut HealSoakReport,
+) {
+    let mut scratch = ChaosReport::default();
+    verify_blocks(cfs, acked, k, &mut scratch);
+    report.lost_blocks = scratch.lost_blocks;
+    report.blocks_beyond_tolerance = scratch.blocks_beyond_tolerance;
+    report.stripes_beyond_tolerance = scratch.stripes_beyond_tolerance;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +568,38 @@ mod tests {
         assert_eq!(a.plan, b.plan);
         assert_eq!(a.acked_blocks, b.acked_blocks);
         assert_eq!(a.lost_blocks, b.lost_blocks);
+    }
+
+    #[test]
+    fn heal_soak_restores_redundancy_after_mid_run_kills() {
+        let cfg = HealSoakConfig::default();
+        let r = run_heal_plan(11, &cfg).unwrap();
+        assert!(r.passed(), "{r:?}");
+        assert!(r.acked_blocks > 0);
+        assert!(r.heal.converged);
+        assert!(r.heal.rounds <= cfg.healer.max_rounds);
+    }
+
+    #[test]
+    fn fault_free_heal_soak_records_no_repairs() {
+        let cfg = HealSoakConfig {
+            kills: 0,
+            faults: FaultConfig {
+                node_crashes: 0,
+                rack_outages: 0,
+                stragglers: 0,
+                straggler_factor: 1.0,
+                transient_error_rate: 0.0,
+                corruption_rate: 0.0,
+                heartbeat_loss_rate: 0.0,
+                crash_window: 1,
+            },
+            ..HealSoakConfig::default()
+        };
+        let r = run_heal_plan(5, &cfg).unwrap();
+        assert!(r.passed(), "{r:?}");
+        assert_eq!(r.failed_writes, 0);
+        assert_eq!(r.heal.scrub_hits, 0);
+        assert!(r.heal.mttr_rounds.is_none(), "nothing ever degraded");
     }
 }

@@ -1,12 +1,16 @@
 //! The mini-CFS facade: DataNodes + NameNode + emulated network.
 
 use crate::datanode::DataNode;
+use crate::health::{FailureDetector, HealthConfig, HealthTransition};
 use crate::namenode::NameNode;
 use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear_erasure::ReedSolomon;
 use ear_faults::{crc32c, FaultInjector, FaultPlan, IoFault};
 use ear_netem::EmulatedNetwork;
-use ear_types::{Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, Error, NodeId, Result};
+use ear_types::{
+    Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, Error, NodeHealth, NodeId, Result,
+};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -80,6 +84,7 @@ pub struct MiniCfs {
     net: EmulatedNetwork,
     codec: ReedSolomon,
     injector: FaultInjector,
+    health: Mutex<FailureDetector>,
 }
 
 impl MiniCfs {
@@ -122,6 +127,10 @@ impl MiniCfs {
         for &(node, factor) in injector.stragglers() {
             net.throttle_node(node, factor);
         }
+        let health = Mutex::new(FailureDetector::new(
+            topo.num_nodes(),
+            HealthConfig::default(),
+        ));
         Ok(MiniCfs {
             config,
             topo,
@@ -130,7 +139,39 @@ impl MiniCfs {
             net,
             codec,
             injector,
+            health,
         })
+    }
+
+    /// Advances the heartbeat clock one tick: every DataNode that is up
+    /// emits a beat (a beat may still be lost in transit per the fault
+    /// plan's heartbeat-loss rate), and the NameNode-side failure detector
+    /// observes the arrivals. Returns the health transitions the tick
+    /// caused. Deterministic: which beats arrive is a pure function of the
+    /// fault seed, the tick number, and the injector's crash activations.
+    pub fn heartbeat_tick(&self) -> Vec<HealthTransition> {
+        let mut det = self.health.lock();
+        let tick = det.next_tick();
+        let beats: Vec<bool> = self
+            .topo
+            .nodes()
+            .map(|n| !self.injector.node_down(n) && !self.injector.drops_heartbeat(n, tick))
+            .collect();
+        det.observe(&beats)
+    }
+
+    /// The failure detector's current view of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        self.health.lock().health(node)
+    }
+
+    /// The failure detector's view of every node, indexed by node id.
+    pub fn health_snapshot(&self) -> Vec<NodeHealth> {
+        self.health.lock().snapshot()
     }
 
     /// The fault injector in force (a no-op one unless the cluster was

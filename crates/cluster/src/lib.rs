@@ -14,7 +14,10 @@
 //!   redundant replicas — plus the BlockMover that repairs RR's
 //!   fault-tolerance violations;
 //! * [`mapreduce`] — a miniature MapReduce engine for the SWIM workload
-//!   replay of Experiment A.3.
+//!   replay of Experiment A.3;
+//! * [`health`] / [`healer`] — the self-healing control plane: seeded-clock
+//!   heartbeats into a phi-style failure detector, degraded-state priority
+//!   queues, and the budgeted background repair scheduler (DESIGN.md §8).
 //!
 //! # Example
 //!
@@ -43,15 +46,23 @@
 pub mod chaos;
 mod cluster;
 mod datanode;
+pub mod healer;
+pub mod health;
 pub mod mapreduce;
 mod monitor;
 mod namenode;
 mod raidnode;
 mod recovery;
 
-pub use chaos::{run_plan, ChaosConfig, ChaosReport};
+pub use chaos::{
+    run_heal_plan, run_plan, ChaosConfig, ChaosReport, HealSoakConfig, HealSoakReport,
+};
 pub use cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
 pub use datanode::DataNode;
+pub use healer::{Healer, HealerConfig, RoundReport};
+pub use health::{
+    DegradedTracker, FailureDetector, HealthConfig, HealthTransition, RepairKind, RepairTask,
+};
 pub use monitor::{plan_repairs, scan, Violation};
 pub use namenode::{EncodedStripe, NameNode, PendingStripe};
 pub use raidnode::{EncodeStats, RaidNode, Relocation};

@@ -63,7 +63,9 @@ pub fn scan(cfs: &MiniCfs) -> Vec<Violation> {
 pub fn plan_repairs(cfs: &MiniCfs, violations: &[Violation]) -> Vec<Relocation> {
     let topo = cfs.topology();
     let c = cfs.config().ear.c();
-    let mut rng = ChaCha8Rng::seed_from_u64(0x510C);
+    // Derived from the cluster seed so two clusters differing only in seed
+    // plan different (but individually reproducible) repairs.
+    let mut rng = ChaCha8Rng::seed_from_u64(cfs.config().seed ^ 0x510C);
     let encoded: HashMap<StripeId, EncodedStripe> = cfs
         .namenode()
         .encoded_stripes()
@@ -91,11 +93,15 @@ pub fn plan_repairs(cfs: &MiniCfs, violations: &[Violation]) -> Vec<Relocation> 
         for (i, &(_, n)) in placement.iter().enumerate() {
             per_rack.entry(topo.rack_of(n)).or_default().push(i);
         }
-        let used: HashSet<NodeId> = placement.iter().map(|&(_, n)| n).collect();
+        let mut used: HashSet<NodeId> = placement.iter().map(|&(_, n)| n).collect();
         let mut load: HashMap<RackId, usize> =
             per_rack.iter().map(|(&r, v)| (r, v.len())).collect();
-        // Move surplus blocks out of overloaded racks.
-        for (&rack, members) in &per_rack {
+        // Move surplus blocks out of overloaded racks, in rack order so the
+        // plan is a pure function of cluster state and seed (HashMap
+        // iteration order is not).
+        let mut by_rack: Vec<(RackId, Vec<usize>)> = per_rack.into_iter().collect();
+        by_rack.sort_by_key(|&(r, _)| r);
+        for (rack, members) in by_rack {
             let surplus = members.len().saturating_sub(c);
             for &idx in members.iter().take(surplus) {
                 let (block, from) = placement[idx];
@@ -116,6 +122,11 @@ pub fn plan_repairs(cfs: &MiniCfs, violations: &[Violation]) -> Vec<Relocation> 
                     .collect();
                 if let Some(&to) = free.choose(&mut rng) {
                     out.push((block, from, to));
+                    // The destination now holds a stripe block: without
+                    // marking it used, two surplus blocks of one stripe can
+                    // land on the same node (a node-clash violation the
+                    // next scan would re-report).
+                    used.insert(to);
                     *load.entry(dst_rack).or_insert(0) += 1;
                     *load.entry(rack).or_insert(surplus) -= 1;
                     placement[idx].1 = to;
@@ -205,6 +216,119 @@ mod tests {
         assert!(!repairs.is_empty());
         RaidNode::relocate(&cfs, &repairs).unwrap();
         assert!(scan(&cfs).is_empty(), "repairs must clear the violations");
+    }
+
+    #[test]
+    fn surplus_blocks_never_land_on_one_node() {
+        // Regression: plan_repairs once never added chosen destinations to
+        // its used set, so two surplus blocks of one stripe could be planned
+        // onto the same node, and iterated monitor repair never converged.
+        let ear = EarConfig::new(
+            ErasureParams::new(6, 4).unwrap(),
+            ReplicationConfig::two_way(),
+            2,
+        )
+        .unwrap();
+        let cfg = ClusterConfig {
+            racks: 4,
+            nodes_per_rack: 2,
+            block_size: ByteSize::kib(64),
+            node_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            rack_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            ear,
+            policy: ClusterPolicy::Ear,
+            seed: 79,
+        };
+        let cfs = MiniCfs::new(cfg).unwrap();
+        let nodes = cfs.topology().num_nodes() as u64;
+        let mut i = 0u64;
+        while cfs.namenode().pending_stripe_count() < 1 {
+            let data = cfs.make_block(i);
+            cfs.write_block(NodeId((i % nodes) as u32), data).unwrap();
+            i += 1;
+        }
+        RaidNode::encode_all(&cfs, 2).unwrap();
+        let es = &cfs.namenode().encoded_stripes()[0];
+        let members: Vec<_> = es.data.iter().chain(es.parity.iter()).copied().collect();
+        let topo = cfs.topology();
+        let holder = |b| cfs.namenode().locations(b).unwrap()[0];
+        // Cram a second rack's blocks into the first stripe rack: 4 blocks
+        // in one rack under c = 2 gives two surplus moves.
+        let rack_a = topo.rack_of(holder(members[0]));
+        let movers: Vec<_> = members
+            .iter()
+            .copied()
+            .filter(|&b| topo.rack_of(holder(b)) != rack_a)
+            .take(2)
+            .collect();
+        let a_nodes = topo.nodes_in_rack(rack_a).to_vec();
+        assert!(movers.len() >= 2, "need two blocks to relocate into rack A");
+        for (&b, &dst) in movers.iter().zip(a_nodes.iter()) {
+            let old = holder(b);
+            let data = cfs.datanode(old).get(b).unwrap();
+            cfs.datanode(dst).put(b, data);
+            cfs.datanode(old).delete(b);
+            cfs.namenode().set_locations(b, vec![dst]);
+        }
+        assert!(!scan(&cfs).is_empty(), "manufactured overload must be seen");
+        // Iterated monitor repair must converge, never stacking two planned
+        // destinations on one node.
+        for _ in 0..4 {
+            let violations = scan(&cfs);
+            if violations.is_empty() {
+                break;
+            }
+            let plan = plan_repairs(&cfs, &violations);
+            let mut dests = HashSet::new();
+            for &(_, _, to) in &plan {
+                assert!(dests.insert(to), "two surplus blocks planned onto {to}");
+            }
+            RaidNode::relocate(&cfs, &plan).unwrap();
+        }
+        assert!(scan(&cfs).is_empty(), "iterated repair must converge");
+    }
+
+    #[test]
+    fn repair_plans_replay_from_the_cluster_seed() {
+        // plan_repairs derives its RNG from the cluster seed (not a
+        // hard-coded constant), and is a pure function of cluster state:
+        // booting the identical cluster twice plans identical repairs.
+        // Encoding runs single-threaded here so the two cluster states are
+        // bit-identical (parallel encode interleaves policy RNG draws).
+        let build = || {
+            let cfs = boot(ClusterPolicy::Ear);
+            let nodes = cfs.topology().num_nodes() as u64;
+            let mut i = 0u64;
+            while cfs.namenode().pending_stripe_count() < 2 {
+                let data = cfs.make_block(i);
+                cfs.write_block(NodeId((i % nodes) as u32), data).unwrap();
+                i += 1;
+            }
+            RaidNode::encode_all(&cfs, 1).unwrap();
+            let es = &cfs.namenode().encoded_stripes()[0];
+            let b0 = es.data[0];
+            let b1 = es.data[1];
+            let n0 = cfs.namenode().locations(b0).unwrap()[0];
+            let rack = cfs.topology().rack_of(n0);
+            let other = cfs
+                .topology()
+                .nodes_in_rack(rack)
+                .iter()
+                .copied()
+                .find(|&n| n != n0)
+                .unwrap();
+            let old = cfs.namenode().locations(b1).unwrap()[0];
+            let data = cfs.datanode(old).get(b1).unwrap();
+            cfs.datanode(other).put(b1, data);
+            cfs.datanode(old).delete(b1);
+            cfs.namenode().set_locations(b1, vec![other]);
+            let violations = scan(&cfs);
+            plan_repairs(&cfs, &violations)
+        };
+        let a = build();
+        let b = build();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same cluster seed must replay the same plan");
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct NameNode {
 struct Meta {
     /// Current replica locations of every live block.
     locations: HashMap<BlockId, Vec<NodeId>>,
+    /// The layout each block was *assigned* at allocation time. Stripe
+    /// sealing matches against this, never against `locations`: repair can
+    /// move replicas (a healed block's location set diverges from its
+    /// placement) without breaking the policy's layout-identity bookkeeping.
+    assigned: HashMap<BlockId, Vec<NodeId>>,
     /// Stripes sealed by the policy but not yet encoded.
     pending: Vec<PendingStripe>,
     /// Stripes that have been encoded.
@@ -89,6 +94,7 @@ impl NameNode {
         let id = Bid(meta.next_block);
         meta.next_block += 1;
         meta.locations.insert(id, placed.layout.replicas.clone());
+        meta.assigned.insert(id, placed.layout.replicas.clone());
         meta.unsealed.push(id);
         if let Some(plan) = placed.sealed_stripe {
             let k = plan.num_blocks();
@@ -119,6 +125,31 @@ impl NameNode {
     /// relocates blocks).
     pub fn set_locations(&self, block: BlockId, nodes: Vec<NodeId>) {
         self.state.lock().locations.insert(block, nodes);
+    }
+
+    /// Removes one node from a block's location set (a replica declared
+    /// lost by the failure detector, or dropped by the scrubber). Returns
+    /// whether the node was listed.
+    pub fn drop_location(&self, block: BlockId, node: NodeId) -> bool {
+        let mut meta = self.state.lock();
+        match meta.locations.get_mut(&block) {
+            Some(locs) => {
+                let before = locs.len();
+                locs.retain(|&n| n != node);
+                locs.len() < before
+            }
+            None => false,
+        }
+    }
+
+    /// Adds one node to a block's location set (a repaired copy landed).
+    /// No-op if the node is already listed.
+    pub fn add_location(&self, block: BlockId, node: NodeId) {
+        let mut meta = self.state.lock();
+        let locs = meta.locations.entry(block).or_default();
+        if !locs.contains(&node) {
+            locs.push(node);
+        }
     }
 
     /// Registers a brand-new block (parity) at fixed locations, returning
@@ -197,7 +228,7 @@ fn take_stripe_blocks(meta: &mut Meta, plan: &StripePlan) -> Result<Vec<BlockId>
         let pos = meta
             .unsealed
             .iter()
-            .rposition(|b| meta.locations.get(b).map(Vec::as_slice) == Some(&layout.replicas))
+            .rposition(|b| meta.assigned.get(b).map(Vec::as_slice) == Some(&layout.replicas))
             .ok_or_else(|| {
                 ear_types::Error::Invariant(
                     "sealed stripe's block must be among unsealed blocks".into(),
@@ -277,6 +308,40 @@ mod tests {
                 assert!(locs.iter().any(|&n| topo.rack_of(n) == core));
             }
         }
+    }
+
+    #[test]
+    fn drop_and_add_location_round_trip() {
+        let nn = rr_namenode();
+        let (id, layout) = nn.allocate_block().unwrap();
+        let lost = layout[0];
+        assert!(nn.drop_location(id, lost));
+        assert!(!nn.drop_location(id, lost), "second drop is a no-op");
+        assert!(!nn.locations(id).unwrap().contains(&lost));
+        nn.add_location(id, NodeId(31));
+        nn.add_location(id, NodeId(31));
+        let locs = nn.locations(id).unwrap();
+        assert_eq!(locs.iter().filter(|&&n| n == NodeId(31)).count(), 1);
+        assert!(!nn.drop_location(BlockId(999), NodeId(0)));
+    }
+
+    #[test]
+    fn healed_locations_do_not_break_ear_sealing() {
+        // Repair moves a replica of a not-yet-sealed block; stripes must
+        // still seal afterwards because matching uses assigned layouts,
+        // not live locations.
+        let topo = ClusterTopology::uniform(8, 4);
+        let policy = EncodingAwareReplication::new(cfg(), topo.clone());
+        let nn = NameNode::new(topo, Box::new(policy), 5);
+        let (first, layout) = nn.allocate_block().unwrap();
+        nn.drop_location(first, layout[0]);
+        nn.add_location(first, NodeId(31));
+        let mut sealed = 0usize;
+        for _ in 0..64 {
+            nn.allocate_block().expect("sealing survives healed layouts");
+            sealed += nn.take_pending_stripes().len();
+        }
+        assert!(sealed > 0, "EAR must keep sealing stripes");
     }
 
     #[test]

@@ -16,6 +16,196 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Outcome of rebuilding one stripe block by degraded read — enough for the
+/// caller to account traffic (every count is in whole blocks; multiply by the
+/// block size for bytes).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardRepair {
+    /// Where the rebuilt block now lives.
+    pub placement: NodeId,
+    /// Surviving blocks downloaded (normally exactly `k`).
+    pub downloads: usize,
+    /// Downloads that crossed racks.
+    pub cross_rack_downloads: usize,
+    /// Whether the rebuilt block was shipped from the recovery node to a
+    /// different node (`false` when it stayed where it was decoded).
+    pub uploaded: bool,
+    /// Whether that shipment crossed racks.
+    pub upload_cross_rack: bool,
+}
+
+/// Rebuilds the single stripe block `block` (a member of `members`, the
+/// stripe's blocks in generator order) by downloading any `k` surviving
+/// members, decoding, and placing the rebuilt copy where the stripe's
+/// rack-level constraint (≤ `c` blocks per rack, distinct nodes) still holds.
+/// Updates the NameNode's location map and the destination DataNode's store.
+///
+/// `live` says which nodes the caller trusts for I/O (the failure detector's
+/// view for the healer, the injector's for direct node recovery); `bad_dst`
+/// vetoes placement destinations the caller knows serve corrupt copies of
+/// this block. Both sources and the recovery node are drawn from `live`.
+///
+/// This is the shared core of [`recover_node`] and the background healer.
+pub(crate) fn reconstruct_stripe_block(
+    cfs: &MiniCfs,
+    members: &[BlockId],
+    block: BlockId,
+    live: &dyn Fn(NodeId) -> bool,
+    bad_dst: &dyn Fn(NodeId) -> bool,
+    rng: &mut ChaCha8Rng,
+) -> Result<ShardRepair> {
+    let topo = cfs.topology();
+    let k = cfs.codec().params().k();
+    let n = cfs.codec().params().n();
+    debug_assert_eq!(members.len(), n);
+
+    // Choose the recovery node: a live node in the rack holding the most
+    // *reachable* surviving stripe blocks (the best case Section III-D
+    // argues about), that does not already hold a block of the stripe. A
+    // holder that is down is unreachable as a source, but still counts as
+    // "used" for placement purposes.
+    let holder_any = |b: BlockId| -> Option<NodeId> {
+        cfs.namenode().locations(b).and_then(|l| l.first().copied())
+    };
+    let holder_live = |b: BlockId| -> Option<NodeId> {
+        cfs.namenode()
+            .locations(b)
+            .and_then(|l| l.into_iter().find(|&h| live(h)))
+    };
+    let mut rack_count: HashMap<u32, usize> = HashMap::new();
+    for &m in members {
+        if m == block {
+            continue;
+        }
+        if let Some(h) = holder_live(m) {
+            *rack_count.entry(topo.rack_of(h).0).or_insert(0) += 1;
+        }
+    }
+    let best_rack = rack_count
+        .iter()
+        .max_by_key(|&(r, c)| (*c, std::cmp::Reverse(*r)))
+        .map(|(&r, _)| ear_types::RackId(r))
+        .ok_or_else(|| Error::Invariant("stripe has no surviving blocks".into()))?;
+    let used: Vec<NodeId> = members.iter().filter_map(|&m| holder_any(m)).collect();
+    let all_live: Vec<NodeId> = topo.nodes().filter(|&nd| live(nd)).collect();
+    let recovery_node = match topo
+        .nodes_in_rack(best_rack)
+        .iter()
+        .copied()
+        .filter(|nd| !used.contains(nd) && live(*nd))
+        .collect::<Vec<_>>()
+        .choose(rng)
+        .copied()
+    {
+        Some(nd) => nd,
+        None => *all_live
+            .choose(rng)
+            .ok_or_else(|| Error::Invariant("no live node to run recovery".into()))?,
+    };
+
+    // Download any k reachable surviving blocks, preferring intra-rack
+    // sources; a source that keeps failing is skipped in favour of the next
+    // until k shards are in hand.
+    let mut sources: Vec<(usize, BlockId, NodeId)> = members
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m != block)
+        .filter_map(|(idx, &m)| holder_live(m).map(|h| (idx, m, h)))
+        .collect();
+    sources.sort_by_key(|&(_, _, h)| topo.rack_of(h) != topo.rack_of(recovery_node));
+    if sources.len() < k {
+        return Err(Error::NotEnoughShards {
+            available: sources.len(),
+            required: k,
+        });
+    }
+    let mut repair = ShardRepair {
+        placement: recovery_node,
+        downloads: 0,
+        cross_rack_downloads: 0,
+        uploaded: false,
+        upload_cross_rack: false,
+    };
+    let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+    let mut got = 0usize;
+    for &(idx, m, h) in &sources {
+        if got == k {
+            break;
+        }
+        for attempt in 0..IO_ATTEMPTS {
+            match cfs.fetch_block_from(h, recovery_node, m, attempt) {
+                Ok(data) => {
+                    if topo.rack_of(h) != topo.rack_of(recovery_node) {
+                        repair.cross_rack_downloads += 1;
+                    }
+                    repair.downloads += 1;
+                    shards[idx] = Some(data.as_ref().clone());
+                    got += 1;
+                    break;
+                }
+                Err(Error::TransientIo { .. }) => backoff(attempt),
+                Err(_) => break,
+            }
+        }
+    }
+    if got < k {
+        return Err(Error::NotEnoughShards {
+            available: got,
+            required: k,
+        });
+    }
+    cfs.codec().reconstruct(&mut shards)?;
+    let lost_idx = members
+        .iter()
+        .position(|&m| m == block)
+        .ok_or_else(|| Error::Invariant(format!("{block} not a member of its stripe")))?;
+    let rebuilt = shards[lost_idx]
+        .take()
+        .ok_or_else(|| Error::Invariant(format!("{block} not reconstructed")))?;
+
+    // Store the rebuilt block where the stripe's rack constraint still
+    // holds: a rack with fewer than c surviving stripe blocks, on a node not
+    // already holding one (and not one known to corrupt this block).
+    let c = cfs.config().ear.c();
+    let mut per_rack: HashMap<u32, usize> = HashMap::new();
+    for &h in &used {
+        *per_rack.entry(topo.rack_of(h).0).or_insert(0) += 1;
+    }
+    let placement = if per_rack
+        .get(&topo.rack_of(recovery_node).0)
+        .copied()
+        .unwrap_or(0)
+        < c
+        && !used.contains(&recovery_node)
+        && !bad_dst(recovery_node)
+    {
+        recovery_node
+    } else {
+        all_live
+            .iter()
+            .copied()
+            .filter(|&nd| {
+                !used.contains(&nd)
+                    && !bad_dst(nd)
+                    && per_rack.get(&topo.rack_of(nd).0).copied().unwrap_or(0) < c
+            })
+            .collect::<Vec<_>>()
+            .choose(rng)
+            .copied()
+            .unwrap_or(recovery_node)
+    };
+    if placement != recovery_node {
+        cfs.network()
+            .transfer(recovery_node, placement, rebuilt.len() as u64);
+        repair.uploaded = true;
+        repair.upload_cross_rack = topo.rack_of(placement) != topo.rack_of(recovery_node);
+    }
+    repair.placement = placement;
+    cfs.datanode(placement).put(block, Arc::new(rebuilt));
+    cfs.namenode().set_locations(block, vec![placement]);
+    Ok(repair)
+}
+
 /// Statistics of one node-recovery operation.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryStats {
@@ -57,8 +247,6 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
     };
     let mut rng = ChaCha8Rng::seed_from_u64(failed.0 as u64 ^ 0x5EC0);
     let topo = cfs.topology();
-    let k = cfs.codec().params().k();
-    let n = cfs.codec().params().n();
 
     // Index encoded stripes by member block for quick lookup.
     let encoded = cfs.namenode().encoded_stripes();
@@ -152,144 +340,14 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
             .ok_or_else(|| Error::Invariant(format!("{block} has no replicas and no stripe")))?;
         let es = &encoded[si];
         let members: Vec<BlockId> = es.data.iter().chain(es.parity.iter()).copied().collect();
-        debug_assert_eq!(members.len(), n);
-
-        // Choose the recovery node: a healthy node in the rack holding the
-        // most *reachable* surviving stripe blocks (the best case Section
-        // III-D argues about), that does not already hold a block of the
-        // stripe. A holder the fault plan has taken down is unreachable as
-        // a source, but still counts as "used" for placement purposes.
-        let holder_any = |b: BlockId| -> Option<NodeId> {
-            cfs.namenode().locations(b).and_then(|l| l.first().copied())
-        };
-        let holder_live = |b: BlockId| -> Option<NodeId> {
-            cfs.namenode()
-                .locations(b)
-                .and_then(|l| l.into_iter().find(|&h| !cfs.injector().node_down(h)))
-        };
-        let mut rack_count: HashMap<u32, usize> = HashMap::new();
-        for &m in &members {
-            if m == block {
-                continue;
-            }
-            if let Some(h) = holder_live(m) {
-                *rack_count.entry(topo.rack_of(h).0).or_insert(0) += 1;
-            }
+        let live = |nd: NodeId| nd != failed && !cfs.injector().node_down(nd);
+        let repair =
+            reconstruct_stripe_block(cfs, &members, block, &live, &|_| false, &mut rng)?;
+        stats.blocks_downloaded += repair.downloads;
+        stats.cross_rack_downloads += repair.cross_rack_downloads;
+        if repair.upload_cross_rack {
+            stats.cross_rack_uploads += 1;
         }
-        let best_rack = rack_count
-            .iter()
-            .max_by_key(|&(r, c)| (*c, std::cmp::Reverse(*r)))
-            .map(|(&r, _)| ear_types::RackId(r))
-            .ok_or_else(|| Error::Invariant("stripe has no surviving blocks".into()))?;
-        let used: Vec<NodeId> = members.iter().filter_map(|&m| holder_any(m)).collect();
-        let recovery_node = match topo
-            .nodes_in_rack(best_rack)
-            .iter()
-            .copied()
-            .filter(|nd| {
-                *nd != failed && !used.contains(nd) && !cfs.injector().node_down(*nd)
-            })
-            .collect::<Vec<_>>()
-            .choose(&mut rng)
-            .copied()
-        {
-            Some(nd) => nd,
-            None => *healthy
-                .choose(&mut rng)
-                .ok_or_else(|| Error::Invariant("no healthy node to run recovery".into()))?,
-        };
-
-        // Download any k reachable surviving blocks, preferring intra-rack
-        // sources; a source that keeps failing is skipped in favour of the
-        // next until k shards are in hand.
-        let mut sources: Vec<(usize, BlockId, NodeId)> = members
-            .iter()
-            .enumerate()
-            .filter(|&(_, &m)| m != block)
-            .filter_map(|(idx, &m)| holder_live(m).map(|h| (idx, m, h)))
-            .collect();
-        sources.sort_by_key(|&(_, _, h)| topo.rack_of(h) != topo.rack_of(recovery_node));
-        if sources.len() < k {
-            return Err(Error::NotEnoughShards {
-                available: sources.len(),
-                required: k,
-            });
-        }
-        let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
-        let mut got = 0usize;
-        for &(idx, m, h) in &sources {
-            if got == k {
-                break;
-            }
-            for attempt in 0..IO_ATTEMPTS {
-                match cfs.fetch_block_from(h, recovery_node, m, attempt) {
-                    Ok(data) => {
-                        if topo.rack_of(h) != topo.rack_of(recovery_node) {
-                            stats.cross_rack_downloads += 1;
-                        }
-                        stats.blocks_downloaded += 1;
-                        shards[idx] = Some(data.as_ref().clone());
-                        got += 1;
-                        break;
-                    }
-                    Err(Error::TransientIo { .. }) => backoff(attempt),
-                    Err(_) => break,
-                }
-            }
-        }
-        if got < k {
-            return Err(Error::NotEnoughShards {
-                available: got,
-                required: k,
-            });
-        }
-        cfs.codec().reconstruct(&mut shards)?;
-        let lost_idx = members
-            .iter()
-            .position(|&m| m == block)
-            .ok_or_else(|| Error::Invariant(format!("{block} not a member of its stripe")))?;
-        let rebuilt = shards[lost_idx]
-            .take()
-            .ok_or_else(|| Error::Invariant(format!("{block} not reconstructed")))?;
-
-        // Store the rebuilt block where the stripe's rack constraint still
-        // holds: a rack with fewer than c surviving stripe blocks, on a node
-        // not already holding one.
-        let c = cfs.config().ear.c();
-        let mut per_rack: HashMap<u32, usize> = HashMap::new();
-        for &h in &used {
-            *per_rack.entry(topo.rack_of(h).0).or_insert(0) += 1;
-        }
-        let placement = if per_rack
-            .get(&topo.rack_of(recovery_node).0)
-            .copied()
-            .unwrap_or(0)
-            < c
-            && !used.contains(&recovery_node)
-        {
-            recovery_node
-        } else {
-            healthy
-                .iter()
-                .copied()
-                .filter(|&nd| {
-                    !used.contains(&nd)
-                        && per_rack.get(&topo.rack_of(nd).0).copied().unwrap_or(0) < c
-                })
-                .collect::<Vec<_>>()
-                .choose(&mut rng)
-                .copied()
-                .unwrap_or(recovery_node)
-        };
-        if placement != recovery_node {
-            cfs.network()
-                .transfer(recovery_node, placement, rebuilt.len() as u64);
-            if topo.rack_of(placement) != topo.rack_of(recovery_node) {
-                stats.cross_rack_uploads += 1;
-            }
-        }
-        cfs.datanode(placement).put(block, Arc::new(rebuilt));
-        cfs.namenode().set_locations(block, vec![placement]);
         stats.blocks_recovered += 1;
     }
 

@@ -1,0 +1,72 @@
+//! Heal soak: seeded fault plans with mid-run node kills, healed by the
+//! background [`Healer`](ear_cluster::Healer) rather than the one-shot
+//! repair loop. Each plan asserts the self-healing invariants of
+//! [`ear_cluster::chaos::run_heal_plan`]:
+//!
+//! 1. every acknowledged block is back at target redundancy once the
+//!    healer converges (replicated blocks at their replica count, every
+//!    stripe member with a live copy);
+//! 2. healed placements pass `monitor::scan` with zero violations;
+//! 3. convergence happens within the healer's bounded round budget, and
+//!    MTTR is recorded whenever a degraded episode occurred.
+//!
+//! A failure names the plan seed; `ear heal --seed <s>` replays it.
+
+use ear_cluster::chaos::{run_heal_plan, HealSoakConfig};
+use proptest::prelude::*;
+
+#[test]
+fn healer_survives_a_dozen_seeded_kill_plans() {
+    let cfg = HealSoakConfig::default();
+    let mut dead_declared = 0usize;
+    let mut episodes = 0usize;
+    for seed in 0..12u64 {
+        let report = run_heal_plan(seed, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: harness error {e}"));
+        assert!(report.passed(), "seed {seed}: {report:?}");
+        assert!(
+            report.heal.rounds <= cfg.healer.max_rounds,
+            "seed {seed}: healer overran its round budget"
+        );
+        if report.heal.mttr_rounds.is_some() {
+            episodes += 1;
+            assert!(
+                report.heal.blocks_re_replicated + report.heal.shards_reconstructed > 0,
+                "seed {seed}: a degraded episode ended without any repair"
+            );
+        }
+        dead_declared += report.heal.nodes_declared_dead;
+    }
+    // Two kills per plan: the detector must actually have fired, and most
+    // plans must have gone through a real degraded episode.
+    assert!(dead_declared > 0, "no plan ever declared a node dead");
+    assert!(episodes > 0, "no plan ever recorded a degraded episode");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For arbitrary fault seeds killing at most `n - k` nodes, repeated
+    /// healer rounds restore full redundancy and the final placement scan
+    /// reports zero violations.
+    #[test]
+    fn healer_restores_redundancy_for_arbitrary_seeds(
+        seed in any::<u64>(),
+        kills in 0usize..=2,
+    ) {
+        let cfg = HealSoakConfig {
+            kills,
+            ..HealSoakConfig::default()
+        };
+        let report = run_heal_plan(seed, &cfg)
+            .map_err(|e| TestCaseError::fail(format!("harness error: {e}")))?;
+        prop_assert!(report.passed(), "seed {seed} kills {kills}: {report:?}");
+        prop_assert_eq!(
+            report.violations_after_heal, 0,
+            "seed {} left violations after healing", seed
+        );
+        if kills == 0 && report.failed_writes == 0 {
+            prop_assert_eq!(report.heal.nodes_declared_dead, 0);
+        }
+    }
+}

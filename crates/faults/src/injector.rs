@@ -45,10 +45,12 @@ impl IoFault {
     }
 }
 
-/// Hash domains keeping read, write, and corruption streams independent.
+/// Hash domains keeping read, write, corruption, and heartbeat streams
+/// independent.
 const DOMAIN_READ: u64 = 0x5245_4144;
 const DOMAIN_WRITE: u64 = 0x5752_4954;
 const DOMAIN_CORRUPT: u64 = 0x434f_5252;
+const DOMAIN_HEARTBEAT: u64 = 0x4845_4152;
 
 /// The runtime fault oracle for one cluster instance.
 #[derive(Debug)]
@@ -151,6 +153,21 @@ impl FaultInjector {
     /// Deterministic per (node, block): a bad copy stays bad forever.
     pub fn corrupts(&self, node: NodeId, block: BlockId) -> bool {
         self.decide(DOMAIN_CORRUPT, node, block, 0, self.plan.corruption_rate())
+    }
+
+    /// Whether the heartbeat `node` emits at clock `tick` is lost in
+    /// transit. Pure in `(seed, node, tick)` — the same tick always loses
+    /// the same heartbeats, so failure-detector runs replay exactly. Does
+    /// not advance the operation counter: heartbeats are control-plane
+    /// traffic and must not perturb when data-path crashes activate.
+    pub fn drops_heartbeat(&self, node: NodeId, tick: u64) -> bool {
+        self.decide(
+            DOMAIN_HEARTBEAT,
+            node,
+            BlockId(tick),
+            0,
+            self.plan.heartbeat_loss_rate(),
+        )
     }
 
     /// A deterministically corrupted copy of `data` as read from `node`:
@@ -348,6 +365,39 @@ mod tests {
         // A different node's copy flips differently (independent hash).
         let other = inj.corrupted_copy(NodeId(2), BlockId(9), &data);
         assert_ne!(bad1, other);
+    }
+
+    #[test]
+    fn heartbeat_loss_is_deterministic_and_does_not_advance_ops() {
+        let cfg = FaultConfig {
+            node_crashes: 0,
+            stragglers: 0,
+            transient_error_rate: 0.0,
+            corruption_rate: 0.0,
+            heartbeat_loss_rate: 0.3,
+            ..FaultConfig::default()
+        };
+        let a = injector(9, &cfg);
+        let b = injector(9, &cfg);
+        let mut lost = 0usize;
+        for tick in 0..1000u64 {
+            let node = NodeId((tick % 24) as u32);
+            assert_eq!(
+                a.drops_heartbeat(node, tick),
+                b.drops_heartbeat(node, tick),
+                "same (node, tick) must decide the same"
+            );
+            if a.drops_heartbeat(node, tick) {
+                lost += 1;
+            }
+        }
+        assert!((200..400).contains(&lost), "rate 0.3 lost {lost}/1000");
+        // Heartbeats are control-plane traffic: the data-path op counter
+        // must not have moved.
+        assert_eq!(a.ops.load(std::sync::atomic::Ordering::Relaxed), 0);
+        // A zero-rate plan never loses heartbeats.
+        let quiet = FaultInjector::disabled();
+        assert!((0..100).all(|t| !quiet.drops_heartbeat(NodeId(0), t)));
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct FaultConfig {
     pub transient_error_rate: f64,
     /// Probability that a given (node, block) copy reads back corrupted.
     pub corruption_rate: f64,
+    /// Probability that a single heartbeat from a live node is lost on the
+    /// way to the NameNode (exercises the failure detector's `Suspect` and
+    /// `Rejoined` states without any real crash).
+    pub heartbeat_loss_rate: f64,
     /// Crashes and outages activate at an operation index drawn uniformly
     /// from `[0, crash_window)`, spreading them across the run.
     pub crash_window: u64,
@@ -46,6 +50,7 @@ impl Default for FaultConfig {
             straggler_factor: 0.25,
             transient_error_rate: 0.02,
             corruption_rate: 0.02,
+            heartbeat_loss_rate: 0.0,
             crash_window: 2_000,
         }
     }
@@ -67,6 +72,7 @@ impl FaultConfig {
             straggler_factor: 0.1,
             transient_error_rate: 0.05,
             corruption_rate: 0.05,
+            heartbeat_loss_rate: 0.05,
             crash_window: 5_000,
         }
     }
@@ -99,6 +105,7 @@ pub struct FaultPlan {
     stragglers: Vec<(NodeId, f64)>,
     transient_error_rate: f64,
     corruption_rate: f64,
+    heartbeat_loss_rate: f64,
 }
 
 impl FaultPlan {
@@ -112,6 +119,7 @@ impl FaultPlan {
             stragglers: Vec::new(),
             transient_error_rate: 0.0,
             corruption_rate: 0.0,
+            heartbeat_loss_rate: 0.0,
         }
     }
 
@@ -157,6 +165,7 @@ impl FaultPlan {
             stragglers,
             transient_error_rate: config.transient_error_rate,
             corruption_rate: config.corruption_rate,
+            heartbeat_loss_rate: config.heartbeat_loss_rate,
         }
     }
 
@@ -172,6 +181,7 @@ impl FaultPlan {
             && self.stragglers.is_empty()
             && self.transient_error_rate <= 0.0
             && self.corruption_rate <= 0.0
+            && self.heartbeat_loss_rate <= 0.0
     }
 
     /// Scheduled node crashes.
@@ -199,6 +209,11 @@ impl FaultPlan {
         self.corruption_rate
     }
 
+    /// Per-heartbeat loss probability (the detector's flapping knob).
+    pub fn heartbeat_loss_rate(&self) -> f64 {
+        self.heartbeat_loss_rate
+    }
+
     /// Upper bound on nodes that can be fail-stop-unavailable at once
     /// (crashed nodes plus every node of every dead rack), used by harnesses
     /// to keep a plan within a code's tolerance.
@@ -221,13 +236,14 @@ impl fmt::Display for FaultPlan {
         write!(
             f,
             "fault plan seed={}: {} crash(es), {} rack outage(s), {} straggler(s), \
-             transient={:.1}%, corruption={:.1}%",
+             transient={:.1}%, corruption={:.1}%, heartbeat-loss={:.1}%",
             self.seed,
             self.crashes.len(),
             self.outages.len(),
             self.stragglers.len(),
             self.transient_error_rate * 100.0,
             self.corruption_rate * 100.0,
+            self.heartbeat_loss_rate * 100.0,
         )
     }
 }

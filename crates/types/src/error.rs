@@ -78,6 +78,21 @@ pub enum Error {
         /// The node whose I/O attempt failed.
         node: NodeId,
     },
+    /// Repair could not place a new copy of a block anywhere: every
+    /// candidate destination is dead, already holds a copy, or would break
+    /// the stripe's rack-level fault tolerance.
+    NoRepairDestination {
+        /// The block that could not be re-placed.
+        block: BlockId,
+    },
+    /// The background healer exhausted its round budget with degraded
+    /// blocks still outstanding.
+    HealerStalled {
+        /// Rounds executed before giving up.
+        rounds: usize,
+        /// Repair tasks still queued when the healer stopped.
+        outstanding: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -120,6 +135,18 @@ impl fmt::Display for Error {
             }
             Error::TransientIo { node } => {
                 write!(f, "transient i/o error on {node}")
+            }
+            Error::NoRepairDestination { block } => {
+                write!(f, "no valid repair destination for {block}")
+            }
+            Error::HealerStalled {
+                rounds,
+                outstanding,
+            } => {
+                write!(
+                    f,
+                    "healer stalled after {rounds} round(s) with {outstanding} repair task(s) outstanding"
+                )
             }
         }
     }
@@ -172,6 +199,11 @@ mod tests {
             },
             Error::BlockUnavailable { block: BlockId(2) },
             Error::TransientIo { node: NodeId(0) },
+            Error::NoRepairDestination { block: BlockId(4) },
+            Error::HealerStalled {
+                rounds: 16,
+                outstanding: 2,
+            },
         ];
         for e in errs {
             let msg = e.to_string();

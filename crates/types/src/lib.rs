@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 mod error;
+mod health;
 mod ids;
 mod params;
 mod topology;
 mod units;
 
 pub use error::{Error, Result};
+pub use health::{HealStats, NodeHealth};
 pub use ids::{BlockId, NodeId, RackId, StripeId};
 pub use params::{EarConfig, ErasureParams, RackSpread, ReplicationConfig};
 pub use topology::ClusterTopology;

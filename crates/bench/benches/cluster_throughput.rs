@@ -1,0 +1,114 @@
+//! Criterion group `cluster_throughput`: end-to-end storage and metadata
+//! throughput of the mini-CFS after the BlockStore / sharded-NameNode
+//! refactor.
+//!
+//! Two workloads, each at 1, 4, and 8 client threads on both storage
+//! backends:
+//!
+//! * `concurrent_reads` — whole-block verified reads (CRC32C checked)
+//!   through the unified `ClusterIo` path, striding readers across the
+//!   written block set;
+//! * `metadata_mixed` — 90% `locations` lookups / 10% add+drop location
+//!   write pairs against the sharded NameNode block map.
+//!
+//! The emulated network bandwidth is effectively infinite so the numbers
+//! isolate the lock-striping and checksum work, not netem pacing. The
+//! registry-less capture twin of this group is
+//! `src/bin/cluster_throughput_capture.rs`, which feeds
+//! `results/BENCH_cluster_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ear_cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
+use ear_types::{
+    Bandwidth, BlockId, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig,
+    StoreBackend,
+};
+
+const BLOCKS: u64 = 96;
+const READS_PER_THREAD: usize = 64;
+const META_OPS_PER_THREAD: usize = 1024;
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn cluster(store: StoreBackend) -> (MiniCfs, Vec<BlockId>) {
+    let params = ErasureParams::new(6, 3).expect("params");
+    let ear = EarConfig::new(params, ReplicationConfig::hdfs_default(), 3).expect("ear");
+    let mut cfg = ClusterConfig::testbed(ClusterPolicy::Rr, ear);
+    cfg.racks = 8;
+    cfg.nodes_per_rack = 3;
+    cfg.block_size = ByteSize::kib(16);
+    cfg.node_bandwidth = Bandwidth::bytes_per_sec(1e12);
+    cfg.rack_bandwidth = Bandwidth::bytes_per_sec(1e12);
+    cfg.seed = 42;
+    cfg.store = store;
+    let cfs = MiniCfs::new(cfg).expect("boot");
+    let nodes = cfs.topology().num_nodes() as u64;
+    let blocks: Vec<BlockId> = (0..BLOCKS)
+        .map(|i| {
+            let data = cfs.make_block(i);
+            cfs.write_block(NodeId((i % nodes) as u32), data)
+                .expect("write")
+        })
+        .collect();
+    (cfs, blocks)
+}
+
+fn concurrent_reads(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) {
+    let nodes = cfs.topology().num_nodes();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in 0..READS_PER_THREAD {
+                    let b = blocks[(i * threads + t) % blocks.len()];
+                    let reader = NodeId(((i + 7 * t) % nodes) as u32);
+                    let data = cfs.read_block(reader, b).expect("read");
+                    assert!(!data.is_empty());
+                }
+            });
+        }
+    });
+}
+
+fn metadata_mixed(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) {
+    let nn = cfs.namenode();
+    let nodes = cfs.topology().num_nodes();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in 0..META_OPS_PER_THREAD {
+                    let b = blocks[(i * threads + t) % blocks.len()];
+                    if i % 10 == 9 {
+                        let n = NodeId(((i + t) % nodes) as u32);
+                        nn.add_location(b, n);
+                        nn.drop_location(b, n);
+                    } else {
+                        let locs = nn.locations(b).expect("locations");
+                        assert!(!locs.is_empty());
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_cluster_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_throughput");
+    for store in [StoreBackend::Memory, StoreBackend::File] {
+        let (cfs, blocks) = cluster(store);
+        for threads in THREADS {
+            group.throughput(Throughput::Elements((threads * READS_PER_THREAD) as u64));
+            group.bench_function(
+                BenchmarkId::new(format!("concurrent_reads_{}", store.name()), threads),
+                |b| b.iter(|| concurrent_reads(&cfs, &blocks, threads)),
+            );
+            group.throughput(Throughput::Elements((threads * META_OPS_PER_THREAD) as u64));
+            group.bench_function(
+                BenchmarkId::new(format!("metadata_mixed_{}", store.name()), threads),
+                |b| b.iter(|| metadata_mixed(&cfs, &blocks, threads)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_throughput);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Standalone throughput capture for `results/BENCH_cluster_throughput.json`.
+//!
+//! Mirrors the `cluster_throughput` criterion bench group
+//! (`benches/cluster_throughput.rs`) with a plain `std::time` harness so the
+//! numbers can be captured in registry-less containers where the criterion
+//! stub cannot measure (same precedent as `BENCH_gf_kernels.json`).
+//!
+//! Run: `cargo run --release -p ear-bench --bin cluster_throughput_capture`
+//! The storage backend is selected with `EAR_STORE=memory|file` exactly as in
+//! the tier-1 suite; the label is echoed into each output line.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ear_cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
+use ear_types::{Bandwidth, BlockId, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig};
+
+const BLOCKS: u64 = 96;
+const READS_PER_THREAD: usize = 1500;
+const META_OPS_PER_THREAD: usize = 30_000;
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn cluster() -> MiniCfs {
+    let params = ErasureParams::new(6, 3).expect("params");
+    let ear = EarConfig::new(params, ReplicationConfig::hdfs_default(), 3).expect("ear");
+    let mut cfg = ClusterConfig::testbed(ClusterPolicy::Rr, ear);
+    cfg.racks = 8;
+    cfg.nodes_per_rack = 3;
+    cfg.block_size = ByteSize::kib(16);
+    // Near-infinite emulated bandwidth: the bench measures the storage and
+    // metadata path, not netem pacing.
+    cfg.node_bandwidth = Bandwidth::bytes_per_sec(1e12);
+    cfg.rack_bandwidth = Bandwidth::bytes_per_sec(1e12);
+    cfg.seed = 42;
+    MiniCfs::new(cfg).expect("boot")
+}
+
+/// `threads` readers each issue `READS_PER_THREAD` whole-block reads across
+/// disjoint strides of the written block set; returns aggregate ops/s.
+fn concurrent_reads(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) -> f64 {
+    let nodes = cfs.topology().num_nodes();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in 0..READS_PER_THREAD {
+                    let b = blocks[(i * threads + t) % blocks.len()];
+                    let reader = NodeId(((i + 7 * t) % nodes) as u32);
+                    let data = cfs.read_block(reader, b).expect("read");
+                    assert!(!data.is_empty());
+                }
+            });
+        }
+    });
+    (threads * READS_PER_THREAD) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Mixed metadata workload: 90% `locations` lookups, 10% add/drop location
+/// write pairs, per thread; returns aggregate ops/s.
+fn metadata_mixed(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) -> f64 {
+    let nn = cfs.namenode();
+    let nodes = cfs.topology().num_nodes();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in 0..META_OPS_PER_THREAD {
+                    let b = blocks[(i * threads + t) % blocks.len()];
+                    if i % 10 == 9 {
+                        let n = NodeId(((i + t) % nodes) as u32);
+                        nn.add_location(b, n);
+                        nn.drop_location(b, n);
+                    } else {
+                        let locs = nn.locations(b).expect("locations");
+                        assert!(!locs.is_empty());
+                    }
+                }
+            });
+        }
+    });
+    (threads * META_OPS_PER_THREAD) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let backend = std::env::var("EAR_STORE").unwrap_or_else(|_| "memory".into());
+    let cfs = cluster();
+    let nodes = cfs.topology().num_nodes() as u64;
+    let blocks: Vec<BlockId> = (0..BLOCKS)
+        .map(|i| {
+            let data = cfs.make_block(i);
+            cfs.write_block(NodeId((i % nodes) as u32), data)
+                .expect("write")
+        })
+        .collect();
+
+    // Warm every replica path once so first-touch costs (page faults, file
+    // cache) don't land inside the first measured window.
+    let warm: Arc<Vec<u8>> = cfs.read_block(NodeId(0), blocks[0]).expect("warm");
+    assert!(!warm.is_empty());
+    let _ = concurrent_reads(&cfs, &blocks, 2);
+    let _ = metadata_mixed(&cfs, &blocks, 2);
+
+    for threads in THREADS {
+        let reads = concurrent_reads(&cfs, &blocks, threads);
+        let meta = metadata_mixed(&cfs, &blocks, threads);
+        println!(
+            "{{\"backend\":\"{backend}\",\"threads\":{threads},\
+             \"concurrent_reads_ops_per_sec\":{reads:.0},\
+             \"metadata_mixed_ops_per_sec\":{meta:.0}}}"
+        );
+    }
+}

@@ -26,6 +26,7 @@ pub fn measure(policy: ClusterPolicy, scale: Scale, seed: u64) -> Result<Vec<f64
         ear,
         policy,
         seed,
+        store: ear_types::StoreBackend::from_env(),
     };
     let cfs = MiniCfs::new(cfg)?;
 

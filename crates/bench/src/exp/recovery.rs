@@ -47,6 +47,7 @@ pub fn measure(c: usize, target_racks: Option<usize>, scale: Scale) -> Result<Re
         ear,
         policy: ClusterPolicy::Ear,
         seed: 30,
+        store: ear_types::StoreBackend::from_env(),
     };
     let cfs = MiniCfs::new(cfg)?;
     let stripes = scale.pick(4, 30);

@@ -17,7 +17,7 @@ use ear_cluster::{ClusterPolicy, HealerConfig};
 use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear_sim::{run as sim_run, PolicyKind, SimConfig};
 use ear_types::{
-    Bandwidth, ClusterTopology, EarConfig, ErasureParams, ReplicationConfig,
+    Bandwidth, ClusterTopology, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -36,10 +36,13 @@ USAGE:
   ear analyze crossrack --racks R --k K
   ear analyze theorem1 --racks R --c C --k K
   ear chaos    [--policy rr|ear|both] [--plans N] [--seed S]
-               [--profile light|heavy|mixed]
+               [--profile light|heavy|mixed] [--store memory|file]
   ear heal     [--plans N] [--seed S] [--kills K] [--stripes S]
-               [--max-rounds R] [--byte-budget B]
+               [--max-rounds R] [--byte-budget B] [--store memory|file]
   ear list
+
+The chaos/heal storage backend defaults to the EAR_STORE environment
+variable (memory when unset); --store overrides it.
 ";
 
 fn main() {
@@ -115,6 +118,15 @@ fn experiment(id: &str, args: &Args) -> Result<String, Box<dyn std::error::Error
     Ok(out)
 }
 
+fn store_backend(args: &Args) -> Result<StoreBackend, ArgError> {
+    match args.get("store") {
+        None => Ok(StoreBackend::from_env()),
+        Some("memory") => Ok(StoreBackend::Memory),
+        Some("file") => Ok(StoreBackend::File),
+        Some(other) => Err(ArgError(format!("unknown store backend: {other}"))),
+    }
+}
+
 fn policy_kind(args: &Args) -> Result<PolicyKind, ArgError> {
     match args.get("policy").unwrap_or("ear") {
         "rr" => Ok(PolicyKind::Rr),
@@ -171,17 +183,21 @@ fn chaos(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         other => return Err(Box::new(ArgError(format!("unknown policy: {other}")))),
     };
     let profile = args.get("profile").unwrap_or("mixed");
+    let store = store_backend(args)?;
     let config_for = |policy: ClusterPolicy, seed: u64| -> Result<ChaosConfig, ArgError> {
-        match profile {
-            "light" => Ok(ChaosConfig::light(policy)),
-            "heavy" => Ok(ChaosConfig::heavy(policy)),
-            "mixed" => Ok(if seed.is_multiple_of(2) {
-                ChaosConfig::light(policy)
-            } else {
-                ChaosConfig::heavy(policy)
-            }),
-            other => Err(ArgError(format!("unknown profile: {other}"))),
-        }
+        let base = match profile {
+            "light" => ChaosConfig::light(policy),
+            "heavy" => ChaosConfig::heavy(policy),
+            "mixed" => {
+                if seed.is_multiple_of(2) {
+                    ChaosConfig::light(policy)
+                } else {
+                    ChaosConfig::heavy(policy)
+                }
+            }
+            other => return Err(ArgError(format!("unknown profile: {other}"))),
+        };
+        Ok(ChaosConfig { store, ..base })
     };
 
     let mut out = String::new();
@@ -237,6 +253,7 @@ fn heal(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let cfg = HealSoakConfig {
         stripes: args.get_parsed("stripes", defaults.stripes)?,
         kills: args.get_parsed("kills", defaults.kills)?,
+        store: store_backend(args)?,
         healer: HealerConfig {
             max_rounds: args.get_parsed("max-rounds", defaults.healer.max_rounds)?,
             round_byte_budget: args
@@ -424,6 +441,16 @@ mod tests {
         assert!(out.contains("PASS"), "{out}");
         assert!(out.contains("all healed to full redundancy"), "{out}");
         assert!(out.contains("mttr-rounds="), "{out}");
+    }
+
+    #[test]
+    fn chaos_accepts_store_flag() {
+        let out = run_words(&[
+            "chaos", "--plans", "1", "--policy", "ear", "--profile", "light", "--store", "file",
+        ])
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(run_words(&["heal", "--plans", "1", "--store", "bogus"]).is_err());
     }
 
     #[test]

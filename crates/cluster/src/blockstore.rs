@@ -1,0 +1,359 @@
+//! Pluggable block storage backends for the DataNodes (DESIGN.md §9).
+//!
+//! [`BlockStore`] is the seam between a DataNode's protocol surface and how
+//! the replica bytes actually live on the machine. Two backends ship:
+//!
+//! * [`ShardedMemStore`] — lock-striped in-memory `HashMap`s. Reads clone an
+//!   `Arc`, so replicas of the same block share memory across nodes and a
+//!   reader never copies payload bytes.
+//! * [`FileStore`] — one file per block under a per-store temp root
+//!   (`<root>/<block>.blk`, a 4-byte little-endian CRC32C header followed by
+//!   the payload), so the testbed exercises real I/O syscalls. The root is
+//!   removed when the store is dropped.
+//!
+//! Both keep the write-time CRC32C next to the bytes — the cluster's
+//! end-to-end corruption check ([`crate::MiniCfs`]'s read path) re-hashes
+//! what it received and compares against this stored value.
+
+use ear_types::{BlockId, Error, Result, StoreBackend};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of lock stripes per store. A power of two so the shard index is a
+/// shift of the mixed key; 16 stripes keep contention negligible for the
+/// node counts the testbed runs (tens of nodes, a few concurrent services).
+const SHARDS: usize = 16;
+
+/// Maps a block id onto a shard index by Fibonacci hashing: sequential ids
+/// (the NameNode allocates them densely) land on different stripes.
+fn shard_of(block: BlockId) -> usize {
+    (block.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % SHARDS
+}
+
+/// Storage backend of one DataNode: keyed replica bytes plus their
+/// write-time CRC32C.
+///
+/// Implementations must be safe to call from many cluster services at once
+/// (client reads, the encoder, recovery, the healer); the provided backends
+/// stripe their locks so concurrent operations on different blocks do not
+/// serialize.
+pub trait BlockStore: Send + Sync + fmt::Debug {
+    /// Stores (or overwrites) a block replica with its write-time CRC32C.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the backing medium rejects the write (file backend
+    /// only; the memory backend is infallible).
+    fn put(&self, block: BlockId, data: Arc<Vec<u8>>, crc: u32) -> Result<()>;
+
+    /// Fetches a block replica together with its write-time CRC32C.
+    fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)>;
+
+    /// The write-time CRC32C of a stored replica, without reading the bytes.
+    fn stored_crc(&self, block: BlockId) -> Option<u32>;
+
+    /// Deletes a block replica; returns whether it existed.
+    fn delete(&self, block: BlockId) -> bool;
+
+    /// Whether this store holds the block.
+    fn contains(&self, block: BlockId) -> bool;
+
+    /// Number of block replicas stored.
+    fn block_count(&self) -> usize;
+
+    /// Total payload bytes stored (each replica counted at full size, as on
+    /// a real disk).
+    fn bytes_stored(&self) -> u64;
+
+    /// Which backend this store is (for stats and bench labels).
+    fn backend(&self) -> StoreBackend;
+}
+
+/// One stored replica of the memory backend: the bytes plus the CRC32C
+/// computed at write time, as HDFS stores a checksum file beside every block
+/// file.
+#[derive(Debug, Clone)]
+struct StoredBlock {
+    data: Arc<Vec<u8>>,
+    crc: u32,
+}
+
+/// The in-memory backend: `SHARDS` independently locked `HashMap` stripes.
+///
+/// The stripe index is a pure function of the block id, so two operations
+/// contend only when they touch blocks that hash to the same stripe — the
+/// single coarse `Mutex<HashMap>` this replaces serialized every pair.
+#[derive(Debug, Default)]
+pub struct ShardedMemStore {
+    shards: Vec<Mutex<HashMap<BlockId, StoredBlock>>>,
+}
+
+impl ShardedMemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ShardedMemStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+}
+
+impl BlockStore for ShardedMemStore {
+    fn put(&self, block: BlockId, data: Arc<Vec<u8>>, crc: u32) -> Result<()> {
+        self.shards[shard_of(block)]
+            .lock()
+            .insert(block, StoredBlock { data, crc });
+        Ok(())
+    }
+
+    fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)> {
+        self.shards[shard_of(block)]
+            .lock()
+            .get(&block)
+            .map(|s| (Arc::clone(&s.data), s.crc))
+    }
+
+    fn stored_crc(&self, block: BlockId) -> Option<u32> {
+        self.shards[shard_of(block)].lock().get(&block).map(|s| s.crc)
+    }
+
+    fn delete(&self, block: BlockId) -> bool {
+        self.shards[shard_of(block)].lock().remove(&block).is_some()
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.shards[shard_of(block)].lock().contains_key(&block)
+    }
+
+    fn block_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(|b| b.data.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    fn backend(&self) -> StoreBackend {
+        StoreBackend::Memory
+    }
+}
+
+/// Process-wide counter making every [`FileStore`] root unique, so parallel
+/// tests and clusters never collide under the shared temp directory.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Metadata the file backend keeps in memory per block: the write-time CRC
+/// and payload length, so `stored_crc`/`bytes_stored`/`contains` answer
+/// without touching the disk.
+#[derive(Debug, Clone, Copy)]
+struct FileMeta {
+    crc: u32,
+    len: u64,
+}
+
+/// The file-backed backend: one file per block under a unique temp root.
+///
+/// Each block is written to `<root>/<id>.blk.tmp` and atomically renamed to
+/// `<root>/<id>.blk`, so a concurrent reader sees either the old or the new
+/// complete replica, never a torn one. The file layout is a 4-byte
+/// little-endian CRC32C header followed by the payload — the checksum
+/// travels with the bytes, as HDFS keeps block checksums on disk. The whole
+/// root is removed on drop.
+#[derive(Debug)]
+pub struct FileStore {
+    root: PathBuf,
+    index: Vec<Mutex<HashMap<BlockId, FileMeta>>>,
+}
+
+impl FileStore {
+    /// Creates an empty store rooted at a fresh unique directory under the
+    /// system temp dir.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the root directory cannot be created.
+    pub fn new(label: &str) -> Result<Self> {
+        let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "ear-store-{}-{}-{}",
+            std::process::id(),
+            seq,
+            label
+        ));
+        fs::create_dir_all(&root).map_err(|e| Error::Io {
+            context: format!("create {}: {e}", root.display()),
+        })?;
+        Ok(FileStore {
+            root,
+            index: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        })
+    }
+
+    /// The temp root this store writes under (removed on drop).
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path_of(&self, block: BlockId) -> PathBuf {
+        self.root.join(format!("{}.blk", block.0))
+    }
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        // Best-effort: the root lives under the OS temp dir, so anything a
+        // dying process leaks is reclaimed by the host eventually anyway.
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+impl BlockStore for FileStore {
+    fn put(&self, block: BlockId, data: Arc<Vec<u8>>, crc: u32) -> Result<()> {
+        let path = self.path_of(block);
+        let tmp = self.root.join(format!("{}.blk.tmp", block.0));
+        let mut bytes = Vec::with_capacity(4 + data.len());
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes.extend_from_slice(&data);
+        fs::write(&tmp, &bytes).map_err(|e| Error::Io {
+            context: format!("write {}: {e}", tmp.display()),
+        })?;
+        fs::rename(&tmp, &path).map_err(|e| Error::Io {
+            context: format!("rename {}: {e}", path.display()),
+        })?;
+        self.index[shard_of(block)].lock().insert(
+            block,
+            FileMeta {
+                crc,
+                len: data.len() as u64,
+            },
+        );
+        Ok(())
+    }
+
+    fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)> {
+        // The index is consulted first so a deleted block never hits the
+        // disk; the read itself runs outside any lock.
+        self.index[shard_of(block)].lock().get(&block)?;
+        let bytes = fs::read(self.path_of(block)).ok()?;
+        if bytes.len() < 4 {
+            return None;
+        }
+        let crc = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        Some((Arc::new(bytes[4..].to_vec()), crc))
+    }
+
+    fn stored_crc(&self, block: BlockId) -> Option<u32> {
+        self.index[shard_of(block)].lock().get(&block).map(|m| m.crc)
+    }
+
+    fn delete(&self, block: BlockId) -> bool {
+        let existed = self.index[shard_of(block)].lock().remove(&block).is_some();
+        if existed {
+            let _ = fs::remove_file(self.path_of(block));
+        }
+        existed
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.index[shard_of(block)].lock().contains_key(&block)
+    }
+
+    fn block_count(&self) -> usize {
+        self.index.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.index
+            .iter()
+            .map(|s| s.lock().values().map(|m| m.len).sum::<u64>())
+            .sum()
+    }
+
+    fn backend(&self) -> StoreBackend {
+        StoreBackend::File
+    }
+}
+
+/// Builds a store of the requested backend (`label` names the file root).
+///
+/// # Errors
+///
+/// [`Error::Io`] if the file backend cannot create its root.
+pub fn open_store(backend: StoreBackend, label: &str) -> Result<Box<dyn BlockStore>> {
+    Ok(match backend {
+        StoreBackend::Memory => Box::new(ShardedMemStore::new()),
+        StoreBackend::File => Box::new(FileStore::new(label)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_faults::crc32c;
+
+    fn roundtrip(store: &dyn BlockStore) {
+        let data = Arc::new(vec![7u8; 500]);
+        let crc = crc32c(&data);
+        store.put(BlockId(42), Arc::clone(&data), crc).unwrap();
+        assert!(store.contains(BlockId(42)));
+        assert_eq!(store.block_count(), 1);
+        assert_eq!(store.bytes_stored(), 500);
+        assert_eq!(store.stored_crc(BlockId(42)), Some(crc));
+        let (bytes, got) = store.get_with_crc(BlockId(42)).unwrap();
+        assert_eq!(bytes.as_slice(), data.as_slice());
+        assert_eq!(got, crc);
+        assert!(store.delete(BlockId(42)));
+        assert!(!store.delete(BlockId(42)));
+        assert!(store.get_with_crc(BlockId(42)).is_none());
+        assert_eq!(store.block_count(), 0);
+        assert_eq!(store.bytes_stored(), 0);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let s = ShardedMemStore::new();
+        roundtrip(&s);
+        assert_eq!(s.backend(), StoreBackend::Memory);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let s = FileStore::new("t0").unwrap();
+        roundtrip(&s);
+        assert_eq!(s.backend(), StoreBackend::File);
+    }
+
+    #[test]
+    fn file_store_persists_bytes_on_disk_and_cleans_up() {
+        let s = FileStore::new("t1").unwrap();
+        let root = s.root().to_path_buf();
+        let data = Arc::new(vec![0xA5u8; 128]);
+        s.put(BlockId(7), Arc::clone(&data), crc32c(&data)).unwrap();
+        let on_disk = fs::read(root.join("7.blk")).unwrap();
+        assert_eq!(on_disk.len(), 4 + 128, "crc header plus payload");
+        assert_eq!(&on_disk[4..], data.as_slice());
+        drop(s);
+        assert!(!root.exists(), "temp root must be removed on drop");
+    }
+
+    #[test]
+    fn file_roots_are_unique_per_store() {
+        let a = FileStore::new("dup").unwrap();
+        let b = FileStore::new("dup").unwrap();
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn sequential_ids_spread_over_shards() {
+        let hit: std::collections::HashSet<usize> =
+            (0..64u64).map(|i| shard_of(BlockId(i))).collect();
+        assert!(hit.len() > SHARDS / 2, "dense ids must stripe: {hit:?}");
+    }
+}

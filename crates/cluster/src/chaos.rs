@@ -26,7 +26,7 @@ use crate::recovery::recover_node;
 use ear_faults::{FaultConfig, FaultPlan};
 use ear_types::{
     Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, ErasureParams, HealStats, NodeId,
-    ReplicationConfig, Result, StripeId,
+    ReplicationConfig, Result, StoreBackend, StripeId,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -41,6 +41,8 @@ pub struct ChaosConfig {
     pub faults: FaultConfig,
     /// Encode-job parallelism.
     pub map_tasks: usize,
+    /// Storage backend the cluster's DataNodes run on.
+    pub store: StoreBackend,
 }
 
 impl ChaosConfig {
@@ -52,6 +54,7 @@ impl ChaosConfig {
             stripes: 3,
             faults: FaultConfig::light(),
             map_tasks: 4,
+            store: StoreBackend::from_env(),
         }
     }
 
@@ -117,7 +120,7 @@ impl ChaosReport {
 /// The cluster shape chaos runs use: 8 racks × 2 nodes, (6,4) RS, 2-way
 /// replication, 64 KiB blocks over fast links so a full run takes tens of
 /// milliseconds.
-fn chaos_cluster(policy: ClusterPolicy, seed: u64) -> Result<ClusterConfig> {
+fn chaos_cluster(policy: ClusterPolicy, seed: u64, store: StoreBackend) -> Result<ClusterConfig> {
     let ear = EarConfig::new(
         ErasureParams::new(6, 4)?,
         ReplicationConfig::two_way(),
@@ -132,6 +135,7 @@ fn chaos_cluster(policy: ClusterPolicy, seed: u64) -> Result<ClusterConfig> {
         ear,
         policy,
         seed: seed ^ 0xA11CE,
+        store,
     })
 }
 
@@ -145,7 +149,7 @@ fn chaos_cluster(policy: ClusterPolicy, seed: u64) -> Result<ClusterConfig> {
 /// asserting on them is the caller's job, typically via
 /// [`ChaosReport::passed`].
 pub fn run_plan(seed: u64, cfg: &ChaosConfig) -> Result<ChaosReport> {
-    let cluster_cfg = chaos_cluster(cfg.policy, seed)?;
+    let cluster_cfg = chaos_cluster(cfg.policy, seed, cfg.store)?;
     let topo = ClusterTopology::uniform(cluster_cfg.racks, cluster_cfg.nodes_per_rack);
     let plan = FaultPlan::generate(seed, &topo, &cfg.faults);
     let mut report = ChaosReport {
@@ -329,6 +333,10 @@ pub struct HealSoakConfig {
     pub faults: FaultConfig,
     /// Budgets of the healer under test.
     pub healer: HealerConfig,
+    /// Storage backend the cluster's DataNodes run on.
+    pub store: StoreBackend,
+    /// Encode-job parallelism.
+    pub map_tasks: usize,
 }
 
 impl Default for HealSoakConfig {
@@ -336,6 +344,7 @@ impl Default for HealSoakConfig {
         HealSoakConfig {
             stripes: 3,
             kills: 2,
+            store: StoreBackend::from_env(),
             faults: FaultConfig {
                 node_crashes: 2,
                 rack_outages: 0,
@@ -348,6 +357,7 @@ impl Default for HealSoakConfig {
                 crash_window: 200,
             },
             healer: HealerConfig::default(),
+            map_tasks: 4,
         }
     }
 }
@@ -397,7 +407,7 @@ impl HealSoakReport {
 /// The cluster shape heal soaks use: 8 racks × 3 nodes so two kills still
 /// leave every rack usable, 3-way replication (HDFS default) so replicated
 /// blocks survive two simultaneous failures, (6,4) RS for `n - k = 2`.
-fn heal_cluster(seed: u64) -> Result<ClusterConfig> {
+fn heal_cluster(seed: u64, store: StoreBackend) -> Result<ClusterConfig> {
     let ear = EarConfig::new(
         ErasureParams::new(6, 4)?,
         ReplicationConfig::hdfs_default(),
@@ -412,6 +422,7 @@ fn heal_cluster(seed: u64) -> Result<ClusterConfig> {
         ear,
         policy: ClusterPolicy::Ear,
         seed: seed ^ 0x4EA1,
+        store,
     })
 }
 
@@ -425,7 +436,7 @@ fn heal_cluster(seed: u64) -> Result<ClusterConfig> {
 /// boot). A stalled healer is *data*: `heal.converged` stays `false` and
 /// [`HealSoakReport::passed`] fails.
 pub fn run_heal_plan(seed: u64, cfg: &HealSoakConfig) -> Result<HealSoakReport> {
-    let cluster_cfg = heal_cluster(seed)?;
+    let cluster_cfg = heal_cluster(seed, cfg.store)?;
     let topo = ClusterTopology::uniform(cluster_cfg.racks, cluster_cfg.nodes_per_rack);
     let k = cluster_cfg.ear.erasure().k();
     let n = cluster_cfg.ear.erasure().n();
@@ -466,7 +477,7 @@ pub fn run_heal_plan(seed: u64, cfg: &HealSoakConfig) -> Result<HealSoakReport> 
     }
     report.acked_blocks = acked.len();
 
-    let (stats, relocations) = RaidNode::encode_all(&cfs, 4)?;
+    let (stats, relocations) = RaidNode::encode_all(&cfs, cfg.map_tasks)?;
     report.encoded_stripes = stats.stripes;
     let mut relocations = relocations;
     relocations.retain(|&(b, from, _)| cfs.datanode(from).contains(b));

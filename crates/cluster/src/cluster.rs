@@ -2,27 +2,20 @@
 
 use crate::datanode::DataNode;
 use crate::health::{FailureDetector, HealthConfig, HealthTransition};
+use crate::io::{ClusterIo, IoStats};
 use crate::namenode::NameNode;
 use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear_erasure::ReedSolomon;
-use ear_faults::{crc32c, FaultInjector, FaultPlan, IoFault};
+use ear_faults::{FaultInjector, FaultPlan};
 use ear_netem::EmulatedNetwork;
 use ear_types::{
     Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, Error, NodeHealth, NodeId, Result,
+    StoreBackend,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
-use std::time::Duration;
 
-/// Attempts per replica before a read or write gives up on it.
-pub(crate) const IO_ATTEMPTS: u32 = 3;
-
-/// Exponential backoff between retry rounds. Kept in the hundreds of
-/// microseconds: the emulated network paces in milliseconds, so this is
-/// "immediately, but not a busy loop" at testbed scale.
-pub(crate) fn backoff(attempt: u32) {
-    std::thread::sleep(Duration::from_micros(200u64 << attempt.min(8)));
-}
+pub(crate) use crate::io::backoff;
 
 /// Which placement policy the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +46,8 @@ pub struct ClusterConfig {
     pub policy: ClusterPolicy,
     /// RNG seed for the NameNode's policy.
     pub seed: u64,
+    /// Which block-storage backend the DataNodes run on.
+    pub store: StoreBackend,
 }
 
 impl ClusterConfig {
@@ -69,6 +64,7 @@ impl ClusterConfig {
             ear,
             policy,
             seed: 1,
+            store: StoreBackend::from_env(),
         }
     }
 }
@@ -80,10 +76,8 @@ pub struct MiniCfs {
     config: ClusterConfig,
     topo: ClusterTopology,
     namenode: NameNode,
-    datanodes: Vec<DataNode>,
-    net: EmulatedNetwork,
+    io: ClusterIo,
     codec: ReedSolomon,
-    injector: FaultInjector,
     health: Mutex<FailureDetector>,
 }
 
@@ -117,7 +111,10 @@ impl MiniCfs {
             ClusterPolicy::Ear => Box::new(EncodingAwareReplication::new(config.ear, topo.clone())),
         };
         let namenode = NameNode::new(topo.clone(), policy, config.seed);
-        let datanodes: Vec<DataNode> = topo.nodes().map(DataNode::new).collect();
+        let datanodes: Vec<DataNode> = topo
+            .nodes()
+            .map(|n| DataNode::with_backend(n, config.store))
+            .collect::<Result<_>>()?;
         let net = EmulatedNetwork::new(&topo, config.node_bandwidth, config.rack_bandwidth);
         let codec = ReedSolomon::new(config.ear.erasure());
         let injector = match plan {
@@ -131,14 +128,13 @@ impl MiniCfs {
             topo.num_nodes(),
             HealthConfig::default(),
         ));
+        let io = ClusterIo::new(topo.clone(), datanodes, net, injector);
         Ok(MiniCfs {
             config,
             topo,
             namenode,
-            datanodes,
-            net,
+            io,
             codec,
-            injector,
             health,
         })
     }
@@ -152,10 +148,11 @@ impl MiniCfs {
     pub fn heartbeat_tick(&self) -> Vec<HealthTransition> {
         let mut det = self.health.lock();
         let tick = det.next_tick();
+        let injector = self.io.injector();
         let beats: Vec<bool> = self
             .topo
             .nodes()
-            .map(|n| !self.injector.node_down(n) && !self.injector.drops_heartbeat(n, tick))
+            .map(|n| !injector.node_down(n) && !injector.drops_heartbeat(n, tick))
             .collect();
         det.observe(&beats)
     }
@@ -177,14 +174,14 @@ impl MiniCfs {
     /// The fault injector in force (a no-op one unless the cluster was
     /// booted with [`MiniCfs::with_faults`]).
     pub fn injector(&self) -> &FaultInjector {
-        &self.injector
+        self.io.injector()
     }
 
     /// The active fault-plan seed, or `None` when no faults are injected —
     /// recorded into experiment statistics so every printed result names
     /// the chaos it survived.
     pub fn fault_seed(&self) -> Option<u64> {
-        self.injector.seed()
+        self.io.injector().seed()
     }
 
     /// The cluster configuration.
@@ -204,7 +201,18 @@ impl MiniCfs {
 
     /// The emulated network (for traffic statistics and injection).
     pub fn network(&self) -> &EmulatedNetwork {
-        &self.net
+        self.io.network()
+    }
+
+    /// The unified I/O service every data-plane operation goes through
+    /// (DESIGN.md §9).
+    pub fn io(&self) -> &ClusterIo {
+        &self.io
+    }
+
+    /// Snapshot of the cluster's per-op I/O accounting.
+    pub fn io_stats(&self) -> IoStats {
+        self.io.stats()
     }
 
     /// The Reed–Solomon codec in force.
@@ -218,7 +226,7 @@ impl MiniCfs {
     ///
     /// Panics if the node id is out of range.
     pub fn datanode(&self, node: NodeId) -> &DataNode {
-        &self.datanodes[node.index()]
+        self.io.datanode(node)
     }
 
     /// Writes one block from `client` through the replication pipeline:
@@ -239,28 +247,12 @@ impl MiniCfs {
         }
         let (id, layout) = self.namenode.allocate_block()?;
         let data = Arc::new(data);
-        let mut src = client;
-        let mut stored: Vec<NodeId> = Vec::with_capacity(layout.len());
-        for &dst in &layout {
-            let mut outcome = Ok(());
-            for attempt in 0..IO_ATTEMPTS {
-                outcome = self.store_block_at(src, dst, id, Arc::clone(&data), attempt);
-                match &outcome {
-                    Ok(()) => break,
-                    // Only transient faults are worth retrying on the same
-                    // node; a crashed node or dark rack stays that way.
-                    Err(Error::TransientIo { .. }) => backoff(attempt),
-                    Err(_) => break,
-                }
-            }
-            if let Err(e) = outcome {
-                // The write is not acknowledged; record honestly which
-                // replicas actually landed so later repair can see them.
-                self.namenode.set_locations(id, stored);
-                return Err(e);
-            }
-            stored.push(dst);
-            src = dst;
+        let (stored, err) = self.io.write_replicated(client, id, &data, &layout);
+        if let Some(e) = err {
+            // The write is not acknowledged; record honestly which replicas
+            // actually landed so later repair can see them.
+            self.namenode.set_locations(id, stored);
+            return Err(e);
         }
         Ok(id)
     }
@@ -285,19 +277,9 @@ impl MiniCfs {
             return Err(Error::BlockUnavailable { block: id });
         }
         let ordered = self.by_proximity(reader, &locations);
-        let mut last = Error::BlockUnavailable { block: id };
-        for attempt in 0..IO_ATTEMPTS {
-            for &src in &ordered {
-                match self.fetch_block_from(src, reader, id, attempt) {
-                    Ok(data) => return Ok(data),
-                    Err(e) => last = e,
-                }
-            }
-            if attempt + 1 < IO_ATTEMPTS {
-                backoff(attempt);
-            }
-        }
-        Err(last)
+        self.io
+            .read_with_fallback(reader, id, &ordered, None, None)
+            .map(|(data, _)| data)
     }
 
     /// Reads `block` from the specific replica on `src`, shipping the bytes
@@ -319,25 +301,7 @@ impl MiniCfs {
         block: BlockId,
         attempt: u32,
     ) -> Result<Arc<Vec<u8>>> {
-        let fault = self.injector.on_read(src, block, attempt);
-        match fault {
-            Some(IoFault::Corrupt) | None => {}
-            Some(f) => return Err(f.to_error(src, block)),
-        }
-        let (data, crc) = self.datanodes[src.index()]
-            .get_with_crc(block)
-            .ok_or(Error::BlockUnavailable { block })?;
-        let data = if fault == Some(IoFault::Corrupt) {
-            Arc::new(self.injector.corrupted_copy(src, block, &data))
-        } else {
-            data
-        };
-        // The bytes cross the wire before the reader can checksum them.
-        self.net.transfer(src, dst, data.len() as u64);
-        if crc32c(&data) != crc {
-            return Err(Error::CorruptBlock { block, node: src });
-        }
-        Ok(data)
+        self.io.fetch_from(src, dst, block, attempt)
     }
 
     /// Writes `block`'s bytes from `src` onto `dst`'s store, through the
@@ -354,12 +318,7 @@ impl MiniCfs {
         data: Arc<Vec<u8>>,
         attempt: u32,
     ) -> Result<()> {
-        if let Some(f) = self.injector.on_write(dst, block, attempt) {
-            return Err(f.to_error(dst, block));
-        }
-        self.net.transfer(src, dst, data.len() as u64);
-        self.datanodes[dst.index()].put(block, data);
-        Ok(())
+        self.io.store_at(src, dst, block, data, attempt)
     }
 
     /// Orders `locations` by proximity to `reader`: the reader itself,
@@ -398,7 +357,8 @@ impl MiniCfs {
     /// Per-rack stored byte counts (storage balance of Experiment C.1).
     pub fn rack_storage(&self) -> Vec<u64> {
         let mut per_rack = vec![0u64; self.topo.num_racks()];
-        for dn in &self.datanodes {
+        for n in self.topo.nodes() {
+            let dn = self.io.datanode(n);
             per_rack[self.topo.rack_of(dn.id()).index()] += dn.bytes_stored();
         }
         per_rack
@@ -426,6 +386,7 @@ mod tests {
             ear,
             policy,
             seed: 3,
+            store: StoreBackend::from_env(),
         }
     }
 

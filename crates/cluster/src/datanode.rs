@@ -1,36 +1,44 @@
-//! The DataNode: an in-memory block store, one per emulated machine.
+//! The DataNode: one emulated machine's block service over a pluggable
+//! [`BlockStore`] backend (memory or file-backed; DESIGN.md §9).
 
+use crate::blockstore::{open_store, BlockStore, ShardedMemStore};
 use ear_faults::crc32c;
-use ear_types::{BlockId, NodeId};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use ear_types::{BlockId, NodeId, Result, StoreBackend};
 use std::sync::Arc;
 
-/// One stored replica: the bytes plus the CRC32C computed at write time, as
-/// HDFS stores a checksum file beside every block file.
-#[derive(Debug, Clone)]
-struct StoredBlock {
-    data: Arc<Vec<u8>>,
-    crc: u32,
-}
-
-/// One DataNode's block storage. Blocks are reference-counted byte buffers
-/// so replicas of the same block share memory across nodes. Every replica
-/// carries the CRC32C of its bytes at `put` time; readers compare it against
-/// what they actually received to catch silent corruption.
+/// One DataNode's block storage. The protocol surface (put/get/delete plus
+/// write-time CRC32C bookkeeping) is fixed; where the bytes live is the
+/// backend's business — reference-counted buffers for
+/// [`StoreBackend::Memory`], a file per block for [`StoreBackend::File`].
+/// Every replica carries the CRC32C of its bytes at `put` time; readers
+/// compare it against what they actually received to catch silent
+/// corruption.
 #[derive(Debug)]
 pub struct DataNode {
     id: NodeId,
-    store: Mutex<HashMap<BlockId, StoredBlock>>,
+    store: Box<dyn BlockStore>,
 }
 
 impl DataNode {
-    /// Creates an empty DataNode.
+    /// Creates an empty DataNode on the in-memory backend.
     pub fn new(id: NodeId) -> Self {
         DataNode {
             id,
-            store: Mutex::new(HashMap::new()),
+            store: Box::new(ShardedMemStore::new()),
         }
+    }
+
+    /// Creates an empty DataNode on the requested backend.
+    ///
+    /// # Errors
+    ///
+    /// [`ear_types::Error::Io`] if the file backend cannot create its temp
+    /// root.
+    pub fn with_backend(id: NodeId, backend: StoreBackend) -> Result<Self> {
+        Ok(DataNode {
+            id,
+            store: open_store(backend, &format!("n{}", id.0))?,
+        })
     }
 
     /// This node's id.
@@ -38,50 +46,57 @@ impl DataNode {
         self.id
     }
 
+    /// Which storage backend this node runs on.
+    pub fn backend(&self) -> StoreBackend {
+        self.store.backend()
+    }
+
     /// Stores (or overwrites) a block replica, checksumming it on the way
     /// in.
-    pub fn put(&self, block: BlockId, data: Arc<Vec<u8>>) {
+    ///
+    /// # Errors
+    ///
+    /// [`ear_types::Error::Io`] if the backend cannot persist the bytes
+    /// (file backend only).
+    pub fn put(&self, block: BlockId, data: Arc<Vec<u8>>) -> Result<()> {
         let crc = crc32c(&data);
-        self.store.lock().insert(block, StoredBlock { data, crc });
+        self.store.put(block, data, crc)
     }
 
     /// Fetches a block replica, if present.
     pub fn get(&self, block: BlockId) -> Option<Arc<Vec<u8>>> {
-        self.store.lock().get(&block).map(|s| Arc::clone(&s.data))
+        self.store.get_with_crc(block).map(|(data, _)| data)
     }
 
     /// Fetches a block replica together with its write-time CRC32C.
     pub fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)> {
-        self.store
-            .lock()
-            .get(&block)
-            .map(|s| (Arc::clone(&s.data), s.crc))
+        self.store.get_with_crc(block)
     }
 
     /// The write-time CRC32C of a stored replica.
     pub fn stored_crc(&self, block: BlockId) -> Option<u32> {
-        self.store.lock().get(&block).map(|s| s.crc)
+        self.store.stored_crc(block)
     }
 
     /// Deletes a block replica; returns whether it existed.
     pub fn delete(&self, block: BlockId) -> bool {
-        self.store.lock().remove(&block).is_some()
+        self.store.delete(block)
     }
 
     /// Whether this node holds the block.
     pub fn contains(&self, block: BlockId) -> bool {
-        self.store.lock().contains_key(&block)
+        self.store.contains(block)
     }
 
     /// Number of block replicas stored.
     pub fn block_count(&self) -> usize {
-        self.store.lock().len()
+        self.store.block_count()
     }
 
     /// Total bytes stored (each replica counted at full size, as on a real
     /// disk).
     pub fn bytes_stored(&self) -> u64 {
-        self.store.lock().values().map(|s| s.data.len() as u64).sum()
+        self.store.bytes_stored()
     }
 }
 
@@ -89,44 +104,58 @@ impl DataNode {
 mod tests {
     use super::*;
 
+    fn nodes(backend: StoreBackend) -> (DataNode, DataNode) {
+        (
+            DataNode::with_backend(NodeId(3), backend).unwrap(),
+            DataNode::with_backend(NodeId(4), backend).unwrap(),
+        )
+    }
+
     #[test]
-    fn put_get_delete_roundtrip() {
-        let dn = DataNode::new(NodeId(3));
-        assert_eq!(dn.id(), NodeId(3));
-        let data = Arc::new(vec![1u8, 2, 3]);
-        dn.put(BlockId(7), Arc::clone(&data));
-        assert!(dn.contains(BlockId(7)));
-        assert_eq!(dn.get(BlockId(7)).unwrap().as_slice(), &[1, 2, 3]);
-        assert_eq!(dn.block_count(), 1);
-        assert_eq!(dn.bytes_stored(), 3);
-        assert!(dn.delete(BlockId(7)));
-        assert!(!dn.delete(BlockId(7)));
-        assert_eq!(dn.get(BlockId(7)), None);
-        assert_eq!(dn.block_count(), 0);
+    fn put_get_delete_roundtrip_both_backends() {
+        for backend in [StoreBackend::Memory, StoreBackend::File] {
+            let (dn, _) = nodes(backend);
+            assert_eq!(dn.id(), NodeId(3));
+            assert_eq!(dn.backend(), backend);
+            let data = Arc::new(vec![1u8, 2, 3]);
+            dn.put(BlockId(7), Arc::clone(&data)).unwrap();
+            assert!(dn.contains(BlockId(7)));
+            assert_eq!(dn.get(BlockId(7)).unwrap().as_slice(), &[1, 2, 3]);
+            assert_eq!(dn.block_count(), 1);
+            assert_eq!(dn.bytes_stored(), 3);
+            assert!(dn.delete(BlockId(7)));
+            assert!(!dn.delete(BlockId(7)));
+            assert_eq!(dn.get(BlockId(7)), None);
+            assert_eq!(dn.block_count(), 0);
+        }
     }
 
     #[test]
     fn replicas_share_memory() {
+        // Memory-backend contract specifically: replicas are Arc clones.
         let a = DataNode::new(NodeId(0));
         let b = DataNode::new(NodeId(1));
+        assert_eq!(a.backend(), StoreBackend::Memory);
         let data = Arc::new(vec![9u8; 64]);
-        a.put(BlockId(1), Arc::clone(&data));
-        b.put(BlockId(1), Arc::clone(&data));
+        a.put(BlockId(1), Arc::clone(&data)).unwrap();
+        b.put(BlockId(1), Arc::clone(&data)).unwrap();
         assert_eq!(Arc::strong_count(&data), 3);
     }
 
     #[test]
-    fn stored_crc_matches_bytes() {
-        let dn = DataNode::new(NodeId(0));
-        let data = Arc::new(vec![0x42u8; 1024]);
-        dn.put(BlockId(5), Arc::clone(&data));
-        let (bytes, crc) = dn.get_with_crc(BlockId(5)).unwrap();
-        assert_eq!(crc, crc32c(&bytes));
-        assert_eq!(dn.stored_crc(BlockId(5)), Some(crc));
-        // A copy with a flipped byte no longer matches the stored crc.
-        let mut bad = bytes.as_ref().clone();
-        bad[17] ^= 0x80;
-        assert_ne!(crc32c(&bad), crc);
-        assert_eq!(dn.stored_crc(BlockId(99)), None);
+    fn stored_crc_matches_bytes_both_backends() {
+        for backend in [StoreBackend::Memory, StoreBackend::File] {
+            let (dn, _) = nodes(backend);
+            let data = Arc::new(vec![0x42u8; 1024]);
+            dn.put(BlockId(5), Arc::clone(&data)).unwrap();
+            let (bytes, crc) = dn.get_with_crc(BlockId(5)).unwrap();
+            assert_eq!(crc, crc32c(&bytes));
+            assert_eq!(dn.stored_crc(BlockId(5)), Some(crc));
+            // A copy with a flipped byte no longer matches the stored crc.
+            let mut bad = bytes.as_ref().clone();
+            bad[17] ^= 0x80;
+            assert_ne!(crc32c(&bad), crc);
+            assert_eq!(dn.stored_crc(BlockId(99)), None);
+        }
     }
 }

@@ -16,7 +16,7 @@
 //! once heartbeats have actually declared it dead, so MTTR measured here
 //! includes detection latency, as it does in a real cluster.
 
-use crate::cluster::{backoff, MiniCfs, IO_ATTEMPTS};
+use crate::cluster::MiniCfs;
 use crate::health::{DegradedTracker, HealthTransition, RepairKind, RepairTask};
 use crate::recovery::reconstruct_stripe_block;
 use ear_faults::crc32c;
@@ -526,34 +526,12 @@ fn re_replicate(
             &preferred
         };
         let dst = *pool.choose(rng).expect("pool is non-empty");
-        let mut copied = false;
-        let mut last = Error::BlockUnavailable { block };
-        'sources: for &src in &holders {
-            for attempt in 0..IO_ATTEMPTS {
-                match cfs.fetch_block_from(src, dst, block, attempt) {
-                    Ok(data) => {
-                        cfs.datanode(dst).put(block, data);
-                        nn.add_location(block, dst);
-                        outcome.bytes += bs;
-                        if topo.rack_of(src) != topo.rack_of(dst) {
-                            outcome.cross_rack_bytes += bs;
-                        }
-                        copied = true;
-                        break 'sources;
-                    }
-                    Err(e @ Error::TransientIo { .. }) => {
-                        last = e;
-                        backoff(attempt);
-                    }
-                    Err(e) => {
-                        last = e;
-                        break;
-                    }
-                }
-            }
-        }
-        if !copied {
-            return Err(last);
+        let (data, src) = cfs.io().read_with_fallback(dst, block, &holders, None, None)?;
+        cfs.datanode(dst).put(block, data)?;
+        nn.add_location(block, dst);
+        outcome.bytes += bs;
+        if topo.rack_of(src) != topo.rack_of(dst) {
+            outcome.cross_rack_bytes += bs;
         }
         holders.push(dst);
     }
@@ -567,7 +545,9 @@ mod tests {
     use crate::monitor;
     use crate::raidnode::RaidNode;
     use ear_faults::{FaultConfig, FaultPlan};
-    use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig};
+    use ear_types::{
+        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+    };
 
     fn config(seed: u64) -> ClusterConfig {
         let ear = EarConfig::new(
@@ -585,6 +565,7 @@ mod tests {
             ear,
             policy: ClusterPolicy::Ear,
             seed,
+            store: StoreBackend::from_env(),
         }
     }
 

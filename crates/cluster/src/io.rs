@@ -1,0 +1,544 @@
+//! The unified data-plane I/O service (DESIGN.md §9).
+//!
+//! Every block fetch and store in the cluster — client reads/writes, the
+//! encoder's stripe downloads and parity uploads, degraded-read
+//! reconstruction, healer re-replication, MapReduce shuffle traffic — goes
+//! through [`ClusterIo`]. It owns the three seams that used to be spread
+//! across per-consumer retry loops:
+//!
+//! * the **fault injector** (every attempt consults the plan; corruption is
+//!   substituted here),
+//! * the **emulated network** (every byte is paced through netem's token
+//!   buckets),
+//! * the **checksum boundary** (readers re-hash received bytes against the
+//!   write-time CRC32C).
+//!
+//! On top of the single-attempt seams it provides the one retry/fallback
+//! policy all consumers share: [`ClusterIo::read_with_fallback`] walks an
+//! ordered replica list, retrying transient faults with backoff on the same
+//! node, skipping dead nodes (optionally notifying the caller's blacklist),
+//! and [`ClusterIo::write_replicated`] / [`ClusterIo::write_with_fallback`]
+//! do the same for pipeline and placement writes. Per-op byte and latency
+//! counters are aggregated into [`IoStats`].
+
+use crate::datanode::DataNode;
+use ear_faults::{crc32c, FaultInjector, IoFault};
+use ear_netem::EmulatedNetwork;
+use ear_types::{BlockId, ClusterTopology, Error, NodeId, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Attempts per replica before a read or write gives up on it.
+pub(crate) const IO_ATTEMPTS: u32 = 3;
+
+/// Exponential backoff between retry rounds. Kept in the hundreds of
+/// microseconds: the emulated network paces in milliseconds, so this is
+/// "immediately, but not a busy loop" at testbed scale.
+pub(crate) fn backoff(attempt: u32) {
+    std::thread::sleep(Duration::from_micros(200u64 << attempt.min(8)));
+}
+
+/// Monotonic I/O counters, updated relaxed — totals are exact once the
+/// contributing threads have joined, which is how every consumer reads them
+/// (after `encode_all`, after a healer round, after a job set).
+#[derive(Debug, Default)]
+struct Counters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    read_retries: AtomicU64,
+    write_retries: AtomicU64,
+    failed_reads: AtomicU64,
+    failed_writes: AtomicU64,
+    read_nanos: AtomicU64,
+    write_nanos: AtomicU64,
+    transfer_bytes: AtomicU64,
+}
+
+/// A snapshot of the cluster's data-plane I/O accounting.
+///
+/// Counts and bytes are deterministic for a fixed seed and fault plan; the
+/// latency sums (`*_seconds`) are wall-clock measurements and vary run to
+/// run — determinism comparisons must exclude them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoStats {
+    /// Successful single-attempt block fetches.
+    pub reads: u64,
+    /// Successful single-attempt block stores.
+    pub writes: u64,
+    /// Payload bytes fetched (successful attempts).
+    pub bytes_read: u64,
+    /// Payload bytes stored (successful attempts).
+    pub bytes_written: u64,
+    /// Transient read attempts that were retried on the same replica.
+    pub read_retries: u64,
+    /// Transient write attempts that were retried on the same destination.
+    pub write_retries: u64,
+    /// Read attempts that failed (any cause, including the retried ones).
+    pub failed_reads: u64,
+    /// Write attempts that failed (any cause, including the retried ones).
+    pub failed_writes: u64,
+    /// Wall-clock seconds spent inside successful fetches (net + checksum).
+    pub read_seconds: f64,
+    /// Wall-clock seconds spent inside successful stores.
+    pub write_seconds: f64,
+    /// Bytes moved through accounted raw transfers (shuffle, relocation).
+    pub transfer_bytes: u64,
+}
+
+/// The unified I/O service: DataNodes + emulated network + fault injector
+/// behind one read/write API. One per cluster, shared by every service
+/// thread.
+#[derive(Debug)]
+pub struct ClusterIo {
+    topo: ClusterTopology,
+    datanodes: Vec<DataNode>,
+    net: EmulatedNetwork,
+    injector: FaultInjector,
+    counters: Counters,
+}
+
+impl ClusterIo {
+    /// Assembles the service from the cluster's already-built parts.
+    pub fn new(
+        topo: ClusterTopology,
+        datanodes: Vec<DataNode>,
+        net: EmulatedNetwork,
+        injector: FaultInjector,
+    ) -> Self {
+        ClusterIo {
+            topo,
+            datanodes,
+            net,
+            injector,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The topology this service spans.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    /// The emulated network (for traffic statistics and injection).
+    pub fn network(&self) -> &EmulatedNetwork {
+        &self.net
+    }
+
+    /// The fault injector in force.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Access to a DataNode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn datanode(&self, node: NodeId) -> &DataNode {
+        &self.datanodes[node.index()]
+    }
+
+    /// Snapshot of the per-op byte and latency accounting.
+    pub fn stats(&self) -> IoStats {
+        let c = &self.counters;
+        IoStats {
+            reads: c.reads.load(Ordering::Relaxed),
+            writes: c.writes.load(Ordering::Relaxed),
+            bytes_read: c.bytes_read.load(Ordering::Relaxed),
+            bytes_written: c.bytes_written.load(Ordering::Relaxed),
+            read_retries: c.read_retries.load(Ordering::Relaxed),
+            write_retries: c.write_retries.load(Ordering::Relaxed),
+            failed_reads: c.failed_reads.load(Ordering::Relaxed),
+            failed_writes: c.failed_writes.load(Ordering::Relaxed),
+            read_seconds: c.read_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            write_seconds: c.write_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            transfer_bytes: c.transfer_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reads `block` from the specific replica on `src`, shipping the bytes
+    /// to `dst` and verifying their checksum against the write-time CRC32C.
+    /// This is the single injection boundary every read goes through:
+    /// corruption enters here (the fault layer hands back a copy with
+    /// flipped bits) and is caught here (the checksum mismatch becomes
+    /// [`Error::CorruptBlock`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NodeDown`] / [`Error::TransientIo`] from the fault layer.
+    /// * [`Error::BlockUnavailable`] if `src` does not hold the block.
+    /// * [`Error::CorruptBlock`] if the received bytes fail verification.
+    pub fn fetch_from(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockId,
+        attempt: u32,
+    ) -> Result<Arc<Vec<u8>>> {
+        let start = Instant::now();
+        let out = self.fetch_inner(src, dst, block, attempt);
+        match &out {
+            Ok(data) => {
+                self.counters.reads.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_read
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                self.counters
+                    .read_nanos
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.failed_reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    fn fetch_inner(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockId,
+        attempt: u32,
+    ) -> Result<Arc<Vec<u8>>> {
+        let fault = self.injector.on_read(src, block, attempt);
+        match fault {
+            Some(IoFault::Corrupt) | None => {}
+            Some(f) => return Err(f.to_error(src, block)),
+        }
+        let (data, crc) = self.datanodes[src.index()]
+            .get_with_crc(block)
+            .ok_or(Error::BlockUnavailable { block })?;
+        let data = if fault == Some(IoFault::Corrupt) {
+            Arc::new(self.injector.corrupted_copy(src, block, &data))
+        } else {
+            data
+        };
+        // The bytes cross the wire before the reader can checksum them.
+        self.net.transfer(src, dst, data.len() as u64);
+        if crc32c(&data) != crc {
+            return Err(Error::CorruptBlock { block, node: src });
+        }
+        Ok(data)
+    }
+
+    /// Writes `block`'s bytes from `src` onto `dst`'s store, through the
+    /// fault layer. The single injection boundary for writes.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NodeDown`] / [`Error::TransientIo`] from the fault layer.
+    /// * [`Error::Io`] if the destination's storage backend fails.
+    pub fn store_at(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockId,
+        data: Arc<Vec<u8>>,
+        attempt: u32,
+    ) -> Result<()> {
+        let start = Instant::now();
+        let len = data.len() as u64;
+        let out = self.store_inner(src, dst, block, data, attempt);
+        match &out {
+            Ok(()) => {
+                self.counters.writes.fetch_add(1, Ordering::Relaxed);
+                self.counters.bytes_written.fetch_add(len, Ordering::Relaxed);
+                self.counters
+                    .write_nanos
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.failed_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    fn store_inner(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockId,
+        data: Arc<Vec<u8>>,
+        attempt: u32,
+    ) -> Result<()> {
+        if let Some(f) = self.injector.on_write(dst, block, attempt) {
+            return Err(f.to_error(dst, block));
+        }
+        self.net.transfer(src, dst, data.len() as u64);
+        self.datanodes[dst.index()].put(block, data)
+    }
+
+    /// Reads `block` into `dst` from the first source in `sources` that can
+    /// serve it — the shared fallback policy of every resilient reader.
+    ///
+    /// Sources are tried in the given order. On each one, transient faults
+    /// are retried up to [`IO_ATTEMPTS`] times with backoff; a dead node is
+    /// reported to `on_dead` (a blacklist hook) and skipped; any other
+    /// failure (missing replica, checksum mismatch) falls through to the
+    /// next source. A source for which `skip` returns `true` is bypassed
+    /// without an attempt unless it is the last hope.
+    ///
+    /// Returns the bytes and the node that served them.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::BlockUnavailable`] if `sources` is empty.
+    /// * Otherwise the last per-source error once every source failed.
+    pub fn read_with_fallback(
+        &self,
+        dst: NodeId,
+        block: BlockId,
+        sources: &[NodeId],
+        on_dead: Option<&dyn Fn(NodeId)>,
+        skip: Option<&dyn Fn(NodeId) -> bool>,
+    ) -> Result<(Arc<Vec<u8>>, NodeId)> {
+        let mut last = Error::BlockUnavailable { block };
+        for (i, &src) in sources.iter().enumerate() {
+            // Skip a known-bad source while other candidates remain; if it
+            // is the last one, try it anyway — a stale blacklist entry must
+            // not turn a readable block into a failed read.
+            if i + 1 < sources.len() && skip.is_some_and(|f| f(src)) {
+                last = Error::NodeDown { node: src };
+                continue;
+            }
+            for attempt in 0..IO_ATTEMPTS {
+                match self.fetch_from(src, dst, block, attempt) {
+                    Ok(data) => return Ok((data, src)),
+                    Err(e @ Error::TransientIo { .. }) => {
+                        last = e;
+                        self.counters.read_retries.fetch_add(1, Ordering::Relaxed);
+                        backoff(attempt);
+                    }
+                    Err(e @ Error::NodeDown { .. }) => {
+                        if let Some(f) = on_dead {
+                            f(src);
+                        }
+                        last = e;
+                        break;
+                    }
+                    Err(e) => {
+                        last = e;
+                        break;
+                    }
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Stores `block` on `dst`, retrying transient faults with backoff.
+    /// Any other fault is returned immediately — a crashed node or dark
+    /// rack stays that way.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error.
+    pub fn write_with_retry(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockId,
+        data: &Arc<Vec<u8>>,
+    ) -> Result<()> {
+        let mut outcome = Ok(());
+        for attempt in 0..IO_ATTEMPTS {
+            outcome = self.store_at(src, dst, block, Arc::clone(data), attempt);
+            match &outcome {
+                Ok(()) => break,
+                Err(Error::TransientIo { .. }) => {
+                    self.counters.write_retries.fetch_add(1, Ordering::Relaxed);
+                    backoff(attempt);
+                }
+                Err(_) => break,
+            }
+        }
+        outcome
+    }
+
+    /// Writes one block through the replication pipeline: `client` →
+    /// `layout[0]` → `layout[1]` → …, paying the network cost of each hop.
+    ///
+    /// Returns the replicas that actually landed and, if the pipeline broke,
+    /// the error that stopped it — the caller records the partial location
+    /// list honestly either way.
+    pub fn write_replicated(
+        &self,
+        client: NodeId,
+        block: BlockId,
+        data: &Arc<Vec<u8>>,
+        layout: &[NodeId],
+    ) -> (Vec<NodeId>, Option<Error>) {
+        let mut src = client;
+        let mut stored: Vec<NodeId> = Vec::with_capacity(layout.len());
+        for &dst in layout {
+            if let Err(e) = self.write_with_retry(src, dst, block, data) {
+                return (stored, Some(e));
+            }
+            stored.push(dst);
+            src = dst;
+        }
+        (stored, None)
+    }
+
+    /// Stores `block` on the first workable destination in `candidates` —
+    /// the shared fallback policy of placement writes (parity upload,
+    /// re-replication). A destination the fault plan already marks down is
+    /// skipped without paying a transfer; on the rest, transient faults are
+    /// retried with backoff.
+    ///
+    /// Returns the node that took the bytes.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoRepairDestination`] if `candidates` is empty.
+    /// * Otherwise the last per-candidate error once every candidate failed.
+    pub fn write_with_fallback(
+        &self,
+        src: NodeId,
+        block: BlockId,
+        data: &Arc<Vec<u8>>,
+        candidates: &[NodeId],
+    ) -> Result<NodeId> {
+        let mut last = Error::NoRepairDestination { block };
+        for &dst in candidates {
+            if self.injector.node_down(dst) {
+                last = Error::NodeDown { node: dst };
+                continue;
+            }
+            match self.write_with_retry(src, dst, block, data) {
+                Ok(()) => return Ok(dst),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Moves raw bytes through the emulated network with accounting — the
+    /// path for traffic that is not a block fetch/store against a DataNode
+    /// (MapReduce shuffle, trusted relocation transfers).
+    pub fn transfer(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        self.counters.transfer_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.net.transfer(src, dst, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_faults::FaultPlan;
+
+    fn service() -> ClusterIo {
+        let topo = ClusterTopology::uniform(2, 2);
+        let datanodes: Vec<DataNode> = topo.nodes().map(DataNode::new).collect();
+        let net = EmulatedNetwork::new(
+            &topo,
+            ear_types::Bandwidth::bytes_per_sec(1e9),
+            ear_types::Bandwidth::bytes_per_sec(1e9),
+        );
+        ClusterIo::new(topo, datanodes, net, FaultInjector::disabled())
+    }
+
+    #[test]
+    fn fallback_read_serves_from_later_source_and_counts() {
+        let io = service();
+        let data = Arc::new(vec![5u8; 256]);
+        io.datanode(NodeId(2)).put(BlockId(0), Arc::clone(&data)).unwrap();
+        // NodeId(1) holds nothing: the read falls through to NodeId(2).
+        let (got, src) = io
+            .read_with_fallback(NodeId(0), BlockId(0), &[NodeId(1), NodeId(2)], None, None)
+            .unwrap();
+        assert_eq!(src, NodeId(2));
+        assert_eq!(got.as_slice(), data.as_slice());
+        let s = io.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_read, 256);
+        assert_eq!(s.failed_reads, 1, "the miss on NodeId(1) is accounted");
+        assert!(s.read_seconds > 0.0);
+    }
+
+    #[test]
+    fn skip_hook_is_ignored_for_the_last_candidate() {
+        let io = service();
+        let data = Arc::new(vec![1u8; 64]);
+        io.datanode(NodeId(3)).put(BlockId(9), Arc::clone(&data)).unwrap();
+        let skip_all = |_: NodeId| true;
+        let (_, src) = io
+            .read_with_fallback(
+                NodeId(0),
+                BlockId(9),
+                &[NodeId(1), NodeId(3)],
+                None,
+                Some(&skip_all),
+            )
+            .unwrap();
+        assert_eq!(src, NodeId(3), "last candidate must be tried despite skip");
+    }
+
+    #[test]
+    fn write_replicated_pipelines_and_accounts() {
+        let io = service();
+        let data = Arc::new(vec![7u8; 128]);
+        let layout = [NodeId(0), NodeId(2)];
+        let (stored, err) = io.write_replicated(NodeId(1), BlockId(4), &data, &layout);
+        assert!(err.is_none());
+        assert_eq!(stored, layout);
+        assert!(io.datanode(NodeId(0)).contains(BlockId(4)));
+        assert!(io.datanode(NodeId(2)).contains(BlockId(4)));
+        let s = io.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.bytes_written, 256);
+    }
+
+    #[test]
+    fn write_with_fallback_skips_dead_candidates() {
+        use ear_faults::FaultConfig;
+        let topo = ClusterTopology::uniform(2, 2);
+        let datanodes: Vec<DataNode> = topo.nodes().map(DataNode::new).collect();
+        let net = EmulatedNetwork::new(
+            &topo,
+            ear_types::Bandwidth::bytes_per_sec(1e9),
+            ear_types::Bandwidth::bytes_per_sec(1e9),
+        );
+        // A plan whose only fault is one node crashed from op 0
+        // (crash_window 1 activates it immediately).
+        let cfg = FaultConfig {
+            node_crashes: 1,
+            rack_outages: 0,
+            stragglers: 0,
+            straggler_factor: 1.0,
+            transient_error_rate: 0.0,
+            corruption_rate: 0.0,
+            heartbeat_loss_rate: 0.0,
+            crash_window: 1,
+        };
+        let plan = FaultPlan::generate(7, &topo, &cfg);
+        let io = ClusterIo::new(
+            topo.clone(),
+            datanodes,
+            net,
+            FaultInjector::new(plan, topo.clone()),
+        );
+        let dead: Vec<NodeId> = topo.nodes().filter(|&n| io.injector().node_down(n)).collect();
+        assert_eq!(dead.len(), 1);
+        let alive = topo.nodes().find(|&n| !io.injector().node_down(n)).unwrap();
+        let data = Arc::new(vec![3u8; 32]);
+        let dst = io
+            .write_with_fallback(NodeId(0), BlockId(2), &data, &[dead[0], alive])
+            .unwrap();
+        assert_eq!(dst, alive);
+    }
+
+    #[test]
+    fn empty_sources_report_block_unavailable() {
+        let io = service();
+        let err = io
+            .read_with_fallback(NodeId(0), BlockId(0), &[], None, None)
+            .unwrap_err();
+        assert!(matches!(err, Error::BlockUnavailable { .. }));
+    }
+}

@@ -3,9 +3,16 @@
 //!
 //! The crate emulates the 13-machine testbed in one process:
 //!
-//! * [`NameNode`] — metadata, the placement policy, and the *pre-encoding
-//!   store* that groups blocks into stripes (Section IV-B);
-//! * [`DataNode`] — an in-memory block store per emulated machine;
+//! * [`NameNode`] — metadata (lock-striped block→location shards plus the
+//!   stripe state), the placement policy, and the *pre-encoding store* that
+//!   groups blocks into stripes (Section IV-B);
+//! * [`DataNode`] — a block store per emulated machine over a pluggable
+//!   [`BlockStore`] backend: lock-striped memory or file-per-block
+//!   (`EAR_STORE=memory|file`);
+//! * [`ClusterIo`] — the unified data-plane I/O service: every block fetch
+//!   and store goes through its fault-injection + netem + checksum seam,
+//!   with replica fallback, retry/backoff, and per-op byte and latency
+//!   accounting ([`IoStats`]);
 //! * [`MiniCfs`] — the client API: replication-pipeline writes and
 //!   nearest-replica reads, with every byte paced through the token-bucket
 //!   network of `ear-netem`;
@@ -43,22 +50,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blockstore;
 pub mod chaos;
 mod cluster;
 mod datanode;
 pub mod healer;
 pub mod health;
+mod io;
 pub mod mapreduce;
 mod monitor;
 mod namenode;
 mod raidnode;
 mod recovery;
 
+pub use blockstore::{BlockStore, FileStore, ShardedMemStore};
 pub use chaos::{
     run_heal_plan, run_plan, ChaosConfig, ChaosReport, HealSoakConfig, HealSoakReport,
 };
 pub use cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
 pub use datanode::DataNode;
+pub use io::{ClusterIo, IoStats};
 pub use healer::{Healer, HealerConfig, RoundReport};
 pub use health::{
     DegradedTracker, FailureDetector, HealthConfig, HealthTransition, RepairKind, RepairTask,

@@ -173,10 +173,11 @@ fn run_one_job(
                 slots[map_node.index()].acquire();
                 // Data-local read: the map node holds a replica.
                 let _data = cfs.read_block(map_node, block)?;
-                // Shuffle: stream this map's partitions to every reducer.
+                // Shuffle: stream this map's partitions to every reducer
+                // through the accounted I/O path.
                 for &r in &reducers {
                     if shuffle_per_pair > 0 {
-                        cfs.network().transfer(map_node, r, shuffle_per_pair);
+                        cfs.io().transfer(map_node, r, shuffle_per_pair);
                     }
                 }
                 slots[map_node.index()].release();
@@ -217,7 +218,9 @@ fn run_one_job(
 mod tests {
     use super::*;
     use crate::cluster::{ClusterConfig, ClusterPolicy};
-    use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig};
+    use ear_types::{
+        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+    };
     use ear_workloads::SwimGenerator;
 
     fn boot(policy: ClusterPolicy) -> MiniCfs {
@@ -236,6 +239,7 @@ mod tests {
             ear,
             policy,
             seed: 7,
+            store: StoreBackend::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }

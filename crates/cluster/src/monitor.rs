@@ -142,7 +142,9 @@ mod tests {
     use super::*;
     use crate::cluster::{ClusterConfig, ClusterPolicy};
     use crate::raidnode::RaidNode;
-    use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig};
+    use ear_types::{
+        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+    };
 
     fn boot(policy: ClusterPolicy) -> MiniCfs {
         let ear = EarConfig::new(
@@ -160,6 +162,7 @@ mod tests {
             ear,
             policy,
             seed: 77,
+            store: StoreBackend::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -203,7 +206,7 @@ mod tests {
             .unwrap();
         let old = cfs.namenode().locations(b1).unwrap()[0];
         let data = cfs.datanode(old).get(b1).unwrap();
-        cfs.datanode(other).put(b1, data);
+        cfs.datanode(other).put(b1, data).unwrap();
         cfs.datanode(old).delete(b1);
         cfs.namenode().set_locations(b1, vec![other]);
 
@@ -238,6 +241,7 @@ mod tests {
             ear,
             policy: ClusterPolicy::Ear,
             seed: 79,
+            store: StoreBackend::from_env(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;
@@ -266,7 +270,7 @@ mod tests {
         for (&b, &dst) in movers.iter().zip(a_nodes.iter()) {
             let old = holder(b);
             let data = cfs.datanode(old).get(b).unwrap();
-            cfs.datanode(dst).put(b, data);
+            cfs.datanode(dst).put(b, data).unwrap();
             cfs.datanode(old).delete(b);
             cfs.namenode().set_locations(b, vec![dst]);
         }
@@ -294,7 +298,7 @@ mod tests {
         // hard-coded constant), and is a pure function of cluster state:
         // booting the identical cluster twice plans identical repairs.
         // Encoding runs single-threaded here so the two cluster states are
-        // bit-identical (parallel encode interleaves policy RNG draws).
+        // bit-identical (parallel encode interleaves parity-id allocation).
         let build = || {
             let cfs = boot(ClusterPolicy::Ear);
             let nodes = cfs.topology().num_nodes() as u64;
@@ -319,7 +323,7 @@ mod tests {
                 .unwrap();
             let old = cfs.namenode().locations(b1).unwrap()[0];
             let data = cfs.datanode(old).get(b1).unwrap();
-            cfs.datanode(other).put(b1, data);
+            cfs.datanode(other).put(b1, data).unwrap();
             cfs.datanode(old).delete(b1);
             cfs.namenode().set_locations(b1, vec![other]);
             let violations = scan(&cfs);
@@ -349,6 +353,7 @@ mod tests {
             ear,
             policy: ClusterPolicy::Rr,
             seed: 78,
+            store: StoreBackend::from_env(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;

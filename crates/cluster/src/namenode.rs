@@ -1,12 +1,31 @@
 //! The NameNode: cluster metadata, the placement policy, and the
 //! pre-encoding store (Section IV-B of the paper).
+//!
+//! Metadata is lock-striped (DESIGN.md §9): block→location records live in
+//! [`SHARDS`] reader–writer shards keyed by a block-id hash, so location
+//! lookups and single-block updates from concurrent readers, healers, and
+//! encode jobs never contend on one global lock. Stripe bookkeeping (the
+//! pre-encoding store) is a separate mutex, and block ids come from an
+//! atomic counter. Every snapshot the NameNode exports is sorted by id, so
+//! downstream consumers see the same order regardless of which shard or
+//! thread produced an entry.
 
 use ear_core::{PlacementPolicy, StripePlan};
 use ear_types::{BlockId, BlockId as Bid, ClusterTopology, NodeId, Result, StripeId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of metadata shards. A power of two comfortably above the thread
+/// counts we drive, so stripes of the id space map evenly.
+const SHARDS: usize = 16;
+
+fn shard_of(block: BlockId) -> usize {
+    // Fibonacci hashing spreads the sequential ids real allocations produce.
+    (block.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % SHARDS
+}
 
 /// A stripe registered in the pre-encoding store: the data block ids that
 /// will be encoded together and their placement plan.
@@ -32,24 +51,22 @@ pub struct EncodedStripe {
     pub parity: Vec<BlockId>,
 }
 
-/// The NameNode: owns block locations, drives the placement policy, and
-/// groups blocks into stripes for the RaidNode.
-pub struct NameNode {
-    topo: ClusterTopology,
-    policy: Mutex<Box<dyn PlacementPolicy>>,
-    rng: Mutex<ChaCha8Rng>,
-    state: Mutex<Meta>,
-}
-
-#[derive(Debug, Default)]
-struct Meta {
-    /// Current replica locations of every live block.
-    locations: HashMap<BlockId, Vec<NodeId>>,
-    /// The layout each block was *assigned* at allocation time. Stripe
+/// Per-block metadata held in the location shards.
+#[derive(Debug, Default, Clone)]
+struct BlockMeta {
+    /// Current replica locations of the block.
+    locations: Vec<NodeId>,
+    /// The layout the block was *assigned* at allocation time. Stripe
     /// sealing matches against this, never against `locations`: repair can
     /// move replicas (a healed block's location set diverges from its
-    /// placement) without breaking the policy's layout-identity bookkeeping.
-    assigned: HashMap<BlockId, Vec<NodeId>>,
+    /// placement) without breaking the policy's layout-identity
+    /// bookkeeping. `None` for registered (parity) blocks.
+    assigned: Option<Vec<NodeId>>,
+}
+
+/// The pre-encoding store: stripe state serialized under one mutex.
+#[derive(Debug, Default)]
+struct StripeState {
     /// Stripes sealed by the policy but not yet encoded.
     pending: Vec<PendingStripe>,
     /// Stripes that have been encoded.
@@ -57,8 +74,23 @@ struct Meta {
     /// Blocks of the stripe currently being accumulated, in seal order —
     /// maps each sealed stripe to its member blocks.
     unsealed: Vec<BlockId>,
-    next_block: u64,
     next_stripe: u64,
+}
+
+/// The NameNode: owns block locations, drives the placement policy, and
+/// groups blocks into stripes for the RaidNode.
+///
+/// Lock order (coarse→fine, never the reverse): `policy` → `rng` →
+/// `stripes` → a location shard. Pure metadata ops touch only their one
+/// shard.
+pub struct NameNode {
+    topo: ClusterTopology,
+    policy: Mutex<Box<dyn PlacementPolicy>>,
+    rng: Mutex<ChaCha8Rng>,
+    seed: u64,
+    shards: Vec<RwLock<HashMap<BlockId, BlockMeta>>>,
+    stripes: Mutex<StripeState>,
+    next_block: AtomicU64,
 }
 
 impl NameNode {
@@ -68,13 +100,20 @@ impl NameNode {
             topo,
             policy: Mutex::new(policy),
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
-            state: Mutex::new(Meta::default()),
+            seed,
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            stripes: Mutex::new(StripeState::default()),
+            next_block: AtomicU64::new(0),
         }
     }
 
     /// The cluster topology.
     pub fn topology(&self) -> &ClusterTopology {
         &self.topo
+    }
+
+    fn shard(&self, block: BlockId) -> &RwLock<HashMap<BlockId, BlockMeta>> {
+        &self.shards[shard_of(block)]
     }
 
     /// Allocates a block id and replica layout for a new write; registers
@@ -85,58 +124,64 @@ impl NameNode {
     ///
     /// Propagates placement failures from the policy.
     pub fn allocate_block(&self) -> Result<(BlockId, Vec<NodeId>)> {
-        let placed = {
-            let mut policy = self.policy.lock();
-            let mut rng = self.rng.lock();
-            policy.place_block(&mut *rng)?
-        };
-        let mut meta = self.state.lock();
-        let id = Bid(meta.next_block);
-        meta.next_block += 1;
-        meta.locations.insert(id, placed.layout.replicas.clone());
-        meta.assigned.insert(id, placed.layout.replicas.clone());
-        meta.unsealed.push(id);
+        // Placement is inherently sequential (one RNG stream); keep the
+        // policy lock across registration so id order, unsealed order, and
+        // placement order agree — sealing matches layouts by recency.
+        let mut policy = self.policy.lock();
+        let mut rng = self.rng.lock();
+        let placed = policy.place_block(&mut *rng)?;
+        let mut stripes = self.stripes.lock();
+        let id = Bid(self.next_block.fetch_add(1, Ordering::SeqCst));
+        self.shard(id).write().insert(
+            id,
+            BlockMeta {
+                locations: placed.layout.replicas.clone(),
+                assigned: Some(placed.layout.replicas.clone()),
+            },
+        );
+        stripes.unsealed.push(id);
         if let Some(plan) = placed.sealed_stripe {
             let k = plan.num_blocks();
-            debug_assert!(meta.unsealed.len() >= k);
+            debug_assert!(stripes.unsealed.len() >= k);
             // Under RR the last k allocated blocks form the stripe; under
             // EAR the sealed stripe's blocks are the ones whose layouts
             // match the plan — which are exactly the most recent k blocks
             // placed into that core rack. We track them by layout identity.
-            let blocks = take_stripe_blocks(&mut meta, &plan)?;
-            let sid = StripeId(meta.next_stripe);
-            meta.next_stripe += 1;
-            meta.pending.push(PendingStripe {
+            let blocks = self.take_stripe_blocks(&mut stripes, &plan)?;
+            let sid = StripeId(stripes.next_stripe);
+            stripes.next_stripe += 1;
+            stripes.pending.push(PendingStripe {
                 id: sid,
-                blocks: blocks.clone(),
+                blocks,
                 plan,
             });
         }
-        let layout = meta.locations[&id].clone();
-        Ok((id, layout))
+        Ok((id, placed.layout.replicas))
     }
 
     /// Current replica locations of a block.
     pub fn locations(&self, block: BlockId) -> Option<Vec<NodeId>> {
-        self.state.lock().locations.get(&block).cloned()
+        self.shard(block)
+            .read()
+            .get(&block)
+            .map(|m| m.locations.clone())
     }
 
     /// Replaces a block's location set (after encoding deletes replicas or
     /// relocates blocks).
     pub fn set_locations(&self, block: BlockId, nodes: Vec<NodeId>) {
-        self.state.lock().locations.insert(block, nodes);
+        self.shard(block).write().entry(block).or_default().locations = nodes;
     }
 
     /// Removes one node from a block's location set (a replica declared
     /// lost by the failure detector, or dropped by the scrubber). Returns
     /// whether the node was listed.
     pub fn drop_location(&self, block: BlockId, node: NodeId) -> bool {
-        let mut meta = self.state.lock();
-        match meta.locations.get_mut(&block) {
-            Some(locs) => {
-                let before = locs.len();
-                locs.retain(|&n| n != node);
-                locs.len() < before
+        match self.shard(block).write().get_mut(&block) {
+            Some(meta) => {
+                let before = meta.locations.len();
+                meta.locations.retain(|&n| n != node);
+                meta.locations.len() < before
             }
             None => false,
         }
@@ -145,27 +190,33 @@ impl NameNode {
     /// Adds one node to a block's location set (a repaired copy landed).
     /// No-op if the node is already listed.
     pub fn add_location(&self, block: BlockId, node: NodeId) {
-        let mut meta = self.state.lock();
-        let locs = meta.locations.entry(block).or_default();
-        if !locs.contains(&node) {
-            locs.push(node);
+        let mut shard = self.shard(block).write();
+        let meta = shard.entry(block).or_default();
+        if !meta.locations.contains(&node) {
+            meta.locations.push(node);
         }
     }
 
     /// Registers a brand-new block (parity) at fixed locations, returning
     /// its id.
     pub fn register_block(&self, nodes: Vec<NodeId>) -> BlockId {
-        let mut meta = self.state.lock();
-        let id = Bid(meta.next_block);
-        meta.next_block += 1;
-        meta.locations.insert(id, nodes);
+        let id = Bid(self.next_block.fetch_add(1, Ordering::SeqCst));
+        self.shard(id).write().insert(
+            id,
+            BlockMeta {
+                locations: nodes,
+                assigned: None,
+            },
+        );
         id
     }
 
     /// Takes every stripe currently sealed for encoding (the RaidNode's
-    /// periodic scan).
+    /// periodic scan), in stripe-id order.
     pub fn take_pending_stripes(&self) -> Vec<PendingStripe> {
-        std::mem::take(&mut self.state.lock().pending)
+        let mut taken = std::mem::take(&mut self.stripes.lock().pending);
+        taken.sort_by_key(|s| s.id);
+        taken
     }
 
     /// Returns a stripe to the pre-encoding store after an encode attempt
@@ -173,39 +224,50 @@ impl NameNode {
     /// blocks keep their replicas, so nothing is lost; a later encoding
     /// round will pick the stripe up again.
     pub fn requeue_stripe(&self, stripe: PendingStripe) {
-        self.state.lock().pending.push(stripe);
+        self.stripes.lock().pending.push(stripe);
     }
 
     /// Number of stripes sealed and awaiting encoding.
     pub fn pending_stripe_count(&self) -> usize {
-        self.state.lock().pending.len()
+        self.stripes.lock().pending.len()
     }
 
-    /// A snapshot of the stripes awaiting encoding (without consuming them).
+    /// A snapshot of the stripes awaiting encoding (without consuming
+    /// them), in stripe-id order.
     pub fn pending_stripes(&self) -> Vec<PendingStripe> {
-        self.state.lock().pending.clone()
+        let mut out = self.stripes.lock().pending.clone();
+        out.sort_by_key(|s| s.id);
+        out
     }
 
     /// Records a stripe as encoded (called by the RaidNode after parity is
     /// stored and replicas deleted).
     pub fn record_encoded(&self, stripe: EncodedStripe) {
-        self.state.lock().encoded.push(stripe);
+        self.stripes.lock().encoded.push(stripe);
     }
 
-    /// All stripes encoded so far.
+    /// All stripes encoded so far, in stripe-id order (encode jobs may
+    /// finish out of order).
     pub fn encoded_stripes(&self) -> Vec<EncodedStripe> {
-        self.state.lock().encoded.clone()
+        let mut out = self.stripes.lock().encoded.clone();
+        out.sort_by_key(|s| s.id);
+        out
     }
 
     /// Plans the encoding of a stripe through the placement policy.
+    ///
+    /// Planning randomness is derived from (cluster seed, stripe id), so a
+    /// stripe's encode plan is the same no matter which map task plans it
+    /// or in what order stripes are processed.
     ///
     /// # Errors
     ///
     /// Propagates planning failures (e.g. no room for parity blocks).
     pub fn plan_encoding(&self, stripe: &PendingStripe) -> Result<ear_core::EncodePlan> {
         let policy = self.policy.lock();
-        let mut rng = self.rng.lock();
-        policy.plan_encoding(&stripe.plan, &mut *rng)
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ stripe.id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        policy.plan_encoding(&stripe.plan, &mut rng)
     }
 
     /// The policy's name ("rr" or "ear").
@@ -215,28 +277,40 @@ impl NameNode {
 
     /// Total number of blocks ever allocated.
     pub fn block_count(&self) -> u64 {
-        self.state.lock().next_block
+        self.next_block.load(Ordering::SeqCst)
     }
-}
 
-/// Pops the blocks belonging to `plan` off the unsealed list by matching
-/// layouts: the stripe's blocks are those whose recorded locations equal the
-/// plan's layouts, searched from the most recent.
-fn take_stripe_blocks(meta: &mut Meta, plan: &StripePlan) -> Result<Vec<BlockId>> {
-    let mut blocks = Vec::with_capacity(plan.num_blocks());
-    for layout in plan.data_layouts() {
-        let pos = meta
-            .unsealed
-            .iter()
-            .rposition(|b| meta.assigned.get(b).map(Vec::as_slice) == Some(&layout.replicas))
-            .ok_or_else(|| {
-                ear_types::Error::Invariant(
-                    "sealed stripe's block must be among unsealed blocks".into(),
-                )
-            })?;
-        blocks.push(meta.unsealed.remove(pos));
+    /// Pops the blocks belonging to `plan` off the unsealed list by
+    /// matching layouts: the stripe's blocks are those whose assigned
+    /// layouts equal the plan's, searched from the most recent. Caller
+    /// holds the stripe lock; this only takes shard read locks (lock
+    /// order stripes→shard).
+    fn take_stripe_blocks(
+        &self,
+        stripes: &mut StripeState,
+        plan: &StripePlan,
+    ) -> Result<Vec<BlockId>> {
+        let mut blocks = Vec::with_capacity(plan.num_blocks());
+        for layout in plan.data_layouts() {
+            let pos = stripes
+                .unsealed
+                .iter()
+                .rposition(|&b| {
+                    self.shard(b)
+                        .read()
+                        .get(&b)
+                        .and_then(|m| m.assigned.as_deref())
+                        == Some(&layout.replicas)
+                })
+                .ok_or_else(|| {
+                    ear_types::Error::Invariant(
+                        "sealed stripe's block must be among unsealed blocks".into(),
+                    )
+                })?;
+            blocks.push(stripes.unsealed.remove(pos));
+        }
+        Ok(blocks)
     }
-    Ok(blocks)
 }
 
 #[cfg(test)]
@@ -363,5 +437,49 @@ mod tests {
         let plan = nn.plan_encoding(stripe).unwrap();
         assert_eq!(plan.kept_data.len(), 4);
         assert_eq!(plan.parity_nodes.len(), 2);
+    }
+
+    #[test]
+    fn plan_encoding_is_order_independent() {
+        // Planning the same stripe twice — or after planning others —
+        // yields the identical plan: randomness is keyed by stripe id,
+        // not drawn from a shared stream.
+        let nn = rr_namenode();
+        for _ in 0..12 {
+            nn.allocate_block().unwrap();
+        }
+        let stripes = nn.take_pending_stripes();
+        assert_eq!(stripes.len(), 3);
+        let first = nn.plan_encoding(&stripes[0]).unwrap();
+        for s in stripes.iter().rev() {
+            nn.plan_encoding(s).unwrap();
+        }
+        let again = nn.plan_encoding(&stripes[0]).unwrap();
+        assert_eq!(first.parity_nodes, again.parity_nodes);
+        assert_eq!(first.kept_data, again.kept_data);
+    }
+
+    #[test]
+    fn snapshots_are_sorted_by_stripe_id() {
+        let nn = rr_namenode();
+        for _ in 0..12 {
+            nn.allocate_block().unwrap();
+        }
+        let stripes = nn.take_pending_stripes();
+        // Requeue out of order; every snapshot point re-sorts.
+        for s in stripes.iter().rev() {
+            nn.requeue_stripe(s.clone());
+        }
+        let ids: Vec<_> = nn.pending_stripes().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![StripeId(0), StripeId(1), StripeId(2)]);
+        for s in stripes.iter().rev() {
+            nn.record_encoded(EncodedStripe {
+                id: s.id,
+                data: s.blocks.clone(),
+                parity: vec![],
+            });
+        }
+        let ids: Vec<_> = nn.encoded_stripes().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![StripeId(0), StripeId(1), StripeId(2)]);
     }
 }

@@ -1,7 +1,7 @@
 //! The RaidNode: coordinates asynchronous encoding jobs (Section IV of the
 //! paper) and the BlockMover that repairs fault-tolerance violations.
 
-use crate::cluster::{backoff, MiniCfs, IO_ATTEMPTS};
+use crate::cluster::{backoff, MiniCfs};
 use crate::namenode::PendingStripe;
 use ear_types::{BlockId, Error, NodeId, Result, StripeId};
 use parking_lot::Mutex;
@@ -153,6 +153,9 @@ impl RaidNode {
         // total_cmp: a NaN duration (however unlikely) must never panic an
         // encode job; it sorts deterministically instead.
         stats.completion_times.sort_by(f64::total_cmp);
+        // Workers record failures in pop order; sort so the report is
+        // independent of scheduling.
+        stats.failed_stripes.sort_by_key(|&(id, _)| id);
         let relocations = Arc::try_unwrap(relocations)
             .map_err(|_| Error::Invariant("relocations still shared".into()))?
             .into_inner();
@@ -170,8 +173,8 @@ impl RaidNode {
             let data = cfs.datanode(from).get(block).ok_or_else(|| {
                 Error::Invariant(format!("{from} lost {block} before relocation"))
             })?;
-            cfs.network().transfer(from, to, data.len() as u64);
-            cfs.datanode(to).put(block, data);
+            cfs.io().transfer(from, to, data.len() as u64);
+            cfs.datanode(to).put(block, data)?;
             cfs.datanode(from).delete(block);
             cfs.namenode().set_locations(block, vec![to]);
         }
@@ -309,9 +312,9 @@ fn encode_stripe(
 }
 
 /// Downloads one block to the encoding node, trying replicas in preference
-/// order (intra-rack first, known-dead nodes last): transient errors are
-/// retried with backoff on the same replica, a corrupt or dead replica falls
-/// back to the next. Returns the bytes and the replica that served them.
+/// order (intra-rack first, known-dead nodes last) via the shared
+/// [`ClusterIo::read_with_fallback`](crate::ClusterIo::read_with_fallback)
+/// policy. Returns the bytes and the replica that served them.
 fn download_block(
     cfs: &MiniCfs,
     block: BlockId,
@@ -336,36 +339,14 @@ fn download_block(
             n.index(),
         )
     });
-    let mut last = Error::BlockUnavailable { block };
-    for (i, &src) in ordered.iter().enumerate() {
-        // A sibling download may have found this node dead in the
-        // meantime; skip it while other replicas remain to be tried.
-        if i + 1 < ordered.len() && blacklist.lock().contains(&src) {
-            last = Error::NodeDown { node: src };
-            continue;
-        }
-        for attempt in 0..IO_ATTEMPTS {
-            match cfs.fetch_block_from(src, enc, block, attempt) {
-                Ok(bytes) => return Ok((bytes, src)),
-                Err(e @ Error::TransientIo { .. }) => {
-                    last = e;
-                    backoff(attempt);
-                }
-                Err(e @ Error::NodeDown { .. }) => {
-                    blacklist.lock().insert(src);
-                    last = e;
-                    break;
-                }
-                // Corrupt or missing: this replica will not recover within
-                // the job; move to the next one.
-                Err(e) => {
-                    last = e;
-                    break;
-                }
-            }
-        }
-    }
-    Err(last)
+    // A sibling download may find a node dead mid-job: share the discovery
+    // through the blacklist so each stripe pays it at most once.
+    let on_dead = |n: NodeId| {
+        blacklist.lock().insert(n);
+    };
+    let skip = |n: NodeId| blacklist.lock().contains(&n);
+    cfs.io()
+        .read_with_fallback(enc, block, &ordered, Some(&on_dead), Some(&skip))
 }
 
 /// Stores one parity block, preferring the planned node and falling back to
@@ -404,34 +385,16 @@ fn store_parity(
     fallbacks.sort_by_key(|&n| (topo.rack_of(n) != topo.rack_of(planned), n.index()));
     candidates.extend(fallbacks);
 
-    let mut last = Error::NodeDown { node: planned };
-    for &dst in &candidates {
-        if cfs.injector().node_down(dst) {
-            last = Error::NodeDown { node: dst };
-            continue;
-        }
-        for attempt in 0..IO_ATTEMPTS {
-            match cfs.store_block_at(enc, dst, id, Arc::clone(&data), attempt) {
-                Ok(()) => return Ok(dst),
-                Err(e @ Error::TransientIo { .. }) => {
-                    last = e;
-                    backoff(attempt);
-                }
-                Err(e) => {
-                    last = e;
-                    break;
-                }
-            }
-        }
-    }
-    Err(last)
+    cfs.io().write_with_fallback(enc, id, &data, &candidates)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cluster::{ClusterConfig, ClusterPolicy};
-    use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig};
+    use ear_types::{
+        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+    };
 
     fn boot(policy: ClusterPolicy, racks: usize) -> MiniCfs {
         let ear = EarConfig::new(
@@ -449,6 +412,7 @@ mod tests {
             ear,
             policy,
             seed: 5,
+            store: StoreBackend::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }

@@ -8,7 +8,7 @@
 //! rack, a recovery node co-located with surviving stripe blocks can fetch
 //! `c - 1` of its `k` inputs intra-rack.
 
-use crate::cluster::{backoff, MiniCfs, IO_ATTEMPTS};
+use crate::cluster::MiniCfs;
 use ear_types::{BlockId, Error, NodeId, Result};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -132,20 +132,16 @@ pub(crate) fn reconstruct_stripe_block(
         if got == k {
             break;
         }
-        for attempt in 0..IO_ATTEMPTS {
-            match cfs.fetch_block_from(h, recovery_node, m, attempt) {
-                Ok(data) => {
-                    if topo.rack_of(h) != topo.rack_of(recovery_node) {
-                        repair.cross_rack_downloads += 1;
-                    }
-                    repair.downloads += 1;
-                    shards[idx] = Some(data.as_ref().clone());
-                    got += 1;
-                    break;
-                }
-                Err(Error::TransientIo { .. }) => backoff(attempt),
-                Err(_) => break,
+        // One holder per member: a single-source fallback read retries
+        // transient faults and gives up on anything else, moving on to the
+        // next surviving member.
+        if let Ok((data, _)) = cfs.io().read_with_fallback(recovery_node, m, &[h], None, None) {
+            if topo.rack_of(h) != topo.rack_of(recovery_node) {
+                repair.cross_rack_downloads += 1;
             }
+            repair.downloads += 1;
+            shards[idx] = Some(data.as_ref().clone());
+            got += 1;
         }
     }
     if got < k {
@@ -195,13 +191,13 @@ pub(crate) fn reconstruct_stripe_block(
             .unwrap_or(recovery_node)
     };
     if placement != recovery_node {
-        cfs.network()
+        cfs.io()
             .transfer(recovery_node, placement, rebuilt.len() as u64);
         repair.uploaded = true;
         repair.upload_cross_rack = topo.rack_of(placement) != topo.rack_of(recovery_node);
     }
     repair.placement = placement;
-    cfs.datanode(placement).put(block, Arc::new(rebuilt));
+    cfs.datanode(placement).put(block, Arc::new(rebuilt))?;
     cfs.namenode().set_locations(block, vec![placement]);
     Ok(repair)
 }
@@ -298,31 +294,13 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
                 .collect::<Vec<_>>()
                 .choose(&mut rng)
                 .ok_or_else(|| Error::Invariant("no healthy node for re-replication".into()))?;
-            let mut fetched = None;
-            let mut last = Error::BlockUnavailable { block };
-            'replicas: for &src in survivors
+            let reachable: Vec<NodeId> = survivors
                 .iter()
-                .filter(|&&s| !cfs.injector().node_down(s))
-            {
-                for attempt in 0..IO_ATTEMPTS {
-                    match cfs.fetch_block_from(src, *dst, block, attempt) {
-                        Ok(d) => {
-                            fetched = Some((src, d));
-                            break 'replicas;
-                        }
-                        Err(e @ Error::TransientIo { .. }) => {
-                            last = e;
-                            backoff(attempt);
-                        }
-                        Err(e) => {
-                            last = e;
-                            break;
-                        }
-                    }
-                }
-            }
-            let (src, data) = fetched.ok_or(last)?;
-            cfs.datanode(*dst).put(block, data);
+                .copied()
+                .filter(|&s| !cfs.injector().node_down(s))
+                .collect();
+            let (data, src) = cfs.io().read_with_fallback(*dst, block, &reachable, None, None)?;
+            cfs.datanode(*dst).put(block, data)?;
             let mut locs = survivors;
             locs.push(*dst);
             cfs.namenode().set_locations(block, locs);
@@ -360,7 +338,9 @@ mod tests {
     use super::*;
     use crate::cluster::{ClusterConfig, ClusterPolicy};
     use crate::raidnode::RaidNode;
-    use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig};
+    use ear_types::{
+        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+    };
 
     fn boot(policy: ClusterPolicy, c: usize, racks: usize, nodes_per_rack: usize) -> MiniCfs {
         let ear = EarConfig::new(
@@ -378,6 +358,7 @@ mod tests {
             ear,
             policy,
             seed: 11,
+            store: StoreBackend::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -485,6 +466,7 @@ mod tests {
                 ear,
                 policy: ClusterPolicy::Ear,
                 seed: 11,
+                store: StoreBackend::from_env(),
             };
             let cfs = MiniCfs::new(cfg).unwrap();
             write_and_encode(&cfs, 3);

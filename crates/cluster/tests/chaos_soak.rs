@@ -14,6 +14,8 @@
 
 use ear_cluster::chaos::{run_plan, ChaosConfig};
 use ear_cluster::ClusterPolicy;
+use ear_faults::FaultConfig;
+use ear_types::StoreBackend;
 
 fn soak(policy: ClusterPolicy, seeds: std::ops::Range<u64>) {
     let mut verified = 0usize;
@@ -47,6 +49,81 @@ fn ear_survives_fifty_seeded_plans() {
 #[test]
 fn rr_survives_fifty_seeded_plans() {
     soak(ClusterPolicy::Rr, 0..50);
+}
+
+/// Same seed + plan ⇒ a bit-identical report on the memory and file
+/// backends. Encode runs single-threaded so the full lossy fault mix
+/// (transient errors, corruption — hashed per block id) sees one
+/// deterministic operation stream; thread-count invariance is covered
+/// separately with an interleaving-independent plan below.
+#[test]
+fn chaos_reports_are_bit_identical_across_backends() {
+    for (seed, heavy) in [(3u64, false), (11, false), (104, true)] {
+        let cfg = |store| {
+            let base = if heavy {
+                ChaosConfig::heavy(ClusterPolicy::Ear)
+            } else {
+                ChaosConfig::light(ClusterPolicy::Ear)
+            };
+            ChaosConfig {
+                map_tasks: 1,
+                store,
+                ..base
+            }
+        };
+        let mem = run_plan(seed, &cfg(StoreBackend::Memory)).expect("memory run");
+        let file = run_plan(seed, &cfg(StoreBackend::File)).expect("file run");
+        assert!(mem.passed(ClusterPolicy::Ear), "seed {seed}: {mem:?}");
+        assert_eq!(
+            format!("{mem:?}"),
+            format!("{file:?}"),
+            "seed {seed}: backends diverged"
+        );
+    }
+}
+
+/// Same seed + plan ⇒ the same report regardless of encode parallelism
+/// or backend. The plan is crash-only with `crash_window: 1`, so fault
+/// decisions do not depend on the global operation counter or on the
+/// parity block ids that parallel encode allocates in completion order —
+/// the two interleaving-sensitive inputs.
+#[test]
+fn chaos_reports_are_identical_across_thread_counts_and_backends() {
+    let crash_only = FaultConfig {
+        node_crashes: 2,
+        rack_outages: 0,
+        stragglers: 0,
+        straggler_factor: 1.0,
+        transient_error_rate: 0.0,
+        corruption_rate: 0.0,
+        heartbeat_loss_rate: 0.0,
+        // Both crashes active before the first operation.
+        crash_window: 1,
+    };
+    for seed in [1u64, 9, 42] {
+        let mk = |store, map_tasks| ChaosConfig {
+            faults: crash_only.clone(),
+            map_tasks,
+            store,
+            ..ChaosConfig::light(ClusterPolicy::Ear)
+        };
+        let baseline = run_plan(seed, &mk(StoreBackend::Memory, 1)).expect("baseline run");
+        assert!(
+            baseline.passed(ClusterPolicy::Ear),
+            "seed {seed}: {baseline:?}"
+        );
+        for store in [StoreBackend::Memory, StoreBackend::File] {
+            for map_tasks in [1usize, 4, 8] {
+                let report = run_plan(seed, &mk(store, map_tasks)).expect("run");
+                assert_eq!(
+                    format!("{baseline:?}"),
+                    format!("{report:?}"),
+                    "seed {seed}: {} x{map_tasks} diverged from memory x1",
+                    store.name()
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -12,8 +12,107 @@
 //!
 //! A failure names the plan seed; `ear heal --seed <s>` replays it.
 
-use ear_cluster::chaos::{run_heal_plan, HealSoakConfig};
+use ear_cluster::chaos::{run_heal_plan, HealSoakConfig, HealSoakReport};
+use ear_faults::FaultConfig;
+use ear_types::StoreBackend;
 use proptest::prelude::*;
+
+/// Every deterministic field of a heal report, rendered for comparison.
+/// Excludes exactly the wall-clock-derived fields (`heal.wall_seconds`,
+/// `heal.mttr_seconds`) — those measure elapsed time, not behaviour.
+fn heal_fingerprint(r: &HealSoakReport) -> String {
+    format!(
+        "seed={} plan={:?} acked={} failed_writes={} encoded={} \
+         violations={} under_redundant={} lost={:?} beyond=({},{}) \
+         rounds={} dead={} re_replicated={} reconstructed={} scrubbed={} \
+         scrub_hits={} repair_bytes={} cross_rack_bytes={} mttr_rounds={:?} \
+         converged={} fault_seed={:?}",
+        r.seed,
+        r.plan,
+        r.acked_blocks,
+        r.failed_writes,
+        r.encoded_stripes,
+        r.violations_after_heal,
+        r.under_redundant,
+        r.lost_blocks,
+        r.blocks_beyond_tolerance,
+        r.stripes_beyond_tolerance,
+        r.heal.rounds,
+        r.heal.nodes_declared_dead,
+        r.heal.blocks_re_replicated,
+        r.heal.shards_reconstructed,
+        r.heal.blocks_scrubbed,
+        r.heal.scrub_hits,
+        r.heal.repair_bytes,
+        r.heal.cross_rack_repair_bytes,
+        r.heal.mttr_rounds,
+        r.heal.converged,
+        r.heal.fault_seed,
+    )
+}
+
+/// Same seed + kill plan ⇒ identical heal outcome on both storage
+/// backends, down to repair-byte counters. Encode runs single-threaded so
+/// the default lossy fault mix sees one deterministic operation stream.
+#[test]
+fn heal_reports_are_bit_identical_across_backends() {
+    for seed in [0u64, 5, 9] {
+        let mk = |store| HealSoakConfig {
+            store,
+            map_tasks: 1,
+            ..HealSoakConfig::default()
+        };
+        let mem = run_heal_plan(seed, &mk(StoreBackend::Memory)).expect("memory run");
+        let file = run_heal_plan(seed, &mk(StoreBackend::File)).expect("file run");
+        assert!(mem.passed(), "seed {seed}: {mem:?}");
+        assert_eq!(
+            heal_fingerprint(&mem),
+            heal_fingerprint(&file),
+            "seed {seed}: backends diverged"
+        );
+    }
+}
+
+/// Same seed + kill plan ⇒ the same heal outcome regardless of encode
+/// parallelism or backend. Kills activate within the single-threaded
+/// write phase (`crash_window: 40` < the writes' operation count) and the
+/// probabilistic per-block fault rates are zeroed, so no decision depends
+/// on the parity block ids that parallel encode allocates in completion
+/// order.
+#[test]
+fn heal_reports_are_identical_across_thread_counts_and_backends() {
+    let faults = FaultConfig {
+        node_crashes: 2,
+        rack_outages: 0,
+        stragglers: 0,
+        straggler_factor: 1.0,
+        transient_error_rate: 0.0,
+        corruption_rate: 0.0,
+        heartbeat_loss_rate: 0.0,
+        crash_window: 40,
+    };
+    for seed in [2u64, 13] {
+        let mk = |store, map_tasks| HealSoakConfig {
+            store,
+            map_tasks,
+            faults: faults.clone(),
+            ..HealSoakConfig::default()
+        };
+        let baseline = run_heal_plan(seed, &mk(StoreBackend::Memory, 1)).expect("baseline run");
+        assert!(baseline.passed(), "seed {seed}: {baseline:?}");
+        for store in [StoreBackend::Memory, StoreBackend::File] {
+            for map_tasks in [1usize, 4, 8] {
+                let report = run_heal_plan(seed, &mk(store, map_tasks)).expect("run");
+                assert_eq!(
+                    heal_fingerprint(&baseline),
+                    heal_fingerprint(&report),
+                    "seed {seed}: {} x{map_tasks} diverged from memory x1",
+                    store.name()
+                );
+            }
+        }
+    }
+}
 
 #[test]
 fn healer_survives_a_dozen_seeded_kill_plans() {

@@ -57,6 +57,7 @@ fn build(s: &Scenario) -> MiniCfs {
         ear,
         policy: s.policy,
         seed: s.seed,
+        store: ear_types::StoreBackend::from_env(),
     })
     .expect("hostable by construction")
 }

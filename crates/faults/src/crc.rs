@@ -1,16 +1,20 @@
 //! CRC32C (Castagnoli) block checksums, the integrity check HDFS uses for
-//! its on-disk blocks. A plain table-driven software implementation is
-//! plenty: the emulator's blocks are checksummed once per put and once per
-//! verified get, far off the byte-moving hot path.
+//! its on-disk blocks. Implemented with slicing-by-8: eight compile-time
+//! tables let the hot loop fold 8 bytes per iteration instead of 1, which
+//! matters because every verified block read re-hashes the full payload —
+//! at testbed block sizes the checksum, not the byte-moving, dominates the
+//! read path.
 
 /// Reflected Castagnoli polynomial.
 const POLY: u32 = 0x82f6_3b78;
 
-/// 256-entry lookup table, built at compile time.
-static TABLE: [u32; 256] = build_table();
+/// Slicing-by-8 lookup tables, built at compile time. `TABLES[0]` is the
+/// classic byte-at-a-time table; `TABLES[j]` advances a byte `j` positions
+/// further through the CRC register.
+static TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -23,17 +27,39 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[j - 1][i];
+            tables[j][i] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    tables
 }
 
 /// The CRC32C checksum of `data`.
 pub fn crc32c(data: &[u8]) -> u32 {
     let mut crc = !0u32;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        crc = TABLES[7][(lo & 0xff) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xff) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xff) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][chunk[4] as usize]
+            ^ TABLES[2][chunk[5] as usize]
+            ^ TABLES[1][chunk[6] as usize]
+            ^ TABLES[0][chunk[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xff) as usize];
     }
     !crc
 }
@@ -59,6 +85,22 @@ mod tests {
             let mut bad = data.clone();
             bad[idx] ^= 0x01;
             assert_ne!(crc32c(&bad), clean, "flip at {idx} must change the crc");
+        }
+    }
+
+    #[test]
+    fn sliced_path_matches_byte_at_a_time() {
+        // Exercise every remainder length around the 8-byte fold boundary.
+        let reference = |data: &[u8]| {
+            let mut crc = !0u32;
+            for &b in data {
+                crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xff) as usize];
+            }
+            !crc
+        };
+        let data: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
+        for len in (0..=64).chain([255, 256, 257, 1023, 1024]) {
+            assert_eq!(crc32c(&data[..len]), reference(&data[..len]), "len {len}");
         }
     }
 }

@@ -93,6 +93,12 @@ pub enum Error {
         /// Repair tasks still queued when the healer stopped.
         outstanding: usize,
     },
+    /// A host-level storage operation failed (file-backed block store:
+    /// create/read/write/rename under the temp root).
+    Io {
+        /// What the storage layer was doing when the host call failed.
+        context: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -148,6 +154,7 @@ impl fmt::Display for Error {
                     "healer stalled after {rounds} round(s) with {outstanding} repair task(s) outstanding"
                 )
             }
+            Error::Io { context } => write!(f, "storage i/o failed: {context}"),
         }
     }
 }
@@ -203,6 +210,9 @@ mod tests {
             Error::HealerStalled {
                 rounds: 16,
                 outstanding: 2,
+            },
+            Error::Io {
+                context: "write /tmp/ear-store/0.blk".into(),
             },
         ];
         for e in errs {

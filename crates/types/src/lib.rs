@@ -38,6 +38,6 @@ mod units;
 pub use error::{Error, Result};
 pub use health::{HealStats, NodeHealth};
 pub use ids::{BlockId, NodeId, RackId, StripeId};
-pub use params::{EarConfig, ErasureParams, RackSpread, ReplicationConfig};
+pub use params::{EarConfig, ErasureParams, RackSpread, ReplicationConfig, StoreBackend};
 pub use topology::ClusterTopology;
 pub use units::{Bandwidth, ByteSize};

@@ -314,6 +314,51 @@ impl EarConfig {
     }
 }
 
+/// Which block-storage backend the DataNodes of a cluster use.
+///
+/// Selected per cluster through `ClusterConfig`; the conventional default is
+/// [`StoreBackend::from_env`], which reads the `EAR_STORE` environment
+/// variable so the whole test suite can be flipped between backends without
+/// code changes (mirroring the `EAR_GF_KERNEL` override of the erasure
+/// layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StoreBackend {
+    /// Sharded in-memory store: lock-striped `HashMap`s, zero-copy reads.
+    #[default]
+    Memory,
+    /// File-backed store: one file per block under a per-node temp root,
+    /// removed when the node is dropped. Exercises real I/O syscalls.
+    File,
+}
+
+impl StoreBackend {
+    /// Reads the backend from the `EAR_STORE` environment variable
+    /// (`memory` or `file`, case-insensitive). Unset defaults to
+    /// [`StoreBackend::Memory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value: a typo silently falling back to the
+    /// default would invalidate a "tested under both backends" claim.
+    pub fn from_env() -> Self {
+        match std::env::var("EAR_STORE") {
+            Ok(v) if v.eq_ignore_ascii_case("memory") => StoreBackend::Memory,
+            Ok(v) if v.eq_ignore_ascii_case("file") => StoreBackend::File,
+            Ok(v) => panic!("EAR_STORE must be `memory` or `file`, got `{v}`"),
+            Err(_) => StoreBackend::Memory,
+        }
+    }
+
+    /// Stable lowercase label (`"memory"` / `"file"`) for stats and bench
+    /// output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreBackend::Memory => "memory",
+            StoreBackend::File => "file",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +411,15 @@ mod tests {
         let cfg2 = EarConfig::new(p, r, 2).unwrap();
         assert_eq!(cfg2.tolerable_rack_failures(), 2);
         assert_eq!(cfg2.min_racks_for_stripe(), 7);
+    }
+
+    #[test]
+    fn store_backend_labels_and_default() {
+        // No env mutation here: tests run in parallel and `EAR_STORE` is the
+        // suite-wide backend switch.
+        assert_eq!(StoreBackend::default(), StoreBackend::Memory);
+        assert_eq!(StoreBackend::Memory.name(), "memory");
+        assert_eq!(StoreBackend::File.name(), "file");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! Run with `cargo run --release --example degraded_read`.
 
 use ear::cluster::{recover_node, ClusterConfig, ClusterPolicy, MiniCfs, RaidNode};
-use ear::types::{Bandwidth, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig};
+use ear::types::{
+    Bandwidth, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig, StoreBackend,
+};
 
 fn run_config(c: usize, target_racks: Option<usize>) -> Result<(), Box<dyn std::error::Error>> {
     let params = ErasureParams::new(6, 3)?;
@@ -23,6 +25,7 @@ fn run_config(c: usize, target_racks: Option<usize>) -> Result<(), Box<dyn std::
         ear,
         policy: ClusterPolicy::Ear,
         seed: 42,
+        store: StoreBackend::from_env(),
     };
     let cfs = MiniCfs::new(cfg)?;
 

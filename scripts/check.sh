@@ -18,10 +18,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-cargo test -q --offline
+# Tests run under both storage backends (DESIGN.md §9): the sharded
+# in-memory store and the file-per-block store.
+EAR_STORE=memory cargo test -q --offline
+EAR_STORE=file cargo test -q --offline
 cargo clippy --workspace --offline -- -D warnings
 
 # Chaos smoke: a fixed-seed fault-injection sweep over both policies
 # (DESIGN.md §7). Deterministic — any failure names the seed to replay
 # with `ear chaos --seed <s>`. scripts/chaos.sh runs the long soaks.
 cargo run -q --release --offline -p ear-cli -- chaos --plans 5 --seed 0 --profile mixed
+cargo run -q --release --offline -p ear-cli -- chaos --plans 2 --seed 0 --profile mixed --store file

@@ -14,7 +14,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STUBS="$PWD/scripts/verify-stubs"
-exec cargo \
+# The flags go *after* the subcommand: cargo accepts global flags there,
+# and external subcommands (clippy) only forward post-subcommand args to
+# the `cargo check` they re-invoke — flags before the subcommand would be
+# silently dropped and clippy would try the network.
+SUB="$1"
+shift
+exec cargo "$SUB" \
   --config "patch.crates-io.rand.path='$STUBS/rand'" \
   --config "patch.crates-io.rand_chacha.path='$STUBS/rand_chacha'" \
   --config "patch.crates-io.parking_lot.path='$STUBS/parking_lot'" \

@@ -8,6 +8,7 @@ use ear::core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPoli
 use ear::sim::{run as sim_run, PolicyKind, SimConfig};
 use ear::types::{
     Bandwidth, ByteSize, ClusterTopology, EarConfig, ErasureParams, NodeId, ReplicationConfig,
+    StoreBackend,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -91,6 +92,7 @@ fn full_pipeline_survives_node_failures() {
         .unwrap(),
         policy: ClusterPolicy::Ear,
         seed: 2,
+        store: StoreBackend::from_env(),
     };
     let cfs = MiniCfs::new(cfg).unwrap();
     let mut originals = Vec::new();
@@ -149,6 +151,7 @@ fn storage_overhead_drops_from_replication_to_erasure_coding() {
         .unwrap(),
         policy: ClusterPolicy::Rr,
         seed: 3,
+        store: StoreBackend::from_env(),
     };
     let cfs = MiniCfs::new(cfg).unwrap();
     for i in 0..8u64 {

@@ -100,33 +100,40 @@ impl ShardedMemStore {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
+
+    /// The lock stripe owning `block`. The subscript is `shard_of()`, a
+    /// `% SHARDS` reduction over a `SHARDS`-long vec, so it is provably in
+    /// range (the one allowlisted L3/index site for this file).
+    fn stripe_for(&self, block: BlockId) -> &Mutex<HashMap<BlockId, StoredBlock>> {
+        &self.shards[shard_of(block)]
+    }
 }
 
 impl BlockStore for ShardedMemStore {
     fn put(&self, block: BlockId, data: Arc<Vec<u8>>, crc: u32) -> Result<()> {
-        self.shards[shard_of(block)]
+        self.stripe_for(block)
             .lock()
             .insert(block, StoredBlock { data, crc });
         Ok(())
     }
 
     fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)> {
-        self.shards[shard_of(block)]
+        self.stripe_for(block)
             .lock()
             .get(&block)
             .map(|s| (Arc::clone(&s.data), s.crc))
     }
 
     fn stored_crc(&self, block: BlockId) -> Option<u32> {
-        self.shards[shard_of(block)].lock().get(&block).map(|s| s.crc)
+        self.stripe_for(block).lock().get(&block).map(|s| s.crc)
     }
 
     fn delete(&self, block: BlockId) -> bool {
-        self.shards[shard_of(block)].lock().remove(&block).is_some()
+        self.stripe_for(block).lock().remove(&block).is_some()
     }
 
     fn contains(&self, block: BlockId) -> bool {
-        self.shards[shard_of(block)].lock().contains_key(&block)
+        self.stripe_for(block).lock().contains_key(&block)
     }
 
     fn block_count(&self) -> usize {
@@ -204,6 +211,12 @@ impl FileStore {
     fn path_of(&self, block: BlockId) -> PathBuf {
         self.root.join(format!("{}.blk", block.0))
     }
+
+    /// The index stripe owning `block`; same provably-in-range subscript as
+    /// [`ShardedMemStore::stripe_for`].
+    fn stripe_for(&self, block: BlockId) -> &Mutex<HashMap<BlockId, FileMeta>> {
+        &self.index[shard_of(block)]
+    }
 }
 
 impl Drop for FileStore {
@@ -227,7 +240,7 @@ impl BlockStore for FileStore {
         fs::rename(&tmp, &path).map_err(|e| Error::Io {
             context: format!("rename {}: {e}", path.display()),
         })?;
-        self.index[shard_of(block)].lock().insert(
+        self.stripe_for(block).lock().insert(
             block,
             FileMeta {
                 crc,
@@ -240,7 +253,7 @@ impl BlockStore for FileStore {
     fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)> {
         // The index is consulted first so a deleted block never hits the
         // disk; the read itself runs outside any lock.
-        self.index[shard_of(block)].lock().get(&block)?;
+        self.stripe_for(block).lock().get(&block)?;
         let bytes = fs::read(self.path_of(block)).ok()?;
         if bytes.len() < 4 {
             return None;
@@ -250,11 +263,11 @@ impl BlockStore for FileStore {
     }
 
     fn stored_crc(&self, block: BlockId) -> Option<u32> {
-        self.index[shard_of(block)].lock().get(&block).map(|m| m.crc)
+        self.stripe_for(block).lock().get(&block).map(|m| m.crc)
     }
 
     fn delete(&self, block: BlockId) -> bool {
-        let existed = self.index[shard_of(block)].lock().remove(&block).is_some();
+        let existed = self.stripe_for(block).lock().remove(&block).is_some();
         if existed {
             let _ = fs::remove_file(self.path_of(block));
         }
@@ -262,7 +275,7 @@ impl BlockStore for FileStore {
     }
 
     fn contains(&self, block: BlockId) -> bool {
-        self.index[shard_of(block)].lock().contains_key(&block)
+        self.stripe_for(block).lock().contains_key(&block)
     }
 
     fn block_count(&self) -> usize {

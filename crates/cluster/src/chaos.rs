@@ -28,7 +28,7 @@ use ear_types::{
     Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, ErasureParams, HealStats, NodeId,
     ReplicationConfig, Result, StoreBackend, StripeId,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Shape of one chaos run.
 #[derive(Debug, Clone)]
@@ -164,7 +164,9 @@ pub fn run_plan(seed: u64, cfg: &ChaosConfig) -> Result<ChaosReport> {
     // Write until enough stripes seal (or a cap, in case the plan makes
     // the cluster too sick to seal more). Remember each acked block's
     // payload tag for bit-exact verification later.
-    let mut acked: HashMap<BlockId, u64> = HashMap::new();
+    // BTreeMap: `verify_blocks` walks this map to fill the report's loss
+    // lists, so its order must be the key order, not hash order.
+    let mut acked: BTreeMap<BlockId, u64> = BTreeMap::new();
     let max_writes = (cfg.stripes * k * 4) as u64;
     let mut tag = 0u64;
     while cfs.namenode().pending_stripe_count() < cfg.stripes && tag < max_writes {
@@ -241,7 +243,7 @@ pub fn run_plan(seed: u64, cfg: &ChaosConfig) -> Result<ChaosReport> {
 /// Checks every acked block is still recoverable, filling the report's
 /// verification fields. Uses direct state inspection (not the faulty read
 /// path) so the check itself is deterministic.
-fn verify_blocks(cfs: &MiniCfs, acked: &HashMap<BlockId, u64>, k: usize, report: &mut ChaosReport) {
+fn verify_blocks(cfs: &MiniCfs, acked: &BTreeMap<BlockId, u64>, k: usize, report: &mut ChaosReport) {
     let inj = cfs.injector();
     // A shard is *available* if some recorded holder is alive and its copy
     // reads back clean.
@@ -454,8 +456,10 @@ pub fn run_heal_plan(seed: u64, cfg: &HealSoakConfig) -> Result<HealSoakReport> 
     let nodes = cfs.topology().num_nodes() as u64;
 
     // Write until enough stripes seal, plus a handful of extra blocks that
-    // stay replicated so the soak exercises re-replication too.
-    let mut acked: HashMap<BlockId, u64> = HashMap::new();
+    // stay replicated so the soak exercises re-replication too. BTreeMap:
+    // `count_redundancy`/`verify_heal_blocks` walk this map into the report,
+    // so its order must be the key order, not hash order.
+    let mut acked: BTreeMap<BlockId, u64> = BTreeMap::new();
     let max_writes = (cfg.stripes * k * 4) as u64;
     let mut tag = 0u64;
     while cfs.namenode().pending_stripe_count() < cfg.stripes && tag < max_writes {
@@ -502,7 +506,7 @@ pub fn run_heal_plan(seed: u64, cfg: &HealSoakConfig) -> Result<HealSoakReport> 
 /// injector's ground truth (not the detector's view): replicated blocks
 /// must have their full replica count on live nodes, stripe members at
 /// least one live copy.
-fn count_redundancy(cfs: &MiniCfs, acked: &HashMap<BlockId, u64>, report: &mut HealSoakReport) {
+fn count_redundancy(cfs: &MiniCfs, acked: &BTreeMap<BlockId, u64>, report: &mut HealSoakReport) {
     let inj = cfs.injector();
     let want = cfs.config().ear.replication().replicas();
     let live_copies = |b: BlockId| {
@@ -534,7 +538,7 @@ fn count_redundancy(cfs: &MiniCfs, acked: &HashMap<BlockId, u64>, report: &mut H
 /// [`verify_blocks`], against the healed cluster state.
 fn verify_heal_blocks(
     cfs: &MiniCfs,
-    acked: &HashMap<BlockId, u64>,
+    acked: &BTreeMap<BlockId, u64>,
     k: usize,
     report: &mut HealSoakReport,
 ) {
@@ -569,6 +573,50 @@ mod tests {
         assert_eq!(r.failed_writes, 0);
         assert_eq!(r.stripes_beyond_tolerance, 0);
         assert!(r.stripes_verified >= 3);
+    }
+
+    #[test]
+    fn verification_report_is_identical_across_shuffled_insertion_orders() {
+        // Pins the HashMap→BTreeMap sweep: assembling the acked-block map in
+        // any insertion order must yield a bit-identical verification
+        // report. Some entries carry deliberately wrong tags so the
+        // order-sensitive fields (lost_blocks) are actually exercised.
+        let cfs = MiniCfs::new(
+            chaos_cluster(ClusterPolicy::Rr, 1, StoreBackend::from_env()).unwrap(),
+        )
+        .unwrap();
+        let mut entries: Vec<(BlockId, u64)> = Vec::new();
+        for tag in 0..12u64 {
+            let id = cfs.write_block(NodeId(0), cfs.make_block(tag)).unwrap();
+            // Every third block claims the wrong content tag, so
+            // verification reports it lost.
+            let claimed = if tag % 3 == 0 { tag + 100 } else { tag };
+            entries.push((id, claimed));
+        }
+
+        let sorted: BTreeMap<BlockId, u64> = entries.iter().copied().collect();
+        // A deterministic shuffle (reversed, then interleaved) of the same
+        // entries.
+        let mut shuffled_order = entries.clone();
+        shuffled_order.reverse();
+        shuffled_order.rotate_left(5);
+        let shuffled: BTreeMap<BlockId, u64> = shuffled_order.into_iter().collect();
+
+        let k = cfs.codec().params().k() as usize;
+        let mut report_a = ChaosReport::default();
+        verify_blocks(&cfs, &sorted, k, &mut report_a);
+        let mut report_b = ChaosReport::default();
+        verify_blocks(&cfs, &shuffled, k, &mut report_b);
+        assert!(!report_a.lost_blocks.is_empty(), "wrong tags must surface");
+        assert_eq!(format!("{report_a:?}"), format!("{report_b:?}"));
+
+        let mut heal_a = HealSoakReport::default();
+        count_redundancy(&cfs, &sorted, &mut heal_a);
+        verify_heal_blocks(&cfs, &sorted, k, &mut heal_a);
+        let mut heal_b = HealSoakReport::default();
+        count_redundancy(&cfs, &shuffled, &mut heal_b);
+        verify_heal_blocks(&cfs, &shuffled, k, &mut heal_b);
+        assert_eq!(format!("{heal_a:?}"), format!("{heal_b:?}"));
     }
 
     #[test]

@@ -12,8 +12,9 @@ use ear_types::{
     Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, Error, NodeHealth, NodeId, Result,
     StoreBackend,
 };
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+use crate::sync::locked;
 
 pub(crate) use crate::io::backoff;
 
@@ -145,8 +146,13 @@ impl MiniCfs {
     /// observes the arrivals. Returns the health transitions the tick
     /// caused. Deterministic: which beats arrive is a pure function of the
     /// fault seed, the tick number, and the injector's crash activations.
-    pub fn heartbeat_tick(&self) -> Vec<HealthTransition> {
-        let mut det = self.health.lock();
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LockPoisoned`] if a thread panicked mid-update in the
+    /// failure detector.
+    pub fn heartbeat_tick(&self) -> Result<Vec<HealthTransition>> {
+        let mut det = locked(&self.health, "failure detector")?;
         let tick = det.next_tick();
         let injector = self.io.injector();
         let beats: Vec<bool> = self
@@ -154,21 +160,29 @@ impl MiniCfs {
             .nodes()
             .map(|n| !injector.node_down(n) && !injector.drops_heartbeat(n, tick))
             .collect();
-        det.observe(&beats)
+        Ok(det.observe(&beats))
     }
 
     /// The failure detector's current view of one node.
     ///
+    /// # Errors
+    ///
+    /// [`Error::LockPoisoned`] if the detector's lock is poisoned.
+    ///
     /// # Panics
     ///
     /// Panics if the node id is out of range.
-    pub fn node_health(&self, node: NodeId) -> NodeHealth {
-        self.health.lock().health(node)
+    pub fn node_health(&self, node: NodeId) -> Result<NodeHealth> {
+        Ok(locked(&self.health, "failure detector")?.health(node))
     }
 
     /// The failure detector's view of every node, indexed by node id.
-    pub fn health_snapshot(&self) -> Vec<NodeHealth> {
-        self.health.lock().snapshot()
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LockPoisoned`] if the detector's lock is poisoned.
+    pub fn health_snapshot(&self) -> Result<Vec<NodeHealth>> {
+        Ok(locked(&self.health, "failure detector")?.snapshot())
     }
 
     /// The fault injector in force (a no-op one unless the cluster was

@@ -149,7 +149,12 @@ impl<'a> Healer<'a> {
 
     /// Runs one healer round: heartbeats, scrub window, metadata scan,
     /// budgeted repair drain.
-    pub fn run_round(&mut self) -> RoundReport {
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LockPoisoned`] if the failure detector's lock was poisoned
+    /// by a panicked thread.
+    pub fn run_round(&mut self) -> Result<RoundReport> {
         self.rounds += 1;
         let mut report = RoundReport {
             round: self.rounds,
@@ -159,14 +164,14 @@ impl<'a> Healer<'a> {
         // 1. Heartbeats: the detector's clock runs several times faster
         // than the repair sweep.
         for _ in 0..self.cfg.heartbeats_per_round.max(1) {
-            report.transitions.extend(self.cfs.heartbeat_tick());
+            report.transitions.extend(self.cfs.heartbeat_tick()?);
         }
         self.stats.nodes_declared_dead += report
             .transitions
             .iter()
             .filter(|t| t.to == NodeHealth::Dead)
             .count();
-        let snapshot = self.cfs.health_snapshot();
+        let snapshot = self.cfs.health_snapshot()?;
 
         // 2. Scrub a window of replicas. A corrupt (or silently missing)
         // copy is dropped from the location map so the scan below queues
@@ -246,7 +251,12 @@ impl<'a> Healer<'a> {
         for task in planned {
             match task.kind {
                 RepairKind::Reconstruct { stripe } => match stripe_group.get(&stripe) {
-                    Some(&g) => groups[g].push(task),
+                    Some(&g) => match groups.get_mut(g) {
+                        Some(group) => group.push(task),
+                        // Defensive: a corrupt group index must not panic the
+                        // healer — run the task on its own worker instead.
+                        None => groups.push(vec![task]),
+                    },
                     None => {
                         stripe_group.insert(stripe, groups.len());
                         groups.push(vec![task]);
@@ -302,7 +312,7 @@ impl<'a> Healer<'a> {
         if report.queued > 0 || report.scrub_hits > 0 {
             self.clean_rounds = 0;
         }
-        report
+        Ok(report)
     }
 
     /// Runs rounds until the cluster is verifiably back at full redundancy:
@@ -320,14 +330,14 @@ impl<'a> Healer<'a> {
             if self.rounds >= self.cfg.max_rounds {
                 self.finalize(false);
                 let outstanding =
-                    DegradedTracker::scan(self.cfs, &self.cfs.health_snapshot(), &self.known_bad)
+                    DegradedTracker::scan(self.cfs, &self.cfs.health_snapshot()?, &self.known_bad)
                         .len();
                 return Err(Error::HealerStalled {
                     rounds: self.rounds,
                     outstanding,
                 });
             }
-            let report = self.run_round();
+            let report = self.run_round()?;
             if report.queued == 0 && report.scrub_hits == 0 {
                 self.clean_rounds += 1;
             }
@@ -335,7 +345,7 @@ impl<'a> Healer<'a> {
             let sweep = blocks.div_ceil(self.cfg.scrub_per_round.max(1) as u64) as usize;
             let settled = self
                 .cfs
-                .health_snapshot()
+                .health_snapshot()?
                 .iter()
                 .all(|&h| matches!(h, NodeHealth::Live | NodeHealth::Dead));
             if self.clean_rounds >= sweep && settled {
@@ -367,7 +377,7 @@ impl<'a> Healer<'a> {
                 continue;
             };
             for h in locs {
-                if snapshot[h.index()] == NodeHealth::Dead {
+                if health_of(snapshot, h) == NodeHealth::Dead {
                     continue;
                 }
                 self.stats.blocks_scrubbed += 1;
@@ -392,6 +402,14 @@ impl<'a> Healer<'a> {
         self.scrub_cursor = (self.scrub_cursor + window) % total;
         hits
     }
+}
+
+/// Health of `nd` in a round snapshot. Nodes outside the snapshot cannot
+/// occur for ids minted by the topology, but a data-plane lookup must not
+/// panic on one — an unknown node reads as `Dead` (unusable as source or
+/// destination), which is also what fallback does with it.
+fn health_of(snapshot: &[NodeHealth], nd: NodeId) -> NodeHealth {
+    snapshot.get(nd.index()).copied().unwrap_or(NodeHealth::Dead)
 }
 
 /// Core racks of every block still in a pending (pre-encoding) stripe:
@@ -431,10 +449,10 @@ fn execute_repair(
             // Sources may include Suspect nodes (the data path can still
             // reach them); destinations must be trusted and not known to
             // corrupt this block.
-            let live = |nd: NodeId| ctx.snapshot[nd.index()] != NodeHealth::Dead;
+            let live = |nd: NodeId| health_of(ctx.snapshot, nd) != NodeHealth::Dead;
             let bad_dst = |nd: NodeId| {
                 ctx.known_bad.contains(&(nd, block))
-                    || ctx.snapshot[nd.index()] == NodeHealth::Suspect
+                    || health_of(ctx.snapshot, nd) == NodeHealth::Suspect
             };
             let repair = reconstruct_stripe_block(cfs, members, block, &live, &bad_dst, &mut rng)?;
             let uploads = usize::from(repair.uploaded);
@@ -467,7 +485,7 @@ fn re_replicate(
         .ok_or(Error::BlockUnavailable { block })?;
     let mut holders: Vec<NodeId> = Vec::new();
     for h in locs {
-        if ctx.snapshot[h.index()] == NodeHealth::Dead {
+        if health_of(ctx.snapshot, h) == NodeHealth::Dead {
             // The detector declared the holder lost; retire the location
             // (its bytes, if any, are unreachable).
             nn.drop_location(block, h);
@@ -479,7 +497,7 @@ fn re_replicate(
         return Err(Error::BlockUnavailable { block });
     }
     // Prefer fully-trusted sources; Suspect holders are last resort.
-    holders.sort_by_key(|h| (ctx.snapshot[h.index()] == NodeHealth::Suspect, h.0));
+    holders.sort_by_key(|h| (health_of(ctx.snapshot, *h) == NodeHealth::Suspect, h.0));
     let core = ctx.core_racks.get(&block).copied();
     let mut outcome = RepairOutcome {
         re_replicated: true,
@@ -490,7 +508,7 @@ fn re_replicate(
         let have_racks: HashSet<RackId> = holders.iter().map(|&h| topo.rack_of(h)).collect();
         let trusted = |nd: NodeId| {
             matches!(
-                ctx.snapshot[nd.index()],
+                health_of(ctx.snapshot, nd),
                 NodeHealth::Live | NodeHealth::Rejoined
             )
         };
@@ -503,29 +521,30 @@ fn re_replicate(
         if candidates.is_empty() {
             return Err(Error::NoRepairDestination { block });
         }
-        // EAR invariant first: a block of a pending stripe must keep a copy
-        // in its core rack. Otherwise spread across racks without a copy.
-        let core_missing = core.is_some_and(|r| !have_racks.contains(&r));
-        let preferred: Vec<NodeId> = if core_missing {
-            let core = core.expect("core_missing implies core is set");
-            candidates
+        let preferred: Vec<NodeId> = match core {
+            // EAR invariant first: a block of a pending stripe must keep a
+            // copy in its core rack.
+            Some(core_rack) if !have_racks.contains(&core_rack) => candidates
                 .iter()
                 .copied()
-                .filter(|&nd| topo.rack_of(nd) == core)
-                .collect()
-        } else {
-            candidates
+                .filter(|&nd| topo.rack_of(nd) == core_rack)
+                .collect(),
+            // Otherwise spread across racks without a copy.
+            _ => candidates
                 .iter()
                 .copied()
                 .filter(|&nd| !have_racks.contains(&topo.rack_of(nd)))
-                .collect()
+                .collect(),
         };
         let pool = if preferred.is_empty() {
             &candidates
         } else {
             &preferred
         };
-        let dst = *pool.choose(rng).expect("pool is non-empty");
+        let dst = pool
+            .choose(rng)
+            .copied()
+            .ok_or(Error::NoRepairDestination { block })?;
         let (data, src) = cfs.io().read_with_fallback(dst, block, &holders, None, None)?;
         cfs.datanode(dst).put(block, data)?;
         nn.add_location(block, dst);
@@ -633,7 +652,7 @@ mod tests {
         let mut healer = Healer::new(&cfs);
         let stats = healer.run_to_convergence().unwrap();
         assert!(stats.converged);
-        assert_eq!(cfs.node_health(crashed), NodeHealth::Dead);
+        assert_eq!(cfs.node_health(crashed).unwrap(), NodeHealth::Dead);
         assert!(stats.nodes_declared_dead >= 1);
         assert!(stats.mttr_rounds.is_some(), "a degraded episode happened");
         assert!(stats.rounds <= HealerConfig::default().max_rounds);

@@ -209,7 +209,13 @@ impl ClusterIo {
             Some(IoFault::Corrupt) | None => {}
             Some(f) => return Err(f.to_error(src, block)),
         }
-        let (data, crc) = self.datanodes[src.index()]
+        // A source outside the topology (a stale or corrupt location entry)
+        // reads as a dead node, so fallback moves on to the next replica
+        // instead of panicking the read path.
+        let (data, crc) = self
+            .datanodes
+            .get(src.index())
+            .ok_or(Error::NodeDown { node: src })?
             .get_with_crc(block)
             .ok_or(Error::BlockUnavailable { block })?;
         let data = if fault == Some(IoFault::Corrupt) {
@@ -269,8 +275,15 @@ impl ClusterIo {
         if let Some(f) = self.injector.on_write(dst, block, attempt) {
             return Err(f.to_error(dst, block));
         }
+        // Validate the destination before paying the wire cost: an
+        // out-of-range NodeId (stale or corrupt location entry) must read as
+        // a dead node, and the network layer indexes racks by node id.
+        let datanode = self
+            .datanodes
+            .get(dst.index())
+            .ok_or(Error::NodeDown { node: dst })?;
         self.net.transfer(src, dst, data.len() as u64);
-        self.datanodes[dst.index()].put(block, data)
+        datanode.put(block, data)
     }
 
     /// Reads `block` into `dst` from the first source in `sources` that can
@@ -441,6 +454,41 @@ mod tests {
             ear_types::Bandwidth::bytes_per_sec(1e9),
         );
         ClusterIo::new(topo, datanodes, net, FaultInjector::disabled())
+    }
+
+    #[test]
+    fn fetch_from_out_of_range_source_is_node_down_not_panic() {
+        // Pins the stale-location fix: a NodeId past the topology (a corrupt
+        // or stale location entry) must surface as a typed error, not an
+        // out-of-bounds panic in the data plane.
+        let io = service();
+        let err = io
+            .fetch_from(NodeId(9999), NodeId(0), BlockId(0), 0)
+            .unwrap_err();
+        assert!(matches!(err, Error::NodeDown { node } if node == NodeId(9999)));
+    }
+
+    #[test]
+    fn store_at_out_of_range_destination_is_node_down_not_panic() {
+        let io = service();
+        let err = io
+            .store_at(NodeId(0), NodeId(9999), BlockId(0), Arc::new(vec![0u8; 8]), 0)
+            .unwrap_err();
+        assert!(matches!(err, Error::NodeDown { node } if node == NodeId(9999)));
+    }
+
+    #[test]
+    fn fallback_read_skips_out_of_range_source_and_serves_from_valid_one() {
+        // A stale location entry in the middle of the replica list must not
+        // sink the read: fallback treats it like any dead node and moves on.
+        let io = service();
+        let data = Arc::new(vec![9u8; 128]);
+        io.datanode(NodeId(1)).put(BlockId(3), Arc::clone(&data)).unwrap();
+        let (got, src) = io
+            .read_with_fallback(NodeId(0), BlockId(3), &[NodeId(9999), NodeId(1)], None, None)
+            .unwrap();
+        assert_eq!(src, NodeId(1));
+        assert_eq!(got.as_slice(), data.as_slice());
     }
 
     #[test]

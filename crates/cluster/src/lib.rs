@@ -62,6 +62,7 @@ mod monitor;
 mod namenode;
 mod raidnode;
 mod recovery;
+pub mod sync;
 
 pub use blockstore::{BlockStore, FileStore, ShardedMemStore};
 pub use chaos::{
@@ -78,3 +79,4 @@ pub use monitor::{plan_repairs, scan, Violation};
 pub use namenode::{EncodedStripe, NameNode, PendingStripe};
 pub use raidnode::{EncodeStats, RaidNode, Relocation};
 pub use recovery::{recover_node, RecoveryStats};
+pub use sync::locked;

@@ -3,9 +3,10 @@
 //! pre-encoding MapReduce performance.
 
 use crate::cluster::MiniCfs;
+use crate::sync::{locked, wait_until};
 use ear_types::{BlockId, NodeId, Result};
 use ear_workloads::MapReduceJob;
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -38,17 +39,20 @@ impl Slots {
         }
     }
 
-    fn acquire(&self) {
-        let mut a = self.available.lock();
-        while *a == 0 {
-            self.cv.wait(&mut a);
-        }
+    /// Blocks until a slot frees up, then takes it. A poisoned slot counter
+    /// (a task panicked while holding it) surfaces as a typed error instead
+    /// of cascading the panic through every waiting task.
+    fn acquire(&self) -> Result<()> {
+        let guard = locked(&self.available, "task slots")?;
+        let mut a = wait_until(&self.cv, guard, "task slots", |&n| n > 0)?;
         *a -= 1;
+        Ok(())
     }
 
-    fn release(&self) {
-        *self.available.lock() += 1;
+    fn release(&self) -> Result<()> {
+        *locked(&self.available, "task slots")? += 1;
         self.cv.notify_one();
+        Ok(())
     }
 }
 
@@ -115,7 +119,7 @@ pub fn run_jobs(
                 let job_start = start.elapsed().as_secs_f64();
                 run_one_job(cfs, job, input, slots)?;
                 let finish = start.elapsed().as_secs_f64();
-                results.lock().push(JobResult {
+                locked(results, "job results")?.push(JobResult {
                     id: job.id,
                     start: job_start,
                     finish,
@@ -130,7 +134,9 @@ pub fn run_jobs(
         Ok(())
     })?;
 
-    let mut results = results.into_inner();
+    let mut results = results
+        .into_inner()
+        .map_err(|_| ear_types::Error::LockPoisoned { what: "job results" })?;
     results.sort_by(|a, b| a.finish.total_cmp(&b.finish));
     Ok(results)
 }
@@ -170,7 +176,7 @@ fn run_one_job(
                 .ok_or(ear_types::Error::BlockUnavailable { block })?;
             let reducers = reducers.clone();
             handles.push(scope.spawn(move || -> Result<()> {
-                slots[map_node.index()].acquire();
+                slots[map_node.index()].acquire()?;
                 // Data-local read: the map node holds a replica.
                 let _data = cfs.read_block(map_node, block)?;
                 // Shuffle: stream this map's partitions to every reducer
@@ -180,7 +186,7 @@ fn run_one_job(
                         cfs.io().transfer(map_node, r, shuffle_per_pair);
                     }
                 }
-                slots[map_node.index()].release();
+                slots[map_node.index()].release()?;
                 Ok(())
             }));
         }
@@ -199,10 +205,10 @@ fn run_one_job(
         for i in 0..out_blocks {
             let node = reducers[i % reducers.len()];
             handles.push(scope.spawn(move || -> Result<()> {
-                slots[node.index()].acquire();
+                slots[node.index()].acquire()?;
                 let data = cfs.make_block((job.id as u64) << 32 | i as u64);
                 cfs.write_block(node, data)?;
-                slots[node.index()].release();
+                slots[node.index()].release()?;
                 Ok(())
             }));
         }

@@ -10,7 +10,7 @@ use ear_types::{NodeId, RackId, StripeId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One detected violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,7 +29,9 @@ pub fn scan(cfs: &MiniCfs) -> Vec<Violation> {
     let c = cfs.config().ear.c();
     let mut violations = Vec::new();
     for es in cfs.namenode().encoded_stripes() {
-        let mut per_rack: HashMap<RackId, usize> = HashMap::new();
+        // BTreeMap: `overloaded` is reported per stripe and feeds the soak
+        // reports, so its construction must be hash-order-free.
+        let mut per_rack: BTreeMap<RackId, usize> = BTreeMap::new();
         let mut nodes = HashSet::new();
         let mut node_clash = false;
         for &b in es.data.iter().chain(es.parity.iter()) {
@@ -89,7 +91,7 @@ pub fn plan_repairs(cfs: &MiniCfs, violations: &[Violation]) -> Vec<Relocation> 
                     .map(|n| (b, n))
             })
             .collect();
-        let mut per_rack: HashMap<RackId, Vec<usize>> = HashMap::new();
+        let mut per_rack: BTreeMap<RackId, Vec<usize>> = BTreeMap::new();
         for (i, &(_, n)) in placement.iter().enumerate() {
             per_rack.entry(topo.rack_of(n)).or_default().push(i);
         }

@@ -5,7 +5,7 @@ use crate::cluster::{backoff, MiniCfs};
 use crate::namenode::PendingStripe;
 use ear_types::{BlockId, Error, NodeId, Result, StripeId};
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -287,8 +287,7 @@ fn encode_stripe(
     // stays within the stripe's `n - k` rebuild budget (a down node holds
     // at most `c` blocks of any stripe), and keeping the planned placement
     // preserves EAR's zero-violation property under faults.
-    for (i, &block) in stripe.blocks.iter().enumerate() {
-        let kept = plan.kept_data[i];
+    for (&block, &kept) in stripe.blocks.iter().zip(&plan.kept_data) {
         let locs = cfs
             .namenode()
             .locations(block)
@@ -305,7 +304,11 @@ fn encode_stripe(
     if violated {
         let mut r = relocations.lock();
         for &(idx, _, to) in &plan.relocations {
-            r.push((stripe.blocks[idx], plan.kept_data[idx], to));
+            // Indices come from the matching over this same stripe; a bad
+            // one is dropped rather than panicking the encode worker.
+            if let (Some(&b), Some(&k)) = (stripe.blocks.get(idx), plan.kept_data.get(idx)) {
+                r.push((b, k, to));
+            }
         }
     }
     Ok((cross, violated))
@@ -364,21 +367,25 @@ fn store_parity(
 ) -> Result<NodeId> {
     let topo = cfs.topology();
     let c = cfs.config().ear.c();
-    let occupied: HashSet<NodeId> = kept_data
+    // BTreeSet/BTreeMap: candidate construction iterates these, and the
+    // fallback order feeds placement — it must not depend on hash order.
+    let occupied: BTreeSet<NodeId> = kept_data
         .iter()
         .copied()
         .chain(parity_so_far.iter().map(|&(_, n)| n))
         .collect();
-    let mut rack_load = vec![0usize; topo.num_racks()];
+    let mut rack_load: BTreeMap<ear_types::RackId, usize> = BTreeMap::new();
     for &n in &occupied {
-        rack_load[topo.rack_of(n).index()] += 1;
+        *rack_load.entry(topo.rack_of(n)).or_insert(0) += 1;
     }
 
     let mut candidates: Vec<NodeId> = vec![planned];
     let mut fallbacks: Vec<NodeId> = topo
         .nodes()
         .filter(|&n| {
-            n != planned && !occupied.contains(&n) && rack_load[topo.rack_of(n).index()] < c
+            n != planned
+                && !occupied.contains(&n)
+                && rack_load.get(&topo.rack_of(n)).copied().unwrap_or(0) < c
         })
         .collect();
     // Prefer fallbacks in the planned node's rack (same placement intent).

@@ -13,7 +13,7 @@ use ear_types::{BlockId, Error, NodeId, Result};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Outcome of rebuilding one stripe block by degraded read — enough for the
@@ -72,7 +72,9 @@ pub(crate) fn reconstruct_stripe_block(
             .locations(b)
             .and_then(|l| l.into_iter().find(|&h| live(h)))
     };
-    let mut rack_count: HashMap<u32, usize> = HashMap::new();
+    // BTreeMap: the argmax below must not depend on hash order (ties are
+    // broken by rack id, and the soak reports are compared bit-for-bit).
+    let mut rack_count: BTreeMap<u32, usize> = BTreeMap::new();
     for &m in members {
         if m == block {
             continue;
@@ -135,12 +137,15 @@ pub(crate) fn reconstruct_stripe_block(
         // One holder per member: a single-source fallback read retries
         // transient faults and gives up on anything else, moving on to the
         // next surviving member.
+        let Some(slot) = shards.get_mut(idx) else {
+            continue; // member index outside the stripe: skip, never panic
+        };
         if let Ok((data, _)) = cfs.io().read_with_fallback(recovery_node, m, &[h], None, None) {
             if topo.rack_of(h) != topo.rack_of(recovery_node) {
                 repair.cross_rack_downloads += 1;
             }
             repair.downloads += 1;
-            shards[idx] = Some(data.as_ref().clone());
+            *slot = Some(data.as_ref().clone());
             got += 1;
         }
     }
@@ -155,8 +160,9 @@ pub(crate) fn reconstruct_stripe_block(
         .iter()
         .position(|&m| m == block)
         .ok_or_else(|| Error::Invariant(format!("{block} not a member of its stripe")))?;
-    let rebuilt = shards[lost_idx]
-        .take()
+    let rebuilt = shards
+        .get_mut(lost_idx)
+        .and_then(Option::take)
         .ok_or_else(|| Error::Invariant(format!("{block} not reconstructed")))?;
 
     // Store the rebuilt block where the stripe's rack constraint still
@@ -316,7 +322,9 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
         let si = *stripe_of
             .get(&block)
             .ok_or_else(|| Error::Invariant(format!("{block} has no replicas and no stripe")))?;
-        let es = &encoded[si];
+        let es = encoded
+            .get(si)
+            .ok_or_else(|| Error::Invariant(format!("stripe index {si} out of range")))?;
         let members: Vec<BlockId> = es.data.iter().chain(es.parity.iter()).copied().collect();
         let live = |nd: NodeId| nd != failed && !cfs.injector().node_down(nd);
         let repair =

@@ -1,0 +1,86 @@
+//! Poison-aware locking helpers.
+//!
+//! `parking_lot` locks (used on the data-plane hot path) cannot poison, but
+//! the control-plane state guarded by `std::sync` primitives can: a thread
+//! that panics while holding the guard leaves the protected value possibly
+//! half-updated. Instead of `.unwrap()`ing the `PoisonError` — which turns
+//! one panicked thread into a cascade — these helpers surface poisoning as
+//! the typed [`Error::LockPoisoned`], so callers propagate it like any other
+//! cluster fault (DESIGN.md §11).
+
+use ear_types::{Error, Result};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `m`, mapping a poisoned lock to [`Error::LockPoisoned`].
+///
+/// `what` names the lock in the error (e.g. `"failure detector"`).
+///
+/// # Errors
+///
+/// [`Error::LockPoisoned`] if a thread panicked while holding the lock.
+pub fn locked<'a, T>(m: &'a Mutex<T>, what: &'static str) -> Result<MutexGuard<'a, T>> {
+    m.lock().map_err(|_| Error::LockPoisoned { what })
+}
+
+/// Blocks on `cv` until `cond` holds for the guarded value, re-checking on
+/// every wakeup. Poison-aware counterpart of `Condvar::wait_while`.
+///
+/// # Errors
+///
+/// [`Error::LockPoisoned`] if the lock is poisoned while waiting.
+pub fn wait_until<'a, T>(
+    cv: &Condvar,
+    mut guard: MutexGuard<'a, T>,
+    what: &'static str,
+    mut cond: impl FnMut(&T) -> bool,
+) -> Result<MutexGuard<'a, T>> {
+    while !cond(&guard) {
+        guard = cv
+            .wait(guard)
+            .map_err(|_| Error::LockPoisoned { what })?;
+    }
+    Ok(guard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn locked_returns_guard_on_clean_lock() {
+        let m = Mutex::new(5);
+        assert_eq!(*locked(&m, "test").unwrap(), 5);
+    }
+
+    #[test]
+    fn locked_maps_poison_to_typed_error() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        match locked(&m, "poisoned counter") {
+            Err(Error::LockPoisoned { what }) => assert_eq!(what, "poisoned counter"),
+            other => panic!("expected LockPoisoned, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn wait_until_observes_notified_condition() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock().unwrap() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let guard = locked(m, "flag").unwrap();
+        let guard = wait_until(cv, guard, "flag", |&ready| ready).unwrap();
+        assert!(*guard);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! Concurrency stress tests — the ThreadSanitizer targets of the `sanitizers`
+//! CI job. They hammer the lock-striped block store and the shared
+//! [`ClusterIo`] service from many threads so tsan can observe every
+//! lock-order and atomics interleaving the data plane uses.
+
+use ear_cluster::{BlockStore, ClusterConfig, ClusterPolicy, MiniCfs, ShardedMemStore};
+use ear_faults::crc32c;
+use ear_types::{
+    Bandwidth, BlockId, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig,
+    StoreBackend,
+};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: u64 = 200;
+
+#[test]
+fn sharded_store_survives_concurrent_mixed_ops() {
+    let store = Arc::new(ShardedMemStore::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS as u64 {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    // Overlapping id ranges: neighbours contend on the same
+                    // stripes, exercising every lock against every other.
+                    let id = BlockId((t * OPS_PER_THREAD + i) % 64);
+                    let data = Arc::new(vec![(t as u8) ^ (i as u8); 128]);
+                    let crc = crc32c(&data);
+                    store.put(id, Arc::clone(&data), crc).unwrap();
+                    if let Some((back, stored_crc)) = store.get_with_crc(id) {
+                        // A racing overwrite may have replaced the bytes, but
+                        // the (data, crc) pair must always be consistent.
+                        assert_eq!(crc32c(&back), stored_crc);
+                    }
+                    if i % 7 == 0 {
+                        store.delete(id);
+                    }
+                    store.contains(id);
+                    store.block_count();
+                    store.bytes_stored();
+                }
+            });
+        }
+    });
+    // Every surviving replica is internally consistent.
+    for raw in 0..64u64 {
+        if let Some((data, crc)) = store.get_with_crc(BlockId(raw)) {
+            assert_eq!(crc32c(&data), crc);
+        }
+    }
+}
+
+fn boot(policy: ClusterPolicy) -> MiniCfs {
+    let ear = EarConfig::new(
+        ErasureParams::new(6, 4).unwrap(),
+        ReplicationConfig::two_way(),
+        1,
+    )
+    .unwrap();
+    MiniCfs::new(ClusterConfig {
+        racks: 6,
+        nodes_per_rack: 2,
+        block_size: ByteSize::kib(16),
+        node_bandwidth: Bandwidth::bytes_per_sec(1e9),
+        rack_bandwidth: Bandwidth::bytes_per_sec(1e9),
+        ear,
+        policy,
+        seed: 5,
+        store: StoreBackend::from_env(),
+    })
+    .unwrap()
+}
+
+#[test]
+fn cluster_io_survives_concurrent_writes_and_reads() {
+    let cfs = boot(ClusterPolicy::Ear);
+    let nodes = cfs.topology().num_nodes() as u64;
+
+    // Phase 1: parallel writers through the full pipeline (NameNode
+    // allocation, ClusterIo replication, netem accounting).
+    let written: Vec<(BlockId, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS as u64)
+            .map(|t| {
+                let cfs = &cfs;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in 0..24u64 {
+                        let tag = t * 1000 + i;
+                        let client = NodeId((tag % nodes) as u32);
+                        let id = cfs.write_block(client, cfs.make_block(tag)).unwrap();
+                        out.push((id, tag));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("writer thread"))
+            .collect()
+    });
+
+    // Phase 2: parallel readers over the full block set, from every node.
+    std::thread::scope(|scope| {
+        for t in 0..THREADS as u64 {
+            let cfs = &cfs;
+            let written = &written;
+            scope.spawn(move || {
+                for &(id, tag) in written {
+                    let reader = NodeId(((tag + t) % nodes) as u32);
+                    let back = cfs.read_block(reader, id).unwrap();
+                    assert_eq!(back.as_slice(), cfs.make_block(tag).as_slice());
+                }
+            });
+        }
+    });
+
+    let stats = cfs.io_stats();
+    assert_eq!(stats.reads, (written.len() * THREADS) as u64);
+    assert_eq!(stats.failed_reads, 0);
+}
+
+#[test]
+fn heartbeats_race_cleanly_with_data_plane_traffic() {
+    let cfs = boot(ClusterPolicy::Rr);
+    let nodes = cfs.topology().num_nodes() as u64;
+    std::thread::scope(|scope| {
+        // Heartbeat/health pollers on the control plane...
+        for _ in 0..2 {
+            let cfs = &cfs;
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    cfs.heartbeat_tick().unwrap();
+                    let snap = cfs.health_snapshot().unwrap();
+                    assert_eq!(snap.len(), cfs.topology().num_nodes());
+                }
+            });
+        }
+        // ...racing writers on the data plane.
+        for t in 0..4u64 {
+            let cfs = &cfs;
+            scope.spawn(move || {
+                for i in 0..25u64 {
+                    let tag = t * 100 + i;
+                    let client = NodeId((tag % nodes) as u32);
+                    cfs.write_block(client, cfs.make_block(tag)).unwrap();
+                }
+            });
+        }
+    });
+}

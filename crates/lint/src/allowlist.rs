@@ -1,0 +1,201 @@
+//! The allowlist: explicit, justified suppressions.
+//!
+//! Format (one entry per line, `#` starts a comment):
+//!
+//! ```text
+//! RULE  PATH-SUFFIX  CHECK  -- one-line reason
+//! ```
+//!
+//! e.g.
+//!
+//! ```text
+//! L2 crates/cluster/src/io.rs wall-clock -- IoStats latency fields are documented wall-clock
+//! ```
+//!
+//! An entry suppresses every diagnostic whose rule equals `RULE`, whose path
+//! ends with `PATH-SUFFIX`, and whose check name equals `CHECK` (or `*` to
+//! match any check in the family). The reason is mandatory. An entry that
+//! matches zero diagnostics is *stale* and is itself reported as an error —
+//! the allowlist can only shrink as the code gets cleaner.
+
+use crate::diag::{Diagnostic, Rule};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule family the entry applies to.
+    pub rule: Rule,
+    /// Path suffix the entry applies to.
+    pub path_suffix: String,
+    /// Check name (or `*`).
+    pub check: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// 1-based line in the allowlist file (for error reporting).
+    pub line: u32,
+}
+
+impl Entry {
+    fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule
+            && d.path.ends_with(&self.path_suffix)
+            && (self.check == "*" || self.check == d.check)
+    }
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Malformed lines are hard errors: a suppression
+    /// that silently fails to parse would un-suppress nothing and suppress
+    /// nothing, which is exactly the confusion an allowlist must not create.
+    pub fn parse(text: &str) -> Result<Allowlist, ParseError> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = (idx + 1) as u32;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (spec, reason) = match line.split_once("--") {
+                Some((s, r)) => (s.trim(), r.trim()),
+                None => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: "missing `-- reason` clause".to_string(),
+                    })
+                }
+            };
+            if reason.is_empty() {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "empty reason".to_string(),
+                });
+            }
+            let fields: Vec<&str> = spec.split_whitespace().collect();
+            if fields.len() != 3 {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!(
+                        "expected `RULE PATH CHECK -- reason`, found {} fields",
+                        fields.len()
+                    ),
+                });
+            }
+            let rule = Rule::parse(fields[0]).ok_or_else(|| ParseError {
+                line: lineno,
+                message: format!("unknown rule {:?} (expected L1, L2 or L3)", fields[0]),
+            })?;
+            entries.push(Entry {
+                rule,
+                path_suffix: fields[1].to_string(),
+                check: fields[2].to_string(),
+                reason: reason.to_string(),
+                line: lineno,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Splits `diags` into (kept, suppressed) and returns any stale entries.
+    ///
+    /// Every diagnostic matched by at least one entry is suppressed; entries
+    /// that match nothing are returned as stale.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<&Entry>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        for d in diags {
+            let mut hit = false;
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.matches(&d) {
+                    used[i] = true;
+                    hit = true;
+                }
+            }
+            if hit {
+                suppressed.push(d);
+            } else {
+                kept.push(d);
+            }
+        }
+        let stale: Vec<&Entry> = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| e)
+            .collect();
+        (kept, suppressed, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: Rule, path: &str, check: &'static str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            check,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn suppresses_exact_matches_and_reports_stale() {
+        let al = Allowlist::parse(
+            "# comment\n\
+             L2 crates/cluster/src/io.rs wall-clock -- documented wall-clock stats\n\
+             L3 crates/cluster/src/never.rs unwrap -- stale entry\n",
+        )
+        .unwrap();
+        let diags = vec![
+            diag(Rule::L2, "crates/cluster/src/io.rs", "wall-clock"),
+            diag(Rule::L2, "crates/cluster/src/io.rs", "map-iteration"),
+        ];
+        let (kept, suppressed, stale) = al.apply(diags);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].check, "map-iteration");
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path_suffix, "crates/cluster/src/never.rs");
+    }
+
+    #[test]
+    fn wildcard_check_matches_family() {
+        let al = Allowlist::parse("L3 a.rs * -- everything in a.rs\n").unwrap();
+        let (kept, suppressed, stale) = al.apply(vec![
+            diag(Rule::L3, "crates/a.rs", "unwrap"),
+            diag(Rule::L3, "crates/a.rs", "index"),
+            diag(Rule::L2, "crates/a.rs", "wall-clock"),
+        ]);
+        assert_eq!(kept.len(), 1, "different rule family is not matched");
+        assert_eq!(suppressed.len(), 2);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        assert!(Allowlist::parse("L1 a.rs lock-order\n").is_err());
+        assert!(Allowlist::parse("L1 a.rs lock-order --   \n").is_err());
+        assert!(Allowlist::parse("L9 a.rs x -- reason\n").is_err());
+    }
+}

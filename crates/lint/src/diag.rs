@@ -1,0 +1,64 @@
+//! Diagnostic model shared by all rules.
+
+use std::fmt;
+
+/// The rule family a diagnostic belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Lock-order discipline in `ear-cluster`.
+    L1,
+    /// Determinism hygiene in the deterministic crates.
+    L2,
+    /// Data-plane panic-freedom in the hot-path files.
+    L3,
+}
+
+impl Rule {
+    /// Parses `L1`/`L2`/`L3`.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::L1 => write!(f, "L1"),
+            Rule::L2 => write!(f, "L2"),
+            Rule::L3 => write!(f, "L3"),
+        }
+    }
+}
+
+/// One finding, printed as `path:line:col: RULE/check: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule family.
+    pub rule: Rule,
+    /// Short machine-matchable check name within the family
+    /// (e.g. `wall-clock`, `map-iteration`, `unwrap`).
+    pub check: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}/{}: {}",
+            self.path, self.line, self.col, self.rule, self.check, self.message
+        )
+    }
+}

@@ -1,0 +1,166 @@
+//! `ear-lint` — the workspace invariant linter.
+//!
+//! Three rule families, each encoding an invariant the EAR implementation
+//! relies on but `rustc` cannot see (DESIGN.md §11):
+//!
+//! - **L1 lock-order** ([`rules::lock_order`]): nested lock acquisitions in
+//!   `ear-cluster` must follow the NameNode's declared coarse→fine order.
+//! - **L2 determinism hygiene** ([`rules::determinism`]): deterministic
+//!   crates must not consult wall clocks, ambient RNGs, or hash-ordered
+//!   iteration — the chaos/heal soaks assert bit-identical reports.
+//! - **L3 panic-freedom** ([`rules::panic_free`]): the data-plane hot-path
+//!   files must propagate typed errors, never panic.
+//!
+//! Suppressions live in `lint-allowlist.txt` at the workspace root; every
+//! entry carries a reason and goes stale (becomes an error) once the code
+//! it excused is cleaned up.
+//!
+//! The crate is dependency-free by design: it lexes Rust itself
+//! ([`lexer`]) instead of using `syn`, so it builds in the registry-less
+//! verification containers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use allowlist::Allowlist;
+pub use diag::{Diagnostic, Rule};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose code must stay deterministic (L2 scope).
+pub const DETERMINISTIC_CRATES: &[&str] = &["cluster", "faults", "sim", "des", "erasure"];
+
+/// Data-plane hot-path files (L3 scope), relative to `crates/cluster/src/`.
+pub const DATA_PLANE_FILES: &[&str] = &[
+    "io.rs",
+    "datanode.rs",
+    "blockstore.rs",
+    "recovery.rs",
+    "raidnode.rs",
+    "healer.rs",
+];
+
+/// Runs every applicable rule on one source file. `path` is the
+/// workspace-relative path with `/` separators; it selects which rules
+/// apply (so fixtures can opt into a scope by naming themselves into it).
+pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let toks = lexer::lex_non_test(src);
+    let mut out = Vec::new();
+    if path.starts_with("crates/cluster/src/") {
+        out.extend(rules::lock_order::check(path, &toks));
+    }
+    if DETERMINISTIC_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+    {
+        out.extend(rules::determinism::check(path, &toks));
+    }
+    if DATA_PLANE_FILES
+        .iter()
+        .any(|f| path == format!("crates/cluster/src/{f}"))
+    {
+        out.extend(rules::panic_free::check(path, &toks));
+    }
+    out
+}
+
+/// Result of a workspace check, before allowlisting.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Every diagnostic found, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every `crates/*/src/**/*.rs` file under `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking and file reads.
+pub fn check_workspace(root: &Path) -> io::Result<CheckReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    // Sorted walk: diagnostics come out in a stable order.
+    files.sort();
+
+    let mut report = CheckReport::default();
+    for file in files {
+        let rel = relativize(root, &file);
+        let src = fs::read_to_string(&file)?;
+        report.diagnostics.extend(check_source(&rel, &src));
+        report.files_scanned += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relativize(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_selects_rules_by_path() {
+        let src = "fn f(m: &HashMap<u32, u32>) { for k in m.keys() { v.unwrap(); } }";
+        // In the cluster crate: L2 applies everywhere, L3 only to hot-path files.
+        let d = check_source("crates/cluster/src/chaos.rs", src);
+        assert!(d.iter().any(|d| d.rule == Rule::L2));
+        assert!(!d.iter().any(|d| d.rule == Rule::L3));
+        let d = check_source("crates/cluster/src/io.rs", src);
+        assert!(d.iter().any(|d| d.rule == Rule::L3));
+        // Outside the deterministic crates nothing applies.
+        let d = check_source("crates/cli/src/main.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

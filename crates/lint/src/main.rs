@@ -1,0 +1,109 @@
+//! CLI for `ear-lint`.
+//!
+//! ```text
+//! cargo run -p ear-lint -- check [--root DIR] [--allowlist FILE]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations or stale allowlist entries,
+//! 2 = usage / I/O / allowlist-parse error.
+
+use ear_lint::{check_workspace, find_workspace_root, Allowlist};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut subcmd: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a value"),
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => return usage("--allowlist needs a value"),
+            },
+            "check" if subcmd.is_none() => subcmd = Some(a.clone()),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if subcmd.as_deref() != Some("check") {
+        return usage("expected the `check` subcommand");
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("ear-lint: could not locate a workspace root (no Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint-allowlist.txt"));
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!(
+                    "ear-lint: {}:{}: malformed allowlist entry: {}",
+                    allowlist_path.display(),
+                    e.line,
+                    e.message
+                );
+                return ExitCode::from(2);
+            }
+        },
+        // A missing allowlist is an empty allowlist.
+        Err(_) => Allowlist::default(),
+    };
+
+    let report = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ear-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let (kept, suppressed, stale) = allowlist.apply(report.diagnostics);
+    for d in &kept {
+        println!("{d}");
+    }
+    for e in &stale {
+        println!(
+            "{}:{}: stale allowlist entry `{} {} {}` matches nothing — remove it",
+            allowlist_path.display(),
+            e.line,
+            e.rule,
+            e.path_suffix,
+            e.check
+        );
+    }
+    eprintln!(
+        "ear-lint: {} files scanned, {} violation(s), {} suppressed by allowlist, {} stale allowlist entrie(s)",
+        report.files_scanned,
+        kept.len(),
+        suppressed.len(),
+        stale.len()
+    );
+    if kept.is_empty() && stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ear-lint: {msg}");
+    eprintln!("usage: ear-lint check [--root DIR] [--allowlist FILE]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,275 @@
+//! L1 — lock-order discipline in `ear-cluster`.
+//!
+//! The NameNode's locking doc (namenode.rs) declares the coarse→fine
+//! order: **policy → rng → stripes → shard** (location shards and the
+//! lock-striped block store's shard array are the finest level). A thread
+//! acquiring a coarser lock while holding a finer one creates a cycle
+//! with `allocate_block`, which takes them in the declared order — the
+//! classic two-thread deadlock.
+//!
+//! This pass walks each file linearly, tracking which classified locks
+//! are held at the current brace depth:
+//!
+//! - `let g = <recv>.lock()/.read()/.write();` holds until the end of the
+//!   enclosing block (or an explicit `drop(g)`);
+//! - an un-bound acquisition (`self.stripes.lock().pending.push(..)`) is
+//!   transient: it holds only to the end of its statement;
+//! - acquiring a class **coarser than or equal to** one already held is
+//!   flagged (`lock-order` / `recursive-lock`). parking_lot locks are not
+//!   reentrant, so same-class nesting is a self-deadlock hazard too.
+//!
+//! Only receivers named in the class table participate; unrelated
+//! `.read()`/`.write()` calls (I/O traits, channels) have either a
+//! different receiver name or call arguments, and are ignored.
+
+use super::{receiver_ident, stmt_end, stmt_start};
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Tok, TokKind};
+
+/// The declared order, coarse → fine. Each class lists the receiver
+/// identifiers that acquire it.
+const ORDER: &[(&str, &[&str])] = &[
+    ("policy", &["policy"]),
+    ("rng", &["rng"]),
+    ("stripes", &["stripes"]),
+    ("shard", &["shard", "shards"]),
+];
+
+/// Human rendering of the declared order, used in messages.
+const ORDER_TEXT: &str = "policy \u{2192} rng \u{2192} stripes \u{2192} shard";
+
+fn classify(recv: &str) -> Option<(usize, &'static str)> {
+    ORDER
+        .iter()
+        .enumerate()
+        .find(|(_, (_, names))| names.contains(&recv))
+        .map(|(rank, (class, _))| (rank, *class))
+}
+
+#[derive(Debug)]
+struct Held {
+    rank: usize,
+    class: &'static str,
+    /// Brace depth at acquisition; released when depth drops below this.
+    depth: usize,
+    /// Binding name for `drop(name)` tracking (let-bound only).
+    name: Option<String>,
+    /// Transient guards die at the end of their statement.
+    transient: bool,
+}
+
+/// Runs the rule over one file's non-test tokens.
+pub fn check(path: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            held.retain(|h| h.depth <= depth);
+            i += 1;
+            continue;
+        }
+        if t.is_punct(";") {
+            held.retain(|h| !(h.transient && h.depth == depth));
+            i += 1;
+            continue;
+        }
+        // Explicit `drop(name)` releases a tracked guard.
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            if let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                held.retain(|h| h.name.as_deref() != Some(name.text.as_str()));
+            }
+        }
+        // A zero-argument `.lock()` / `.read()` / `.write()`.
+        if (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+            && i >= 2
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(")"))
+        {
+            if let Some(recv) = receiver_ident(toks, i - 2) {
+                if let Some((rank, class)) = classify(&recv) {
+                    for h in &held {
+                        if h.rank > rank {
+                            out.push(diag(
+                                path,
+                                t,
+                                "lock-order",
+                                &format!(
+                                    "`{class}` acquired while holding `{}` — violates the declared order {ORDER_TEXT}",
+                                    h.class
+                                ),
+                            ));
+                        } else if h.rank == rank {
+                            out.push(diag(
+                                path,
+                                t,
+                                "recursive-lock",
+                                &format!(
+                                    "`{class}` acquired while a `{}` lock is already held; parking_lot locks are not reentrant",
+                                    h.class
+                                ),
+                            ));
+                        }
+                    }
+                    let (transient, name) = binding_of(toks, i);
+                    held.push(Held {
+                        rank,
+                        class,
+                        depth,
+                        name,
+                        transient,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Is the acquisition at `i` `let`-bound (guard outlives the statement)?
+/// Returns `(transient, binding_name)`.
+fn binding_of(toks: &[Tok], i: usize) -> (bool, Option<String>) {
+    let start = stmt_start(toks, i);
+    let lets = toks[start..i].iter().position(|t| t.is_ident("let"));
+    match lets {
+        None => (true, None),
+        Some(off) => {
+            let mut j = start + off + 1;
+            while toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let name = toks
+                .get(j)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone());
+            // `let g = x.lock().field;` binds a *projection*, not the guard —
+            // the guard is a temporary and dies at the statement end.
+            let end = stmt_end(toks, i);
+            let guard_is_temporary = toks[i..end]
+                .iter()
+                .skip(3) // past `lock ( )`
+                .any(|t| t.is_punct("."));
+            (guard_is_temporary, name.filter(|_| !guard_is_temporary))
+        }
+    }
+}
+
+fn diag(path: &str, t: &Tok, check: &'static str, message: &str) -> Diagnostic {
+    Diagnostic {
+        rule: Rule::L1,
+        check,
+        path: path.to_string(),
+        line: t.line,
+        col: t.col,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_non_test;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check("crates/cluster/src/namenode.rs", &lex_non_test(src))
+    }
+
+    #[test]
+    fn declared_order_passes() {
+        let d = run(
+            "fn alloc(&self) {\n\
+             let mut policy = self.policy.lock();\n\
+             let mut rng = self.rng.lock();\n\
+             let mut stripes = self.stripes.lock();\n\
+             self.shard(id).write().insert(id, meta);\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn reversed_order_is_flagged() {
+        let d = run(
+            "fn bad(&self) {\n\
+             let shard = self.shard(id).write();\n\
+             let mut policy = self.policy.lock();\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, "lock-order");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn recursive_acquisition_is_flagged() {
+        let d = run(
+            "fn bad(&self) {\n\
+             let a = self.shard(x).read();\n\
+             let b = self.shard(y).read();\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, "recursive-lock");
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_and_drop() {
+        let ok_scoped = run(
+            "fn f(&self) {\n\
+             { let s = self.stripes.lock(); use_it(&s); }\n\
+             let p = self.policy.lock();\n\
+             }",
+        );
+        assert!(ok_scoped.is_empty(), "{ok_scoped:?}");
+        let ok_dropped = run(
+            "fn f(&self) {\n\
+             let s = self.stripes.lock();\n\
+             drop(s);\n\
+             let p = self.policy.lock();\n\
+             }",
+        );
+        assert!(ok_dropped.is_empty(), "{ok_dropped:?}");
+    }
+
+    #[test]
+    fn transient_guards_die_at_statement_end() {
+        let d = run(
+            "fn f(&self) {\n\
+             self.stripes.lock().pending.push(x);\n\
+             let p = self.policy.lock();\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn projection_bindings_do_not_hold_the_guard() {
+        let d = run(
+            "fn f(&self) {\n\
+             let n = self.stripes.lock().pending.len();\n\
+             let p = self.policy.lock();\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unrelated_read_write_calls_are_ignored() {
+        let d = run("fn f(&self) { file.write(); sock.read(); self.queue.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

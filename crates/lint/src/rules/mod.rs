@@ -1,0 +1,118 @@
+//! The three rule families and their shared token-walking helpers.
+
+pub mod determinism;
+pub mod lock_order;
+pub mod panic_free;
+
+use crate::lexer::{Tok, TokKind};
+
+/// Walks backward from `i` (the index of the token *before* a `.method`
+/// dot) to the identifier that anchors the receiver expression, skipping
+/// one trailing `?` and balancing one `(...)` or `[...]` group.
+///
+/// `self.policy.lock()` → `policy` · `self.shard(b).read()` → `shard` ·
+/// `self.shards[i].lock()` → `shards` · `guard.lock().keys()` → `lock`.
+///
+/// This is deliberately shallow: it identifies the *last named thing* the
+/// call hangs off, which is what both the lock-class table and the
+/// map-typed-name table key on.
+pub fn receiver_ident(toks: &[Tok], mut i: usize) -> Option<String> {
+    loop {
+        let t = toks.get(i)?;
+        if t.is_punct("?") {
+            i = i.checked_sub(1)?;
+            continue;
+        }
+        if t.is_punct(")") || t.is_punct("]") {
+            let open = if t.is_punct(")") { "(" } else { "[" };
+            let close = &t.text;
+            let mut depth = 1usize;
+            loop {
+                i = i.checked_sub(1)?;
+                let u = toks.get(i)?;
+                if u.is_punct(close) {
+                    depth += 1;
+                } else if u.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            i = i.checked_sub(1)?;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            return Some(t.text.clone());
+        }
+        return None;
+    }
+}
+
+/// Index of the token starting the statement containing `i`: one past the
+/// previous `;`, `{` or `}` (or 0).
+pub fn stmt_start(toks: &[Tok], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            return j;
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// Scans forward from `i` to the end of the current statement (`;`, or a
+/// `}` closing the enclosing block) and returns the token range scanned.
+pub fn stmt_end(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        } else if t.is_punct(";") && depth == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn recv(src: &str, method: &str) -> Option<String> {
+        let toks = lex(src);
+        let at = toks.iter().position(|t| t.is_ident(method))?;
+        receiver_ident(&toks, at.checked_sub(2)?)
+    }
+
+    #[test]
+    fn receiver_walks_fields_calls_and_indexing() {
+        assert_eq!(recv("self.policy.lock()", "lock").as_deref(), Some("policy"));
+        assert_eq!(recv("self.shard(b).read()", "read").as_deref(), Some("shard"));
+        assert_eq!(recv("self.shards[i * 2].lock()", "lock").as_deref(), Some("shards"));
+        assert_eq!(recv("acked.iter()", "iter").as_deref(), Some("acked"));
+        assert_eq!(recv("f(x)?.keys()", "keys").as_deref(), Some("f"));
+        assert_eq!(recv("(a + b).keys()", "keys"), None);
+    }
+
+    #[test]
+    fn stmt_bounds() {
+        let toks = lex("let a = 1; let b = foo(x; y).bar; c");
+        let b_pos = toks.iter().position(|t| t.is_ident("b")).unwrap();
+        assert!(toks[stmt_start(&toks, b_pos) - 1].is_punct(";"));
+        let end = stmt_end(&toks, b_pos);
+        assert!(toks[end].is_punct(";"));
+        assert!(toks[end - 1].is_ident("bar"));
+    }
+}

@@ -1,0 +1,173 @@
+//! L3 — data-plane panic-freedom.
+//!
+//! The hot-path files (`io.rs`, `datanode.rs`, `blockstore.rs`,
+//! `recovery.rs`, `raidnode.rs`, `healer.rs`) run inside degraded reads,
+//! repairs, and the background healer: a panic there takes down exactly
+//! the machinery that is supposed to survive faults. Fallible paths must
+//! propagate a typed `ear_types::Error` instead.
+//!
+//! Forbidden in non-test code of those files:
+//!
+//! - **unwrap** / **expect**: `.unwrap()` and `.expect(..)` (the `_or`,
+//!   `_or_else`, `_or_default` families are fine — they don't panic);
+//! - **panic**: `panic!`, `unreachable!`, `todo!`, `unimplemented!`
+//!   (`assert!`/`debug_assert!` are left to reviewers: they document
+//!   invariants and fire loudly in tests);
+//! - **index**: subscripting with anything but a literal index or a
+//!   literal-bounded range (`buf[0]`, `buf[4..]` pass; `shards[i]`
+//!   fails — use `.get(i)` and propagate).
+
+use super::receiver_ident;
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Tok, TokKind};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the rule over one file's non-test tokens.
+pub fn check(path: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        // `.unwrap()` / `.expect(..)`.
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            let what = if t.is_ident("unwrap") { "unwrap" } else { "expect" };
+            let recv = receiver_ident(toks, i.wrapping_sub(2)).unwrap_or_default();
+            out.push(diag(
+                path,
+                t,
+                what,
+                &format!(
+                    ".{what}() on `{recv}` can panic on the data plane; propagate a typed EarError instead"
+                ),
+            ));
+        }
+        // Panicking macros.
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            out.push(diag(
+                path,
+                t,
+                "panic",
+                &format!("{}! aborts the data plane; return an EarError instead", t.text),
+            ));
+        }
+        // Non-literal subscripts. Indexing follows an ident, `)` or `]`
+        // (macro brackets like `vec![..]` follow `!` and don't match).
+        if t.is_punct("[")
+            && i >= 1
+            && (toks[i - 1].kind == TokKind::Ident || toks[i - 1].is_punct(")") || toks[i - 1].is_punct("]"))
+        {
+            if let Some(inner) = bracket_contents(toks, i) {
+                if !is_literal_subscript(inner) {
+                    let recv = if toks[i - 1].kind == TokKind::Ident {
+                        toks[i - 1].text.clone()
+                    } else {
+                        receiver_ident(toks, i - 1).unwrap_or_default()
+                    };
+                    out.push(diag(
+                        path,
+                        t,
+                        "index",
+                        &format!(
+                            "non-literal subscript on `{recv}` can panic out-of-bounds; use .get()/.get_mut() and propagate"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The tokens between `[` at `i` and its matching `]`, or `None` when
+/// unbalanced.
+fn bracket_contents(toks: &[Tok], i: usize) -> Option<&[Tok]> {
+    let mut depth = 1usize;
+    let mut j = i + 1;
+    while j < toks.len() {
+        if toks[j].is_punct("[") {
+            depth += 1;
+        } else if toks[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(&toks[i + 1..j]);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Subscripts that cannot be made to panic by runtime values: a bare
+/// integer literal, or a range whose present bounds are integer literals
+/// (`..`, `4..`, `..4`, `0..4`, `0..=3`).
+fn is_literal_subscript(inner: &[Tok]) -> bool {
+    match inner {
+        [t] if t.kind == TokKind::Num => true,
+        [] => false,
+        _ => {
+            inner
+                .iter()
+                .all(|t| t.kind == TokKind::Num || t.is_punct("..") || t.is_punct("..="))
+                && inner.iter().any(|t| t.is_punct("..") || t.is_punct("..="))
+        }
+    }
+}
+
+fn diag(path: &str, t: &Tok, check: &'static str, message: &str) -> Diagnostic {
+    Diagnostic {
+        rule: Rule::L3,
+        check,
+        path: path.to_string(),
+        line: t.line,
+        col: t.col,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_non_test;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check("crates/cluster/src/io.rs", &lex_non_test(src))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panics() {
+        let d = run("fn f() { a.unwrap(); b.expect(\"msg\"); panic!(\"no\"); unreachable!(); }");
+        let checks: Vec<&str> = d.iter().map(|d| d.check).collect();
+        assert_eq!(checks, vec!["unwrap", "expect", "panic", "panic"]);
+    }
+
+    #[test]
+    fn fallible_combinators_are_fine() {
+        let d = run("fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); d.expect_err(\"x\"); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn literal_subscripts_pass_dynamic_ones_fail() {
+        let d = run("fn f() { let a = buf[0]; let b = &buf[4..]; let c = &buf[0..4]; let d = buf[i]; let e = &buf[n..]; shards[shard_of(b)].lock(); }");
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|d| d.check == "index"));
+    }
+
+    #[test]
+    fn macros_attrs_and_types_are_not_subscripts() {
+        let d = run("#[derive(Debug)] struct S { a: [u8; 16] } fn f(x: [u8; 4]) { let v = vec![0u8; n]; let w = [0u8; 8]; matches!(x, [_, ..]); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let d = run("#[cfg(test)] mod tests { #[test] fn t() { a.unwrap(); b[i]; } }");
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+// L1 fixture: violates the declared lock order (policy → rng → stripes →
+// shard). Checked under the virtual path `crates/cluster/src/fixture_l1.rs`.
+
+impl NameNode {
+    fn coarse_under_fine(&self) {
+        let shard = self.shard(0).write();
+        let policy = self.policy.lock();
+        policy.touch();
+        drop(policy);
+        drop(shard);
+    }
+
+    fn reentrant(&self) {
+        let first = self.stripes.lock();
+        let second = self.stripes.lock();
+        drop(second);
+        drop(first);
+    }
+}

@@ -1,0 +1,30 @@
+// L1 fixture: acquisitions that follow the declared order (policy → rng →
+// stripes → shard), release before re-acquiring, or never nest.
+
+impl NameNode {
+    fn declared_order(&self) {
+        let policy = self.policy.lock();
+        let rng = self.rng.lock();
+        let stripes = self.stripes.lock();
+        let shard = self.shard(1).write();
+        drop(shard);
+        drop(stripes);
+        drop(rng);
+        drop(policy);
+    }
+
+    fn released_before_coarser(&self) {
+        {
+            let shard = self.shard(0).read();
+            shard.len();
+        }
+        let policy = self.policy.lock();
+        policy.touch();
+    }
+
+    fn transient_guard_dies_at_statement_end(&self) {
+        let n = self.stripes.lock().len();
+        let policy = self.policy.lock();
+        policy.touch();
+    }
+}

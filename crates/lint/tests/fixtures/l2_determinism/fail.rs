@@ -1,0 +1,17 @@
+// L2 fixture: wall clocks, ambient RNGs, and hash-ordered iteration in a
+// deterministic module. Checked under `crates/sim/src/fixture_l2.rs`.
+
+fn leaky_report(m: &HashMap<u32, u64>) -> Vec<u64> {
+    let started = Instant::now();
+    let epoch = SystemTime::now();
+    let mut rng = thread_rng();
+    let coin: bool = rand::random();
+    let mut out = Vec::new();
+    for (_k, v) in m {
+        out.push(*v);
+    }
+    for v in m.values() {
+        out.push(*v);
+    }
+    out
+}

@@ -1,0 +1,11 @@
+// L3 fixture: panics reachable from the data plane. Checked under the
+// virtual path `crates/cluster/src/io.rs` to opt into the hot-path scope.
+
+fn data_plane(xs: &[u8], i: usize, m: Option<u8>) -> u8 {
+    let a = m.unwrap();
+    let b = xs.first().expect("nonempty");
+    if i >= xs.len() {
+        panic!("out of range");
+    }
+    a + b + xs[i]
+}

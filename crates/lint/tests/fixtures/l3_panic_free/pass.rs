@@ -1,0 +1,11 @@
+// L3 fixture: the panic-free idioms the data plane must use — typed
+// propagation, .get(), and literal-bounded slicing.
+
+fn data_plane(xs: &[u8], i: usize, m: Option<u8>) -> Result<u8> {
+    let a = m.ok_or(Error::ShardLengthMismatch)?;
+    let b = xs.get(i).copied().ok_or(Error::ShardLengthMismatch)?;
+    let head = &xs[4..];
+    let first = xs[0];
+    assert!(first as usize <= xs.len());
+    Ok(a + b + first + head.len() as u8)
+}

@@ -99,6 +99,13 @@ pub enum Error {
         /// What the storage layer was doing when the host call failed.
         context: String,
     },
+    /// A `std::sync` lock was poisoned: a thread panicked while holding it,
+    /// so the protected state may be inconsistent. Surfaced as a typed error
+    /// instead of a cascading panic (DESIGN.md §11).
+    LockPoisoned {
+        /// Which lock was poisoned (e.g. `"failure detector"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -155,6 +162,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::Io { context } => write!(f, "storage i/o failed: {context}"),
+            Error::LockPoisoned { what } => {
+                write!(f, "{what} lock poisoned by a panicked thread")
+            }
         }
     }
 }

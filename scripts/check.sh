@@ -18,6 +18,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+# Invariant lint first: lock order, determinism hygiene, data-plane
+# panic-freedom (DESIGN.md §11). Fails fast with file:line diagnostics;
+# suppressions live in lint-allowlist.txt.
+cargo run -q --offline -p ear-lint -- check
 # Tests run under both storage backends (DESIGN.md §9): the sharded
 # in-memory store and the file-per-block store.
 EAR_STORE=memory cargo test -q --offline

@@ -5,9 +5,10 @@
 //! Two workloads, each at 1, 4, and 8 client threads on both storage
 //! backends:
 //!
-//! * `concurrent_reads` — whole-block verified reads (CRC32C checked)
-//!   through the unified `ClusterIo` path, striding readers across the
-//!   written block set;
+//! * `concurrent_reads` — whole-block reads through the unified `ClusterIo`
+//!   path, striding readers across the written block set, with the block
+//!   cache off (every read CRC32C-verified) and on (verified-once: hits
+//!   skip the re-hash);
 //! * `metadata_mixed` — 90% `locations` lookups / 10% add+drop location
 //!   write pairs against the sharded NameNode block map.
 //!
@@ -20,8 +21,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ear_cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
 use ear_types::{
-    Bandwidth, BlockId, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig,
-    StoreBackend,
+    Bandwidth, BlockId, ByteSize, CacheConfig, EarConfig, ErasureParams, NodeId,
+    ReplicationConfig, StoreBackend,
 };
 
 const BLOCKS: u64 = 96;
@@ -29,7 +30,7 @@ const READS_PER_THREAD: usize = 64;
 const META_OPS_PER_THREAD: usize = 1024;
 const THREADS: [usize; 3] = [1, 4, 8];
 
-fn cluster(store: StoreBackend) -> (MiniCfs, Vec<BlockId>) {
+fn cluster(store: StoreBackend, cache: CacheConfig) -> (MiniCfs, Vec<BlockId>) {
     let params = ErasureParams::new(6, 3).expect("params");
     let ear = EarConfig::new(params, ReplicationConfig::hdfs_default(), 3).expect("ear");
     let mut cfg = ClusterConfig::testbed(ClusterPolicy::Rr, ear);
@@ -40,6 +41,7 @@ fn cluster(store: StoreBackend) -> (MiniCfs, Vec<BlockId>) {
     cfg.rack_bandwidth = Bandwidth::bytes_per_sec(1e12);
     cfg.seed = 42;
     cfg.store = store;
+    cfg.cache = cache;
     let cfs = MiniCfs::new(cfg).expect("boot");
     let nodes = cfs.topology().num_nodes() as u64;
     let blocks: Vec<BlockId> = (0..BLOCKS)
@@ -93,13 +95,29 @@ fn metadata_mixed(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) {
 fn bench_cluster_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_throughput");
     for store in [StoreBackend::Memory, StoreBackend::File] {
-        let (cfs, blocks) = cluster(store);
+        // Reads with the cache off (every read re-verified) vs on (the
+        // default sizes; hits serve verified-once bytes).
+        for (cache, cache_label) in [
+            (CacheConfig::Off, "cache_off"),
+            (CacheConfig::default(), "cache_on"),
+        ] {
+            let (cfs, blocks) = cluster(store, cache);
+            // Warm pass so the cache-on numbers measure the hit path, not
+            // cold admission.
+            concurrent_reads(&cfs, &blocks, 2);
+            for threads in THREADS {
+                group.throughput(Throughput::Elements((threads * READS_PER_THREAD) as u64));
+                group.bench_function(
+                    BenchmarkId::new(
+                        format!("concurrent_reads_{}_{cache_label}", store.name()),
+                        threads,
+                    ),
+                    |b| b.iter(|| concurrent_reads(&cfs, &blocks, threads)),
+                );
+            }
+        }
+        let (cfs, blocks) = cluster(store, CacheConfig::Off);
         for threads in THREADS {
-            group.throughput(Throughput::Elements((threads * READS_PER_THREAD) as u64));
-            group.bench_function(
-                BenchmarkId::new(format!("concurrent_reads_{}", store.name()), threads),
-                |b| b.iter(|| concurrent_reads(&cfs, &blocks, threads)),
-            );
             group.throughput(Throughput::Elements((threads * META_OPS_PER_THREAD) as u64));
             group.bench_function(
                 BenchmarkId::new(format!("metadata_mixed_{}", store.name()), threads),

@@ -6,14 +6,17 @@
 //! stub cannot measure (same precedent as `BENCH_gf_kernels.json`).
 //!
 //! Run: `cargo run --release -p ear-bench --bin cluster_throughput_capture`
-//! The storage backend is selected with `EAR_STORE=memory|file` exactly as in
-//! the tier-1 suite; the label is echoed into each output line.
+//! The storage backend is selected with `EAR_STORE=memory|file` and the block
+//! cache with `EAR_CACHE=off|<hot>,<cold>` exactly as in the tier-1 suite;
+//! both labels are echoed into each output line, along with the cache hit
+//! rate and CRC bytes skipped by the verified-once read path.
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use ear_cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
-use ear_types::{Bandwidth, BlockId, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig};
+use ear_types::{
+    Bandwidth, BlockId, ByteSize, CacheConfig, EarConfig, ErasureParams, NodeId, ReplicationConfig,
+};
 
 const BLOCKS: u64 = 96;
 const READS_PER_THREAD: usize = 1500;
@@ -83,6 +86,7 @@ fn metadata_mixed(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) -> f64 {
 
 fn main() {
     let backend = std::env::var("EAR_STORE").unwrap_or_else(|_| "memory".into());
+    let cache_label = CacheConfig::from_env().label();
     let cfs = cluster();
     let nodes = cfs.topology().num_nodes() as u64;
     let blocks: Vec<BlockId> = (0..BLOCKS)
@@ -94,18 +98,32 @@ fn main() {
         .collect();
 
     // Warm every replica path once so first-touch costs (page faults, file
-    // cache) don't land inside the first measured window.
-    let warm: Arc<Vec<u8>> = cfs.read_block(NodeId(0), blocks[0]).expect("warm");
+    // cache, cache admission) don't land inside the first measured window.
+    let warm = cfs.read_block(NodeId(0), blocks[0]).expect("warm");
     assert!(!warm.is_empty());
     let _ = concurrent_reads(&cfs, &blocks, 2);
     let _ = metadata_mixed(&cfs, &blocks, 2);
 
     for threads in THREADS {
+        let before = cfs.io_stats();
         let reads = concurrent_reads(&cfs, &blocks, threads);
+        let after = cfs.io_stats();
         let meta = metadata_mixed(&cfs, &blocks, threads);
+        let hits = after.cache.hits() - before.cache.hits();
+        let misses = after.cache.misses - before.cache.misses;
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        let crc_skipped = after.crc_bytes_skipped - before.crc_bytes_skipped;
         println!(
-            "{{\"backend\":\"{backend}\",\"threads\":{threads},\
+            "{{\"backend\":\"{backend}\",\"cache\":\"{cache_label}\",\
+             \"threads\":{threads},\
              \"concurrent_reads_ops_per_sec\":{reads:.0},\
+             \"cache_hit_rate\":{hit_rate:.3},\
+             \"crc_bytes_skipped\":{crc_skipped},\
              \"metadata_mixed_ops_per_sec\":{meta:.0}}}"
         );
     }

@@ -27,6 +27,7 @@ pub fn measure(policy: ClusterPolicy, scale: Scale, seed: u64) -> Result<Vec<f64
         policy,
         seed,
         store: ear_types::StoreBackend::from_env(),
+        cache: ear_types::CacheConfig::from_env(),
     };
     let cfs = MiniCfs::new(cfg)?;
 

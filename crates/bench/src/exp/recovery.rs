@@ -48,6 +48,7 @@ pub fn measure(c: usize, target_racks: Option<usize>, scale: Scale) -> Result<Re
         policy: ClusterPolicy::Ear,
         seed: 30,
         store: ear_types::StoreBackend::from_env(),
+        cache: ear_types::CacheConfig::from_env(),
     };
     let cfs = MiniCfs::new(cfg)?;
     let stripes = scale.pick(4, 30);

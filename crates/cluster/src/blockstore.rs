@@ -1,28 +1,33 @@
 //! Pluggable block storage backends for the DataNodes (DESIGN.md §9).
 //!
 //! [`BlockStore`] is the seam between a DataNode's protocol surface and how
-//! the replica bytes actually live on the machine. Two backends ship:
+//! the replica bytes actually live on the machine. Payloads cross the seam
+//! as [`Block`]s — shared immutable buffers — so a read never copies bytes
+//! it can reference. Two backends ship:
 //!
-//! * [`ShardedMemStore`] — lock-striped in-memory `HashMap`s. Reads clone an
-//!   `Arc`, so replicas of the same block share memory across nodes and a
-//!   reader never copies payload bytes.
+//! * [`ShardedMemStore`] — lock-striped in-memory `HashMap`s. Reads clone
+//!   the stored `Block` (three words), so replicas of the same block share
+//!   memory across nodes and a reader never copies payload bytes.
 //! * [`FileStore`] — one file per block under a per-store temp root
 //!   (`<root>/<block>.blk`, a 4-byte little-endian CRC32C header followed by
-//!   the payload), so the testbed exercises real I/O syscalls. The root is
+//!   the payload), so the testbed exercises real I/O syscalls. A read pulls
+//!   the whole image into one buffer and returns the payload as a
+//!   zero-copy sub-slice of it; a write streams header and payload through
+//!   one `File` handle instead of assembling a joined copy. The root is
 //!   removed when the store is dropped.
 //!
 //! Both keep the write-time CRC32C next to the bytes — the cluster's
 //! end-to-end corruption check ([`crate::MiniCfs`]'s read path) re-hashes
 //! what it received and compares against this stored value.
 
-use ear_types::{BlockId, Error, Result, StoreBackend};
+use ear_types::{Block, BlockId, Error, Result, StoreBackend};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
+use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Number of lock stripes per store. A power of two so the shard index is a
 /// shift of the mixed key; 16 stripes keep contention negligible for the
@@ -49,10 +54,10 @@ pub trait BlockStore: Send + Sync + fmt::Debug {
     ///
     /// [`Error::Io`] if the backing medium rejects the write (file backend
     /// only; the memory backend is infallible).
-    fn put(&self, block: BlockId, data: Arc<Vec<u8>>, crc: u32) -> Result<()>;
+    fn put(&self, block: BlockId, data: Block, crc: u32) -> Result<()>;
 
     /// Fetches a block replica together with its write-time CRC32C.
-    fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)>;
+    fn get_with_crc(&self, block: BlockId) -> Option<(Block, u32)>;
 
     /// The write-time CRC32C of a stored replica, without reading the bytes.
     fn stored_crc(&self, block: BlockId) -> Option<u32>;
@@ -79,7 +84,7 @@ pub trait BlockStore: Send + Sync + fmt::Debug {
 /// file.
 #[derive(Debug, Clone)]
 struct StoredBlock {
-    data: Arc<Vec<u8>>,
+    data: Block,
     crc: u32,
 }
 
@@ -110,18 +115,18 @@ impl ShardedMemStore {
 }
 
 impl BlockStore for ShardedMemStore {
-    fn put(&self, block: BlockId, data: Arc<Vec<u8>>, crc: u32) -> Result<()> {
+    fn put(&self, block: BlockId, data: Block, crc: u32) -> Result<()> {
         self.stripe_for(block)
             .lock()
             .insert(block, StoredBlock { data, crc });
         Ok(())
     }
 
-    fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)> {
+    fn get_with_crc(&self, block: BlockId) -> Option<(Block, u32)> {
         self.stripe_for(block)
             .lock()
             .get(&block)
-            .map(|s| (Arc::clone(&s.data), s.crc))
+            .map(|s| (s.data.clone(), s.crc))
     }
 
     fn stored_crc(&self, block: BlockId) -> Option<u32> {
@@ -228,13 +233,16 @@ impl Drop for FileStore {
 }
 
 impl BlockStore for FileStore {
-    fn put(&self, block: BlockId, data: Arc<Vec<u8>>, crc: u32) -> Result<()> {
+    fn put(&self, block: BlockId, data: Block, crc: u32) -> Result<()> {
         let path = self.path_of(block);
         let tmp = self.root.join(format!("{}.blk.tmp", block.0));
-        let mut bytes = Vec::with_capacity(4 + data.len());
-        bytes.extend_from_slice(&crc.to_le_bytes());
-        bytes.extend_from_slice(&data);
-        fs::write(&tmp, &bytes).map_err(|e| Error::Io {
+        // Header and payload go through one handle: no `Vec` holding a
+        // joined copy of the whole block ever exists.
+        let write = fs::File::create(&tmp).and_then(|mut f| {
+            f.write_all(&crc.to_le_bytes())?;
+            f.write_all(&data)
+        });
+        write.map_err(|e| Error::Io {
             context: format!("write {}: {e}", tmp.display()),
         })?;
         fs::rename(&tmp, &path).map_err(|e| Error::Io {
@@ -250,7 +258,7 @@ impl BlockStore for FileStore {
         Ok(())
     }
 
-    fn get_with_crc(&self, block: BlockId) -> Option<(Arc<Vec<u8>>, u32)> {
+    fn get_with_crc(&self, block: BlockId) -> Option<(Block, u32)> {
         // The index is consulted first so a deleted block never hits the
         // disk; the read itself runs outside any lock.
         self.stripe_for(block).lock().get(&block)?;
@@ -259,7 +267,10 @@ impl BlockStore for FileStore {
             return None;
         }
         let crc = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-        Some((Arc::new(bytes[4..].to_vec()), crc))
+        // The payload is a sub-slice of the single on-disk image read —
+        // shared allocation, no second copy.
+        let image = Block::from(bytes);
+        Some((image.suffix(4)?, crc))
     }
 
     fn stored_crc(&self, block: BlockId) -> Option<u32> {
@@ -312,9 +323,9 @@ mod tests {
     use ear_faults::crc32c;
 
     fn roundtrip(store: &dyn BlockStore) {
-        let data = Arc::new(vec![7u8; 500]);
+        let data = Block::from(vec![7u8; 500]);
         let crc = crc32c(&data);
-        store.put(BlockId(42), Arc::clone(&data), crc).unwrap();
+        store.put(BlockId(42), data.clone(), crc).unwrap();
         assert!(store.contains(BlockId(42)));
         assert_eq!(store.block_count(), 1);
         assert_eq!(store.bytes_stored(), 500);
@@ -344,11 +355,43 @@ mod tests {
     }
 
     #[test]
+    fn memory_reads_share_the_stored_allocation() {
+        // The zero-copy contract of the memory backend: what `get` returns
+        // views the very buffer `put` stored.
+        let s = ShardedMemStore::new();
+        let data = Block::from(vec![3u8; 256]);
+        s.put(BlockId(1), data.clone(), crc32c(&data)).unwrap();
+        let (back, _) = s.get_with_crc(BlockId(1)).unwrap();
+        assert!(back.shares_buffer(&data));
+    }
+
+    #[test]
+    fn file_reads_slice_the_single_disk_image() {
+        // The zero-copy contract of the file backend: one `fs::read`, and
+        // the returned payload is a sub-view of that image (offset past the
+        // 4-byte header), not a second copy.
+        let s = FileStore::new("t2").unwrap();
+        let data = Block::from(vec![0x5Au8; 300]);
+        s.put(BlockId(9), data.clone(), crc32c(&data)).unwrap();
+        let (a, crc) = s.get_with_crc(BlockId(9)).unwrap();
+        let (b, _) = s.get_with_crc(BlockId(9)).unwrap();
+        assert_eq!(a.as_slice(), data.as_slice());
+        assert_eq!(crc, crc32c(&data));
+        assert_eq!(a.len(), 300);
+        assert!(!a.shares_buffer(&b), "each read is its own disk image");
+        // A clone of one read shares; this pins that the sub-slice kept
+        // the allocation instead of copying out of it.
+        let c = a.clone();
+        assert!(c.shares_buffer(&a));
+        assert_eq!(a.ref_count(), 2);
+    }
+
+    #[test]
     fn file_store_persists_bytes_on_disk_and_cleans_up() {
         let s = FileStore::new("t1").unwrap();
         let root = s.root().to_path_buf();
-        let data = Arc::new(vec![0xA5u8; 128]);
-        s.put(BlockId(7), Arc::clone(&data), crc32c(&data)).unwrap();
+        let data = Block::from(vec![0xA5u8; 128]);
+        s.put(BlockId(7), data.clone(), crc32c(&data)).unwrap();
         let on_disk = fs::read(root.join("7.blk")).unwrap();
         assert_eq!(on_disk.len(), 4 + 128, "crc header plus payload");
         assert_eq!(&on_disk[4..], data.as_slice());

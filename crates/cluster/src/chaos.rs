@@ -25,8 +25,8 @@ use crate::raidnode::RaidNode;
 use crate::recovery::recover_node;
 use ear_faults::{FaultConfig, FaultPlan};
 use ear_types::{
-    Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, ErasureParams, HealStats, NodeId,
-    ReplicationConfig, Result, StoreBackend, StripeId,
+    Bandwidth, BlockId, ByteSize, CacheConfig, ClusterTopology, EarConfig, ErasureParams,
+    HealStats, NodeId, ReplicationConfig, Result, StoreBackend, StripeId,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -43,6 +43,10 @@ pub struct ChaosConfig {
     pub map_tasks: usize,
     /// Storage backend the cluster's DataNodes run on.
     pub store: StoreBackend,
+    /// Block-cache configuration of the cluster's DataNodes. The soak
+    /// reports must be bit-identical whatever this is set to — the cache
+    /// only elides redundant CRC work, never changes data-plane outcomes.
+    pub cache: CacheConfig,
 }
 
 impl ChaosConfig {
@@ -55,6 +59,7 @@ impl ChaosConfig {
             faults: FaultConfig::light(),
             map_tasks: 4,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         }
     }
 
@@ -120,7 +125,12 @@ impl ChaosReport {
 /// The cluster shape chaos runs use: 8 racks × 2 nodes, (6,4) RS, 2-way
 /// replication, 64 KiB blocks over fast links so a full run takes tens of
 /// milliseconds.
-fn chaos_cluster(policy: ClusterPolicy, seed: u64, store: StoreBackend) -> Result<ClusterConfig> {
+fn chaos_cluster(
+    policy: ClusterPolicy,
+    seed: u64,
+    store: StoreBackend,
+    cache: CacheConfig,
+) -> Result<ClusterConfig> {
     let ear = EarConfig::new(
         ErasureParams::new(6, 4)?,
         ReplicationConfig::two_way(),
@@ -136,6 +146,7 @@ fn chaos_cluster(policy: ClusterPolicy, seed: u64, store: StoreBackend) -> Resul
         policy,
         seed: seed ^ 0xA11CE,
         store,
+        cache,
     })
 }
 
@@ -149,7 +160,7 @@ fn chaos_cluster(policy: ClusterPolicy, seed: u64, store: StoreBackend) -> Resul
 /// asserting on them is the caller's job, typically via
 /// [`ChaosReport::passed`].
 pub fn run_plan(seed: u64, cfg: &ChaosConfig) -> Result<ChaosReport> {
-    let cluster_cfg = chaos_cluster(cfg.policy, seed, cfg.store)?;
+    let cluster_cfg = chaos_cluster(cfg.policy, seed, cfg.store, cfg.cache)?;
     let topo = ClusterTopology::uniform(cluster_cfg.racks, cluster_cfg.nodes_per_rack);
     let plan = FaultPlan::generate(seed, &topo, &cfg.faults);
     let mut report = ChaosReport {
@@ -252,7 +263,7 @@ fn verify_blocks(cfs: &MiniCfs, acked: &BTreeMap<BlockId, u64>, k: usize, report
         locs.iter()
             .find(|&&h| !inj.node_down(h) && !inj.corrupts(h, b))
             .and_then(|&h| cfs.datanode(h).get(b))
-            .map(|d| d.as_ref().clone())
+            .map(|d| d.to_vec())
     };
 
     let encoded = cfs.namenode().encoded_stripes();
@@ -337,6 +348,9 @@ pub struct HealSoakConfig {
     pub healer: HealerConfig,
     /// Storage backend the cluster's DataNodes run on.
     pub store: StoreBackend,
+    /// Block-cache configuration of the cluster's DataNodes (the report
+    /// must not depend on it — see [`ChaosConfig::cache`]).
+    pub cache: CacheConfig,
     /// Encode-job parallelism.
     pub map_tasks: usize,
 }
@@ -347,6 +361,7 @@ impl Default for HealSoakConfig {
             stripes: 3,
             kills: 2,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
             faults: FaultConfig {
                 node_crashes: 2,
                 rack_outages: 0,
@@ -409,7 +424,7 @@ impl HealSoakReport {
 /// The cluster shape heal soaks use: 8 racks × 3 nodes so two kills still
 /// leave every rack usable, 3-way replication (HDFS default) so replicated
 /// blocks survive two simultaneous failures, (6,4) RS for `n - k = 2`.
-fn heal_cluster(seed: u64, store: StoreBackend) -> Result<ClusterConfig> {
+fn heal_cluster(seed: u64, store: StoreBackend, cache: CacheConfig) -> Result<ClusterConfig> {
     let ear = EarConfig::new(
         ErasureParams::new(6, 4)?,
         ReplicationConfig::hdfs_default(),
@@ -425,6 +440,7 @@ fn heal_cluster(seed: u64, store: StoreBackend) -> Result<ClusterConfig> {
         policy: ClusterPolicy::Ear,
         seed: seed ^ 0x4EA1,
         store,
+        cache,
     })
 }
 
@@ -438,7 +454,7 @@ fn heal_cluster(seed: u64, store: StoreBackend) -> Result<ClusterConfig> {
 /// boot). A stalled healer is *data*: `heal.converged` stays `false` and
 /// [`HealSoakReport::passed`] fails.
 pub fn run_heal_plan(seed: u64, cfg: &HealSoakConfig) -> Result<HealSoakReport> {
-    let cluster_cfg = heal_cluster(seed, cfg.store)?;
+    let cluster_cfg = heal_cluster(seed, cfg.store, cfg.cache)?;
     let topo = ClusterTopology::uniform(cluster_cfg.racks, cluster_cfg.nodes_per_rack);
     let k = cluster_cfg.ear.erasure().k();
     let n = cluster_cfg.ear.erasure().n();
@@ -582,7 +598,13 @@ mod tests {
         // report. Some entries carry deliberately wrong tags so the
         // order-sensitive fields (lost_blocks) are actually exercised.
         let cfs = MiniCfs::new(
-            chaos_cluster(ClusterPolicy::Rr, 1, StoreBackend::from_env()).unwrap(),
+            chaos_cluster(
+                ClusterPolicy::Rr,
+                1,
+                StoreBackend::from_env(),
+                CacheConfig::from_env(),
+            )
+            .unwrap(),
         )
         .unwrap();
         let mut entries: Vec<(BlockId, u64)> = Vec::new();

@@ -9,10 +9,10 @@ use ear_erasure::ReedSolomon;
 use ear_faults::{FaultInjector, FaultPlan};
 use ear_netem::EmulatedNetwork;
 use ear_types::{
-    Bandwidth, BlockId, ByteSize, ClusterTopology, EarConfig, Error, NodeHealth, NodeId, Result,
-    StoreBackend,
+    Bandwidth, Block, BlockId, ByteSize, CacheConfig, ClusterTopology, EarConfig, Error,
+    NodeHealth, NodeId, Result, StoreBackend,
 };
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 
 use crate::sync::locked;
 
@@ -49,6 +49,8 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Which block-storage backend the DataNodes run on.
     pub store: StoreBackend,
+    /// The DataNodes' block-cache configuration (DESIGN.md §12).
+    pub cache: CacheConfig,
 }
 
 impl ClusterConfig {
@@ -66,6 +68,7 @@ impl ClusterConfig {
             policy,
             seed: 1,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         }
     }
 }
@@ -114,7 +117,7 @@ impl MiniCfs {
         let namenode = NameNode::new(topo.clone(), policy, config.seed);
         let datanodes: Vec<DataNode> = topo
             .nodes()
-            .map(|n| DataNode::with_backend(n, config.store))
+            .map(|n| DataNode::with_backend(n, config.store, config.cache, config.seed))
             .collect::<Result<_>>()?;
         let net = EmulatedNetwork::new(&topo, config.node_bandwidth, config.rack_bandwidth);
         let codec = ReedSolomon::new(config.ear.erasure());
@@ -260,7 +263,7 @@ impl MiniCfs {
             )));
         }
         let (id, layout) = self.namenode.allocate_block()?;
-        let data = Arc::new(data);
+        let data = Block::from(data);
         let (stored, err) = self.io.write_replicated(client, id, &data, &layout);
         if let Some(e) = err {
             // The write is not acknowledged; record honestly which replicas
@@ -282,7 +285,7 @@ impl MiniCfs {
     /// * [`Error::BlockUnavailable`] if the block has no replicas at all.
     /// * The last per-replica error ([`Error::NodeDown`],
     ///   [`Error::CorruptBlock`], …) if every replica failed every attempt.
-    pub fn read_block(&self, reader: NodeId, id: BlockId) -> Result<Arc<Vec<u8>>> {
+    pub fn read_block(&self, reader: NodeId, id: BlockId) -> Result<Block> {
         let locations = self
             .namenode
             .locations(id)
@@ -314,7 +317,7 @@ impl MiniCfs {
         dst: NodeId,
         block: BlockId,
         attempt: u32,
-    ) -> Result<Arc<Vec<u8>>> {
+    ) -> Result<Block> {
         self.io.fetch_from(src, dst, block, attempt)
     }
 
@@ -329,7 +332,7 @@ impl MiniCfs {
         src: NodeId,
         dst: NodeId,
         block: BlockId,
-        data: Arc<Vec<u8>>,
+        data: Block,
         attempt: u32,
     ) -> Result<()> {
         self.io.store_at(src, dst, block, data, attempt)
@@ -401,6 +404,7 @@ mod tests {
             policy,
             seed: 3,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         }
     }
 

@@ -565,7 +565,8 @@ mod tests {
     use crate::raidnode::RaidNode;
     use ear_faults::{FaultConfig, FaultPlan};
     use ear_types::{
-        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+        Bandwidth, ByteSize, CacheConfig, EarConfig, ErasureParams, ReplicationConfig,
+        StoreBackend,
     };
 
     fn config(seed: u64) -> ClusterConfig {
@@ -585,6 +586,7 @@ mod tests {
             policy: ClusterPolicy::Ear,
             seed,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         }
     }
 
@@ -668,7 +670,11 @@ mod tests {
             let locs = cfs.namenode().locations(b).unwrap();
             assert!(!locs.contains(&crashed), "{b} still mapped to dead node");
             let data = cfs.read_block(reader, b).unwrap();
-            assert_eq!(data.as_ref(), &cfs.make_block(tag), "{b} corrupted");
+            assert_eq!(
+                data.as_slice(),
+                cfs.make_block(tag).as_slice(),
+                "{b} corrupted"
+            );
         }
         // Healed placements keep the monitor happy.
         assert!(monitor::scan(&cfs).is_empty());
@@ -704,7 +710,7 @@ mod tests {
         for &(b, tag) in &acked {
             let reader = NodeId((tag % cfs.topology().num_nodes() as u64) as u32);
             let data = cfs.read_block(reader, b).unwrap();
-            assert_eq!(data.as_ref(), &cfs.make_block(tag));
+            assert_eq!(data.as_slice(), cfs.make_block(tag).as_slice());
         }
     }
 

@@ -21,12 +21,12 @@
 //! do the same for pipeline and placement writes. Per-op byte and latency
 //! counters are aggregated into [`IoStats`].
 
+use crate::cache::CacheStats;
 use crate::datanode::DataNode;
 use ear_faults::{crc32c, FaultInjector, IoFault};
 use ear_netem::EmulatedNetwork;
-use ear_types::{BlockId, ClusterTopology, Error, NodeId, Result};
+use ear_types::{Block, BlockId, ClusterTopology, Error, NodeId, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Attempts per replica before a read or write gives up on it.
@@ -55,6 +55,8 @@ struct Counters {
     read_nanos: AtomicU64,
     write_nanos: AtomicU64,
     transfer_bytes: AtomicU64,
+    crc_skipped: AtomicU64,
+    crc_bytes_skipped: AtomicU64,
 }
 
 /// A snapshot of the cluster's data-plane I/O accounting.
@@ -86,6 +88,14 @@ pub struct IoStats {
     pub write_seconds: f64,
     /// Bytes moved through accounted raw transfers (shuffle, relocation).
     pub transfer_bytes: u64,
+    /// Verified reads served without re-running CRC32C (the verified-once
+    /// seam over cache hits; corrupt-fault attempts always re-verify).
+    pub crc_skipped: u64,
+    /// Payload bytes those skipped verifications covered.
+    pub crc_bytes_skipped: u64,
+    /// Aggregated DataNode cache counters (hits/misses/bypasses/evictions
+    /// and bytes served from cache instead of the store backend).
+    pub cache: CacheStats,
 }
 
 /// The unified I/O service: DataNodes + emulated network + fault injector
@@ -156,6 +166,15 @@ impl ClusterIo {
             read_seconds: c.read_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
             write_seconds: c.write_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
             transfer_bytes: c.transfer_bytes.load(Ordering::Relaxed),
+            crc_skipped: c.crc_skipped.load(Ordering::Relaxed),
+            crc_bytes_skipped: c.crc_bytes_skipped.load(Ordering::Relaxed),
+            cache: {
+                let mut agg = CacheStats::default();
+                for dn in &self.datanodes {
+                    agg.add(&dn.cache_stats());
+                }
+                agg
+            },
         }
     }
 
@@ -165,6 +184,14 @@ impl ClusterIo {
     /// corruption enters here (the fault layer hands back a copy with
     /// flipped bits) and is caught here (the checksum mismatch becomes
     /// [`Error::CorruptBlock`]).
+    ///
+    /// The source node's cache sits behind this boundary (verified-once
+    /// seam): a hit serves bytes that passed verification when they were
+    /// admitted, so CRC32C is not re-run — *unless* the fault plan injects
+    /// corruption on this attempt, which always forces a full re-hash. A
+    /// miss reads the store, verifies, and admits on a pass. The wire
+    /// transfer is paid either way, so network byte accounting is
+    /// identical with the cache off or on.
     ///
     /// # Errors
     ///
@@ -177,7 +204,7 @@ impl ClusterIo {
         dst: NodeId,
         block: BlockId,
         attempt: u32,
-    ) -> Result<Arc<Vec<u8>>> {
+    ) -> Result<Block> {
         let start = Instant::now();
         let out = self.fetch_inner(src, dst, block, attempt);
         match &out {
@@ -203,7 +230,7 @@ impl ClusterIo {
         dst: NodeId,
         block: BlockId,
         attempt: u32,
-    ) -> Result<Arc<Vec<u8>>> {
+    ) -> Result<Block> {
         let fault = self.injector.on_read(src, block, attempt);
         match fault {
             Some(IoFault::Corrupt) | None => {}
@@ -212,21 +239,41 @@ impl ClusterIo {
         // A source outside the topology (a stale or corrupt location entry)
         // reads as a dead node, so fallback moves on to the next replica
         // instead of panicking the read path.
-        let (data, crc) = self
+        let datanode = self
             .datanodes
             .get(src.index())
-            .ok_or(Error::NodeDown { node: src })?
-            .get_with_crc(block)
+            .ok_or(Error::NodeDown { node: src })?;
+        let read = datanode
+            .cached_read(block)
             .ok_or(Error::BlockUnavailable { block })?;
-        let data = if fault == Some(IoFault::Corrupt) {
-            Arc::new(self.injector.corrupted_copy(src, block, &data))
+        let crc = read.crc;
+        let (data, verified) = if fault == Some(IoFault::Corrupt) {
+            // An injected corruption invalidates whatever verification the
+            // cached copy carried: the corrupted bytes are what crosses
+            // the wire, and they must be re-hashed.
+            let bad = Block::from(self.injector.corrupted_copy(src, block, &read.data));
+            (bad, false)
         } else {
-            data
+            (read.data, read.verified)
         };
-        // The bytes cross the wire before the reader can checksum them.
+        // The bytes cross the wire before the reader can checksum them —
+        // cached or not, the transfer is always paid.
         self.net.transfer(src, dst, data.len() as u64);
-        if crc32c(&data) != crc {
-            return Err(Error::CorruptBlock { block, node: src });
+        if verified {
+            // Verified-once: these exact bytes passed CRC32C when admitted,
+            // and the cache is write-invalidated, so re-hashing them can
+            // only re-derive the same answer.
+            self.counters.crc_skipped.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .crc_bytes_skipped
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
+        } else {
+            if crc32c(&data) != crc {
+                return Err(Error::CorruptBlock { block, node: src });
+            }
+            if fault.is_none() {
+                datanode.admit(block, &data, crc);
+            }
         }
         Ok(data)
     }
@@ -243,7 +290,7 @@ impl ClusterIo {
         src: NodeId,
         dst: NodeId,
         block: BlockId,
-        data: Arc<Vec<u8>>,
+        data: Block,
         attempt: u32,
     ) -> Result<()> {
         let start = Instant::now();
@@ -269,7 +316,7 @@ impl ClusterIo {
         src: NodeId,
         dst: NodeId,
         block: BlockId,
-        data: Arc<Vec<u8>>,
+        data: Block,
         attempt: u32,
     ) -> Result<()> {
         if let Some(f) = self.injector.on_write(dst, block, attempt) {
@@ -309,7 +356,7 @@ impl ClusterIo {
         sources: &[NodeId],
         on_dead: Option<&dyn Fn(NodeId)>,
         skip: Option<&dyn Fn(NodeId) -> bool>,
-    ) -> Result<(Arc<Vec<u8>>, NodeId)> {
+    ) -> Result<(Block, NodeId)> {
         let mut last = Error::BlockUnavailable { block };
         for (i, &src) in sources.iter().enumerate() {
             // Skip a known-bad source while other candidates remain; if it
@@ -356,11 +403,11 @@ impl ClusterIo {
         src: NodeId,
         dst: NodeId,
         block: BlockId,
-        data: &Arc<Vec<u8>>,
+        data: &Block,
     ) -> Result<()> {
         let mut outcome = Ok(());
         for attempt in 0..IO_ATTEMPTS {
-            outcome = self.store_at(src, dst, block, Arc::clone(data), attempt);
+            outcome = self.store_at(src, dst, block, data.clone(), attempt);
             match &outcome {
                 Ok(()) => break,
                 Err(Error::TransientIo { .. }) => {
@@ -383,7 +430,7 @@ impl ClusterIo {
         &self,
         client: NodeId,
         block: BlockId,
-        data: &Arc<Vec<u8>>,
+        data: &Block,
         layout: &[NodeId],
     ) -> (Vec<NodeId>, Option<Error>) {
         let mut src = client;
@@ -414,7 +461,7 @@ impl ClusterIo {
         &self,
         src: NodeId,
         block: BlockId,
-        data: &Arc<Vec<u8>>,
+        data: &Block,
         candidates: &[NodeId],
     ) -> Result<NodeId> {
         let mut last = Error::NoRepairDestination { block };
@@ -472,7 +519,7 @@ mod tests {
     fn store_at_out_of_range_destination_is_node_down_not_panic() {
         let io = service();
         let err = io
-            .store_at(NodeId(0), NodeId(9999), BlockId(0), Arc::new(vec![0u8; 8]), 0)
+            .store_at(NodeId(0), NodeId(9999), BlockId(0), Block::from(vec![0u8; 8]), 0)
             .unwrap_err();
         assert!(matches!(err, Error::NodeDown { node } if node == NodeId(9999)));
     }
@@ -482,8 +529,8 @@ mod tests {
         // A stale location entry in the middle of the replica list must not
         // sink the read: fallback treats it like any dead node and moves on.
         let io = service();
-        let data = Arc::new(vec![9u8; 128]);
-        io.datanode(NodeId(1)).put(BlockId(3), Arc::clone(&data)).unwrap();
+        let data = Block::from(vec![9u8; 128]);
+        io.datanode(NodeId(1)).put(BlockId(3), data.clone()).unwrap();
         let (got, src) = io
             .read_with_fallback(NodeId(0), BlockId(3), &[NodeId(9999), NodeId(1)], None, None)
             .unwrap();
@@ -494,8 +541,8 @@ mod tests {
     #[test]
     fn fallback_read_serves_from_later_source_and_counts() {
         let io = service();
-        let data = Arc::new(vec![5u8; 256]);
-        io.datanode(NodeId(2)).put(BlockId(0), Arc::clone(&data)).unwrap();
+        let data = Block::from(vec![5u8; 256]);
+        io.datanode(NodeId(2)).put(BlockId(0), data.clone()).unwrap();
         // NodeId(1) holds nothing: the read falls through to NodeId(2).
         let (got, src) = io
             .read_with_fallback(NodeId(0), BlockId(0), &[NodeId(1), NodeId(2)], None, None)
@@ -512,8 +559,8 @@ mod tests {
     #[test]
     fn skip_hook_is_ignored_for_the_last_candidate() {
         let io = service();
-        let data = Arc::new(vec![1u8; 64]);
-        io.datanode(NodeId(3)).put(BlockId(9), Arc::clone(&data)).unwrap();
+        let data = Block::from(vec![1u8; 64]);
+        io.datanode(NodeId(3)).put(BlockId(9), data.clone()).unwrap();
         let skip_all = |_: NodeId| true;
         let (_, src) = io
             .read_with_fallback(
@@ -530,7 +577,7 @@ mod tests {
     #[test]
     fn write_replicated_pipelines_and_accounts() {
         let io = service();
-        let data = Arc::new(vec![7u8; 128]);
+        let data = Block::from(vec![7u8; 128]);
         let layout = [NodeId(0), NodeId(2)];
         let (stored, err) = io.write_replicated(NodeId(1), BlockId(4), &data, &layout);
         assert!(err.is_none());
@@ -574,7 +621,7 @@ mod tests {
         let dead: Vec<NodeId> = topo.nodes().filter(|&n| io.injector().node_down(n)).collect();
         assert_eq!(dead.len(), 1);
         let alive = topo.nodes().find(|&n| !io.injector().node_down(n)).unwrap();
-        let data = Arc::new(vec![3u8; 32]);
+        let data = Block::from(vec![3u8; 32]);
         let dst = io
             .write_with_fallback(NodeId(0), BlockId(2), &data, &[dead[0], alive])
             .unwrap();
@@ -588,5 +635,81 @@ mod tests {
             .read_with_fallback(NodeId(0), BlockId(0), &[], None, None)
             .unwrap_err();
         assert!(matches!(err, Error::BlockUnavailable { .. }));
+    }
+
+    /// A service with an explicit cache configuration (independent of the
+    /// `EAR_CACHE` environment) and the given injector.
+    fn cached_service(cache: ear_types::CacheConfig, injector: FaultInjector) -> ClusterIo {
+        let topo = ClusterTopology::uniform(2, 2);
+        let datanodes: Vec<DataNode> = topo
+            .nodes()
+            .map(|n| DataNode::with_backend(n, ear_types::StoreBackend::Memory, cache, 5).unwrap())
+            .collect();
+        let net = EmulatedNetwork::new(
+            &topo,
+            ear_types::Bandwidth::bytes_per_sec(1e9),
+            ear_types::Bandwidth::bytes_per_sec(1e9),
+        );
+        ClusterIo::new(topo, datanodes, net, injector)
+    }
+
+    #[test]
+    fn cached_fetch_skips_reverification_but_pays_the_wire() {
+        let cache = ear_types::CacheConfig::Sized {
+            hot_bytes: 1 << 20,
+            cold_bytes: 1 << 20,
+        };
+        let io = cached_service(cache, FaultInjector::disabled());
+        let data = Block::from(vec![4u8; 512]);
+        io.datanode(NodeId(1)).put(BlockId(8), data.clone()).unwrap();
+        for _ in 0..3 {
+            let got = io.fetch_from(NodeId(1), NodeId(0), BlockId(8), 0).unwrap();
+            assert_eq!(got, data);
+        }
+        let s = io.stats();
+        assert_eq!(s.reads, 3);
+        // First fetch verifies and admits; the two hits are verified-once.
+        assert_eq!(s.crc_skipped, 2);
+        assert_eq!(s.crc_bytes_skipped, 2 * 512);
+        assert_eq!(s.cache.misses, 1);
+        assert_eq!(s.cache.hits(), 2);
+        assert_eq!(s.cache.bytes_saved, 2 * 512);
+        // The wire cost is identical with or without the cache: every
+        // fetch's payload is accounted as read bytes.
+        assert_eq!(s.bytes_read, 3 * 512);
+    }
+
+    #[test]
+    fn corrupt_fault_forces_reverification_even_when_cached() {
+        use ear_faults::FaultConfig;
+        let topo = ClusterTopology::uniform(2, 2);
+        let cfg = FaultConfig {
+            node_crashes: 0,
+            rack_outages: 0,
+            stragglers: 0,
+            straggler_factor: 1.0,
+            transient_error_rate: 0.0,
+            corruption_rate: 1.0,
+            heartbeat_loss_rate: 0.0,
+            crash_window: 1,
+        };
+        let plan = FaultPlan::generate(13, &topo, &cfg);
+        let cache = ear_types::CacheConfig::Sized {
+            hot_bytes: 1 << 20,
+            cold_bytes: 1 << 20,
+        };
+        let io = cached_service(cache, FaultInjector::new(plan, topo));
+        let data = Block::from(vec![6u8; 256]);
+        let dn = io.datanode(NodeId(1));
+        dn.put(BlockId(2), data.clone()).unwrap();
+        // Force the block into the cache as verified, as a fault-free read
+        // would have.
+        dn.admit(BlockId(2), &data, crc32c(&data));
+        // The injected corruption must override the verified-once fast
+        // path: the corrupted copy is re-hashed and rejected.
+        let err = io.fetch_from(NodeId(1), NodeId(0), BlockId(2), 0).unwrap_err();
+        assert!(matches!(err, Error::CorruptBlock { block, node }
+            if block == BlockId(2) && node == NodeId(1)));
+        assert_eq!(io.stats().crc_skipped, 0, "corrupt attempts never skip the hash");
     }
 }

@@ -8,11 +8,14 @@
 //!   groups blocks into stripes (Section IV-B);
 //! * [`DataNode`] — a block store per emulated machine over a pluggable
 //!   [`BlockStore`] backend: lock-striped memory or file-per-block
-//!   (`EAR_STORE=memory|file`);
+//!   (`EAR_STORE=memory|file`), fronted by an optional [`BlockCache`]
+//!   (`EAR_CACHE=off|<hot>,<cold>`);
+//! * [`cache`] — the deterministic multi-level block cache (hot LRU + cold
+//!   clock + metadata side table) behind every DataNode's read path;
 //! * [`ClusterIo`] — the unified data-plane I/O service: every block fetch
 //!   and store goes through its fault-injection + netem + checksum seam,
-//!   with replica fallback, retry/backoff, and per-op byte and latency
-//!   accounting ([`IoStats`]);
+//!   with replica fallback, retry/backoff, verified-once CRC over cache
+//!   hits, and per-op byte and latency accounting ([`IoStats`]);
 //! * [`MiniCfs`] — the client API: replication-pipeline writes and
 //!   nearest-replica reads, with every byte paced through the token-bucket
 //!   network of `ear-netem`;
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod blockstore;
+pub mod cache;
 pub mod chaos;
 mod cluster;
 mod datanode;
@@ -65,11 +69,12 @@ mod recovery;
 pub mod sync;
 
 pub use blockstore::{BlockStore, FileStore, ShardedMemStore};
+pub use cache::{BlockCache, CacheStats};
 pub use chaos::{
     run_heal_plan, run_plan, ChaosConfig, ChaosReport, HealSoakConfig, HealSoakReport,
 };
 pub use cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
-pub use datanode::DataNode;
+pub use datanode::{CachedRead, DataNode};
 pub use io::{ClusterIo, IoStats};
 pub use healer::{Healer, HealerConfig, RoundReport};
 pub use health::{

@@ -225,7 +225,8 @@ mod tests {
     use super::*;
     use crate::cluster::{ClusterConfig, ClusterPolicy};
     use ear_types::{
-        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+        Bandwidth, ByteSize, CacheConfig, EarConfig, ErasureParams, ReplicationConfig,
+        StoreBackend,
     };
     use ear_workloads::SwimGenerator;
 
@@ -246,6 +247,7 @@ mod tests {
             policy,
             seed: 7,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }

@@ -145,7 +145,8 @@ mod tests {
     use crate::cluster::{ClusterConfig, ClusterPolicy};
     use crate::raidnode::RaidNode;
     use ear_types::{
-        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+        Bandwidth, ByteSize, CacheConfig, EarConfig, ErasureParams, ReplicationConfig,
+        StoreBackend,
     };
 
     fn boot(policy: ClusterPolicy) -> MiniCfs {
@@ -165,6 +166,7 @@ mod tests {
             policy,
             seed: 77,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -244,6 +246,7 @@ mod tests {
             policy: ClusterPolicy::Ear,
             seed: 79,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;
@@ -356,6 +359,7 @@ mod tests {
             policy: ClusterPolicy::Rr,
             seed: 78,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;

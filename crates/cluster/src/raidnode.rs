@@ -3,7 +3,7 @@
 
 use crate::cluster::{backoff, MiniCfs};
 use crate::namenode::PendingStripe;
-use ear_types::{BlockId, Error, NodeId, Result, StripeId};
+use ear_types::{Block, BlockId, Error, NodeId, Result, StripeId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
@@ -214,7 +214,7 @@ fn encode_stripe(
 
     // Download the k data blocks in parallel (HDFS-RAID issues parallel
     // reads), each download falling back across replicas on failure.
-    let downloads: Vec<Result<(Arc<Vec<u8>>, NodeId)>> = std::thread::scope(|scope| {
+    let downloads: Vec<Result<(Block, NodeId)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = stripe
             .blocks
             .iter()
@@ -231,7 +231,7 @@ fn encode_stripe(
             })
             .collect()
     });
-    let mut data: Vec<Arc<Vec<u8>>> = Vec::with_capacity(downloads.len());
+    let mut data: Vec<Block> = Vec::with_capacity(downloads.len());
     let mut cross = 0usize;
     for d in downloads {
         let (bytes, src) = d?;
@@ -253,7 +253,7 @@ fn encode_stripe(
     let mut store_err = None;
     for (p, &planned) in parity.into_iter().zip(&plan.parity_nodes) {
         let id = cfs.namenode().register_block(Vec::new());
-        match store_parity(cfs, id, Arc::new(p), enc, planned, &plan.kept_data, &stored) {
+        match store_parity(cfs, id, Block::from(p), enc, planned, &plan.kept_data, &stored) {
             Ok(dst) => stored.push((id, dst)),
             Err(e) => {
                 store_err = Some(e);
@@ -323,7 +323,7 @@ fn download_block(
     block: BlockId,
     enc: NodeId,
     blacklist: &Mutex<HashSet<NodeId>>,
-) -> Result<(Arc<Vec<u8>>, NodeId)> {
+) -> Result<(Block, NodeId)> {
     let topo = cfs.topology();
     let enc_rack = topo.rack_of(enc);
     let locs = cfs
@@ -359,7 +359,7 @@ fn download_block(
 fn store_parity(
     cfs: &MiniCfs,
     id: BlockId,
-    data: Arc<Vec<u8>>,
+    data: Block,
     enc: NodeId,
     planned: NodeId,
     kept_data: &[NodeId],
@@ -400,7 +400,8 @@ mod tests {
     use super::*;
     use crate::cluster::{ClusterConfig, ClusterPolicy};
     use ear_types::{
-        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+        Bandwidth, ByteSize, CacheConfig, EarConfig, ErasureParams, ReplicationConfig,
+        StoreBackend,
     };
 
     fn boot(policy: ClusterPolicy, racks: usize) -> MiniCfs {
@@ -420,6 +421,7 @@ mod tests {
             policy,
             seed: 5,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -482,7 +484,7 @@ mod tests {
         let originals: Vec<Vec<u8>> = es.data.iter().map(|b| cfs.make_block(b.0)).collect();
         let fetch = |b: BlockId| -> Option<Vec<u8>> {
             let loc = cfs.namenode().locations(b).unwrap()[0];
-            cfs.datanode(loc).get(b).map(|d| d.as_ref().clone())
+            cfs.datanode(loc).get(b).map(|d| d.to_vec())
         };
         let mut shards: Vec<Option<Vec<u8>>> = es
             .data

@@ -9,12 +9,11 @@
 //! `c - 1` of its `k` inputs intra-rack.
 
 use crate::cluster::MiniCfs;
-use ear_types::{BlockId, Error, NodeId, Result};
+use ear_types::{Block, BlockId, Error, NodeId, Result};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
 
 /// Outcome of rebuilding one stripe block by degraded read — enough for the
 /// caller to account traffic (every count is in whole blocks; multiply by the
@@ -145,7 +144,7 @@ pub(crate) fn reconstruct_stripe_block(
                 repair.cross_rack_downloads += 1;
             }
             repair.downloads += 1;
-            *slot = Some(data.as_ref().clone());
+            *slot = Some(data.to_vec());
             got += 1;
         }
     }
@@ -203,7 +202,7 @@ pub(crate) fn reconstruct_stripe_block(
         repair.upload_cross_rack = topo.rack_of(placement) != topo.rack_of(recovery_node);
     }
     repair.placement = placement;
-    cfs.datanode(placement).put(block, Arc::new(rebuilt))?;
+    cfs.datanode(placement).put(block, Block::from(rebuilt))?;
     cfs.namenode().set_locations(block, vec![placement]);
     Ok(repair)
 }
@@ -347,7 +346,8 @@ mod tests {
     use crate::cluster::{ClusterConfig, ClusterPolicy};
     use crate::raidnode::RaidNode;
     use ear_types::{
-        Bandwidth, ByteSize, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+        Bandwidth, ByteSize, CacheConfig, EarConfig, ErasureParams, ReplicationConfig,
+        StoreBackend,
     };
 
     fn boot(policy: ClusterPolicy, c: usize, racks: usize, nodes_per_rack: usize) -> MiniCfs {
@@ -367,6 +367,7 @@ mod tests {
             policy,
             seed: 11,
             store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -412,7 +413,11 @@ mod tests {
             let loc = cfs.namenode().locations(b).unwrap()[0];
             assert_ne!(loc, victim);
             let got = cfs.datanode(loc).get(b).unwrap();
-            assert_eq!(got.as_ref(), &cfs.make_block(b.0), "block {b} corrupted");
+            assert_eq!(
+                got.as_slice(),
+                cfs.make_block(b.0).as_slice(),
+                "block {b} corrupted"
+            );
         }
     }
 
@@ -475,6 +480,7 @@ mod tests {
                 policy: ClusterPolicy::Ear,
                 seed: 11,
                 store: StoreBackend::from_env(),
+                cache: CacheConfig::from_env(),
             };
             let cfs = MiniCfs::new(cfg).unwrap();
             write_and_encode(&cfs, 3);

@@ -15,7 +15,7 @@
 use ear_cluster::chaos::{run_plan, ChaosConfig};
 use ear_cluster::ClusterPolicy;
 use ear_faults::FaultConfig;
-use ear_types::StoreBackend;
+use ear_types::{CacheConfig, StoreBackend};
 
 fn soak(policy: ClusterPolicy, seeds: std::ops::Range<u64>) {
     let mut verified = 0usize;
@@ -79,6 +79,52 @@ fn chaos_reports_are_bit_identical_across_backends() {
             format!("{file:?}"),
             "seed {seed}: backends diverged"
         );
+    }
+}
+
+/// Same seed + plan ⇒ a bit-identical report whether the block cache is
+/// off or on, and — with the cache on — across both storage backends.
+/// The cache sits server-side and only elides redundant CRC
+/// re-verification of already-verified bytes; every read still pays the
+/// emulated wire, so no data-plane outcome (and hence no report field)
+/// may depend on the cache configuration.
+#[test]
+fn chaos_reports_are_bit_identical_across_cache_configs() {
+    let small = CacheConfig::Sized {
+        hot_bytes: 1 << 20,
+        cold_bytes: 4 << 20,
+    };
+    for (seed, heavy) in [(3u64, false), (104, true)] {
+        let cfg = |store, cache| {
+            let base = if heavy {
+                ChaosConfig::heavy(ClusterPolicy::Ear)
+            } else {
+                ChaosConfig::light(ClusterPolicy::Ear)
+            };
+            ChaosConfig {
+                map_tasks: 1,
+                store,
+                cache,
+                ..base
+            }
+        };
+        let off = run_plan(seed, &cfg(StoreBackend::Memory, CacheConfig::Off)).expect("cache-off");
+        assert!(off.passed(ClusterPolicy::Ear), "seed {seed}: {off:?}");
+        let baseline = format!("{off:?}");
+        for (store, cache) in [
+            (StoreBackend::Memory, small),
+            (StoreBackend::File, small),
+            (StoreBackend::File, CacheConfig::default()),
+        ] {
+            let on = run_plan(seed, &cfg(store, cache)).expect("cache-on");
+            assert_eq!(
+                baseline,
+                format!("{on:?}"),
+                "seed {seed}: {} cache {} diverged from memory cache-off",
+                store.name(),
+                cache.label()
+            );
+        }
     }
 }
 

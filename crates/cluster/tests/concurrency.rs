@@ -6,8 +6,8 @@
 use ear_cluster::{BlockStore, ClusterConfig, ClusterPolicy, MiniCfs, ShardedMemStore};
 use ear_faults::crc32c;
 use ear_types::{
-    Bandwidth, BlockId, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig,
-    StoreBackend,
+    Bandwidth, Block, BlockId, ByteSize, CacheConfig, EarConfig, ErasureParams, NodeId,
+    ReplicationConfig, StoreBackend,
 };
 use std::sync::Arc;
 
@@ -25,9 +25,9 @@ fn sharded_store_survives_concurrent_mixed_ops() {
                     // Overlapping id ranges: neighbours contend on the same
                     // stripes, exercising every lock against every other.
                     let id = BlockId((t * OPS_PER_THREAD + i) % 64);
-                    let data = Arc::new(vec![(t as u8) ^ (i as u8); 128]);
+                    let data = Block::from(vec![(t as u8) ^ (i as u8); 128]);
                     let crc = crc32c(&data);
-                    store.put(id, Arc::clone(&data), crc).unwrap();
+                    store.put(id, data.clone(), crc).unwrap();
                     if let Some((back, stored_crc)) = store.get_with_crc(id) {
                         // A racing overwrite may have replaced the bytes, but
                         // the (data, crc) pair must always be consistent.
@@ -68,6 +68,7 @@ fn boot(policy: ClusterPolicy) -> MiniCfs {
         policy,
         seed: 5,
         store: StoreBackend::from_env(),
+        cache: CacheConfig::from_env(),
     })
     .unwrap()
 }

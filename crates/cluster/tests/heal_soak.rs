@@ -14,7 +14,7 @@
 
 use ear_cluster::chaos::{run_heal_plan, HealSoakConfig, HealSoakReport};
 use ear_faults::FaultConfig;
-use ear_types::StoreBackend;
+use ear_types::{CacheConfig, StoreBackend};
 use proptest::prelude::*;
 
 /// Every deterministic field of a heal report, rendered for comparison.
@@ -70,6 +70,47 @@ fn heal_reports_are_bit_identical_across_backends() {
             heal_fingerprint(&file),
             "seed {seed}: backends diverged"
         );
+    }
+}
+
+/// Same seed + kill plan ⇒ an identical heal fingerprint whether the
+/// block cache is off or on, and — with the cache on — across both
+/// storage backends. The healer's scrub reads go through the
+/// authoritative `get_with_crc` seam (never the cache), and the cache
+/// itself only skips redundant re-hashing of verified bytes, so every
+/// deterministic report field (including `scrub_hits` and repair-byte
+/// counters) must be independent of the cache configuration.
+#[test]
+fn heal_reports_are_bit_identical_across_cache_configs() {
+    let small = CacheConfig::Sized {
+        hot_bytes: 1 << 20,
+        cold_bytes: 4 << 20,
+    };
+    for seed in [0u64, 5] {
+        let mk = |store, cache| HealSoakConfig {
+            store,
+            cache,
+            map_tasks: 1,
+            ..HealSoakConfig::default()
+        };
+        let off =
+            run_heal_plan(seed, &mk(StoreBackend::Memory, CacheConfig::Off)).expect("cache-off");
+        assert!(off.passed(), "seed {seed}: {off:?}");
+        let baseline = heal_fingerprint(&off);
+        for (store, cache) in [
+            (StoreBackend::Memory, small),
+            (StoreBackend::File, small),
+            (StoreBackend::File, CacheConfig::default()),
+        ] {
+            let on = run_heal_plan(seed, &mk(store, cache)).expect("cache-on");
+            assert_eq!(
+                baseline,
+                heal_fingerprint(&on),
+                "seed {seed}: {} cache {} diverged from memory cache-off",
+                store.name(),
+                cache.label()
+            );
+        }
     }
 }
 

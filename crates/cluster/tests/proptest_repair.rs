@@ -58,6 +58,7 @@ fn build(s: &Scenario) -> MiniCfs {
         policy: s.policy,
         seed: s.seed,
         store: ear_types::StoreBackend::from_env(),
+        cache: ear_types::CacheConfig::from_env(),
     })
     .expect("hostable by construction")
 }

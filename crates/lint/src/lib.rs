@@ -42,6 +42,7 @@ pub const DATA_PLANE_FILES: &[&str] = &[
     "io.rs",
     "datanode.rs",
     "blockstore.rs",
+    "cache.rs",
     "recovery.rs",
     "raidnode.rs",
     "healer.rs",

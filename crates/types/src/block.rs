@@ -1,0 +1,215 @@
+//! [`Block`]: the shared immutable block buffer of the data plane.
+//!
+//! Every payload that moves through the cluster — client reads, stripe
+//! downloads, parity uploads, repair traffic, cached replicas — is a
+//! [`Block`]: a view into a reference-counted immutable byte buffer.
+//! Cloning a `Block` copies three words, never the payload, and
+//! [`Block::slice`] produces a sub-view over the *same* allocation, so a
+//! store can hand out the payload portion of an on-disk image (header +
+//! payload) without re-copying the bytes.
+//!
+//! Compared to the `Arc<Vec<u8>>` it replaces, `Arc<[u8]>` drops one level
+//! of pointer indirection (the `Vec`'s own heap header) and makes the
+//! buffer immutable by construction: nothing downstream can grow, shrink,
+//! or mutate bytes another reader is concurrently verifying.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable view into a shared byte buffer.
+///
+/// ```
+/// use ear_types::Block;
+///
+/// let b = Block::from(vec![1u8, 2, 3, 4, 5]);
+/// let tail = b.slice(2, 3).unwrap();
+/// assert_eq!(&tail[..], &[3, 4, 5]);
+/// assert!(b.shares_buffer(&tail)); // same allocation, no copy
+/// ```
+#[derive(Clone)]
+pub struct Block {
+    buf: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl Block {
+    /// Wraps an already shared buffer, viewing all of it.
+    pub fn from_arc(buf: Arc<[u8]>) -> Self {
+        let len = buf.len();
+        Block { buf, off: 0, len }
+    }
+
+    /// The bytes of this view.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // In range by construction: every constructor and `slice` upholds
+        // `off + len <= buf.len()`.
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// Length of this view in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether this view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-view of `len` bytes starting at `offset`, sharing the same
+    /// allocation (no bytes are copied). Returns `None` if the requested
+    /// range does not fit in this view — callers on the panic-free data
+    /// plane propagate that as a typed error instead of slicing blind.
+    pub fn slice(&self, offset: usize, len: usize) -> Option<Block> {
+        let end = offset.checked_add(len)?;
+        if end > self.len {
+            return None;
+        }
+        Some(Block {
+            buf: Arc::clone(&self.buf),
+            off: self.off + offset,
+            len,
+        })
+    }
+
+    /// The sub-view from `offset` to the end (shared allocation).
+    pub fn suffix(&self, offset: usize) -> Option<Block> {
+        self.slice(offset, self.len.checked_sub(offset)?)
+    }
+
+    /// Copies this view out into an owned `Vec` — the boundary into APIs
+    /// that genuinely need owned/mutable bytes (e.g. an erasure codec's
+    /// shard workspace).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Whether two blocks view the same underlying allocation (they may
+    /// still cover different ranges of it).
+    pub fn shares_buffer(&self, other: &Block) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+
+    /// Number of strong references to the underlying allocation — test
+    /// hook for "replicas share memory" style assertions.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+}
+
+impl From<Vec<u8>> for Block {
+    fn from(v: Vec<u8>) -> Self {
+        Block::from_arc(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Block {
+    fn from(s: &[u8]) -> Self {
+        Block::from_arc(Arc::from(s))
+    }
+}
+
+impl Deref for Block {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Block {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::from_arc(Arc::from([] as [u8; 0]))
+    }
+}
+
+/// Byte-wise equality of the viewed ranges (not allocation identity).
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Block {}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Payloads are kilobytes to megabytes; print shape, not contents.
+        write!(
+            f,
+            "Block {{ len: {}, off: {}, buf_len: {} }}",
+            self.len,
+            self.off,
+            self.buf.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_and_deref() {
+        let b = Block::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.as_ref(), &[1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clone_and_slice_share_the_allocation() {
+        let b = Block::from(vec![0u8; 64]);
+        let c = b.clone();
+        assert!(b.shares_buffer(&c));
+        assert_eq!(b.ref_count(), 2);
+        let s = b.slice(8, 16).unwrap();
+        assert!(s.shares_buffer(&b));
+        assert_eq!(s.len(), 16);
+        drop(c);
+        assert_eq!(b.ref_count(), 2); // b + s
+    }
+
+    #[test]
+    fn slice_bounds_are_checked_not_panicking() {
+        let b = Block::from(vec![0u8; 8]);
+        assert!(b.slice(0, 8).is_some());
+        assert!(b.slice(8, 0).is_some());
+        assert!(b.slice(4, 5).is_none());
+        assert!(b.slice(9, 0).is_none());
+        assert!(b.slice(usize::MAX, 2).is_none(), "offset+len must not overflow");
+        assert!(b.suffix(3).is_some_and(|s| s.len() == 5));
+        assert!(b.suffix(9).is_none());
+    }
+
+    #[test]
+    fn nested_slices_compose_offsets() {
+        let b = Block::from((0u8..32).collect::<Vec<u8>>());
+        let s = b.suffix(4).unwrap(); // bytes 4..32
+        let t = s.slice(4, 8).unwrap(); // bytes 8..16 of the original
+        assert_eq!(&t[..], &(8u8..16).collect::<Vec<u8>>()[..]);
+    }
+
+    #[test]
+    fn equality_is_by_bytes_not_identity() {
+        let a = Block::from(vec![5u8, 6, 7]);
+        let b = Block::from(vec![5u8, 6, 7]);
+        assert_eq!(a, b);
+        assert!(!a.shares_buffer(&b));
+        assert_ne!(a, Block::from(vec![5u8, 6]));
+        assert_eq!(Block::default().len(), 0);
+    }
+}

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 mod error;
 mod health;
 mod ids;
@@ -35,9 +36,10 @@ mod params;
 mod topology;
 mod units;
 
+pub use block::Block;
 pub use error::{Error, Result};
 pub use health::{HealStats, NodeHealth};
 pub use ids::{BlockId, NodeId, RackId, StripeId};
-pub use params::{EarConfig, ErasureParams, RackSpread, ReplicationConfig, StoreBackend};
+pub use params::{CacheConfig, EarConfig, ErasureParams, RackSpread, ReplicationConfig, StoreBackend};
 pub use topology::ClusterTopology;
 pub use units::{Bandwidth, ByteSize};

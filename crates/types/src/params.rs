@@ -359,6 +359,127 @@ impl StoreBackend {
     }
 }
 
+/// The DataNode-side block cache configuration (DESIGN.md §12).
+///
+/// Selected per cluster through `ClusterConfig.cache`; the conventional
+/// default is [`CacheConfig::from_env`], which reads the `EAR_CACHE`
+/// environment variable so the whole test suite can be flipped between
+/// cached and uncached reads without code changes (mirroring `EAR_STORE`).
+///
+/// Accepted forms:
+///
+/// * `off` — no cache; every read goes to the [`StoreBackend`] and is
+///   CRC32C-verified.
+/// * `<hot>,<cold>` — byte capacities of the hot (LRU) and cold (clock)
+///   levels, each a plain integer with an optional `k`/`m`/`g` binary
+///   suffix, e.g. `EAR_CACHE=4m,16m`.
+///
+/// Unset defaults to [`CacheConfig::default`] (8 MiB hot, 32 MiB cold per
+/// node — comfortably larger than the testbed working sets so cache-hot
+/// benchmarks measure the hit path, small enough that eviction still
+/// exercises under soak workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheConfig {
+    /// Caching disabled: reads always hit the store and re-verify.
+    Off,
+    /// Two-level cache with per-level byte capacities.
+    Sized {
+        /// Capacity of the hot (LRU) level in bytes.
+        hot_bytes: u64,
+        /// Capacity of the cold (clock) level in bytes.
+        cold_bytes: u64,
+    },
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::Sized {
+            hot_bytes: 8 << 20,
+            cold_bytes: 32 << 20,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Reads the configuration from the `EAR_CACHE` environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value: a typo silently falling back to the
+    /// default would invalidate a "tested with the cache off" claim, exactly
+    /// as [`StoreBackend::from_env`] treats `EAR_STORE`.
+    pub fn from_env() -> Self {
+        match std::env::var("EAR_CACHE") {
+            Ok(v) => match Self::parse(&v) {
+                Some(cfg) => cfg,
+                None => panic!("EAR_CACHE must be `off` or `<hot>,<cold>` byte sizes, got `{v}`"),
+            },
+            Err(_) => CacheConfig::default(),
+        }
+    }
+
+    /// Parses `off` or `<hot>,<cold>` (sizes accept `k`/`m`/`g` binary
+    /// suffixes). Returns `None` on malformed input.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("off") {
+            return Some(CacheConfig::Off);
+        }
+        let (hot, cold) = s.split_once(',')?;
+        Some(CacheConfig::Sized {
+            hot_bytes: parse_size(hot)?,
+            cold_bytes: parse_size(cold)?,
+        })
+    }
+
+    /// Whether caching is disabled.
+    #[inline]
+    pub fn is_off(&self) -> bool {
+        matches!(self, CacheConfig::Off)
+    }
+
+    /// Hot-level capacity in bytes (0 when off).
+    pub fn hot_bytes(&self) -> u64 {
+        match *self {
+            CacheConfig::Off => 0,
+            CacheConfig::Sized { hot_bytes, .. } => hot_bytes,
+        }
+    }
+
+    /// Cold-level capacity in bytes (0 when off).
+    pub fn cold_bytes(&self) -> u64 {
+        match *self {
+            CacheConfig::Off => 0,
+            CacheConfig::Sized { cold_bytes, .. } => cold_bytes,
+        }
+    }
+
+    /// Stable label (`"off"` / `"<hot>,<cold>"`) for stats and bench output.
+    pub fn label(&self) -> String {
+        match *self {
+            CacheConfig::Off => "off".to_string(),
+            CacheConfig::Sized {
+                hot_bytes,
+                cold_bytes,
+            } => format!("{hot_bytes},{cold_bytes}"),
+        }
+    }
+}
+
+/// Parses a byte size: a plain integer with an optional case-insensitive
+/// `k`/`m`/`g` binary suffix (`4m` = 4 MiB).
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10u32),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_shl(shift)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +541,46 @@ mod tests {
         assert_eq!(StoreBackend::default(), StoreBackend::Memory);
         assert_eq!(StoreBackend::Memory.name(), "memory");
         assert_eq!(StoreBackend::File.name(), "file");
+    }
+
+    #[test]
+    fn cache_config_parses_and_labels() {
+        // No env mutation here: tests run in parallel and `EAR_CACHE` is the
+        // suite-wide cache switch.
+        assert_eq!(CacheConfig::parse("off"), Some(CacheConfig::Off));
+        assert_eq!(CacheConfig::parse("OFF"), Some(CacheConfig::Off));
+        assert_eq!(
+            CacheConfig::parse("4096,65536"),
+            Some(CacheConfig::Sized {
+                hot_bytes: 4096,
+                cold_bytes: 65536
+            })
+        );
+        assert_eq!(
+            CacheConfig::parse("4m, 16M"),
+            Some(CacheConfig::Sized {
+                hot_bytes: 4 << 20,
+                cold_bytes: 16 << 20
+            })
+        );
+        assert_eq!(
+            CacheConfig::parse("1k,1g"),
+            Some(CacheConfig::Sized {
+                hot_bytes: 1 << 10,
+                cold_bytes: 1 << 30
+            })
+        );
+        assert_eq!(CacheConfig::parse("on"), None);
+        assert_eq!(CacheConfig::parse("4m"), None, "both levels are required");
+        assert_eq!(CacheConfig::parse("x,4m"), None);
+        assert!(CacheConfig::Off.is_off());
+        assert_eq!(CacheConfig::Off.label(), "off");
+        assert_eq!(CacheConfig::Off.hot_bytes(), 0);
+        let d = CacheConfig::default();
+        assert!(!d.is_off());
+        assert_eq!(d.hot_bytes(), 8 << 20);
+        assert_eq!(d.cold_bytes(), 32 << 20);
+        assert_eq!(d.label(), format!("{},{}", 8 << 20, 32 << 20));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use ear::cluster::{recover_node, ClusterConfig, ClusterPolicy, MiniCfs, RaidNode};
 use ear::types::{
-    Bandwidth, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig, StoreBackend,
+    Bandwidth, ByteSize, CacheConfig, EarConfig, ErasureParams, NodeId, ReplicationConfig,
+    StoreBackend,
 };
 
 fn run_config(c: usize, target_racks: Option<usize>) -> Result<(), Box<dyn std::error::Error>> {
@@ -26,6 +27,7 @@ fn run_config(c: usize, target_racks: Option<usize>) -> Result<(), Box<dyn std::
         policy: ClusterPolicy::Ear,
         seed: 42,
         store: StoreBackend::from_env(),
+        cache: CacheConfig::from_env(),
     };
     let cfs = MiniCfs::new(cfg)?;
 
@@ -48,7 +50,11 @@ fn run_config(c: usize, target_racks: Option<usize>) -> Result<(), Box<dyn std::
         for &b in &es.data {
             let loc = cfs.namenode().locations(b).expect("registered")[0];
             let bytes = cfs.datanode(loc).get(b).expect("present");
-            assert_eq!(bytes.as_ref(), &cfs.make_block(b.0), "{b} corrupted");
+            assert_eq!(
+                bytes.as_slice(),
+                cfs.make_block(b.0).as_slice(),
+                "{b} corrupted"
+            );
         }
     }
 

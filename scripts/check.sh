@@ -22,10 +22,13 @@ cargo build --release --offline
 # panic-freedom (DESIGN.md §11). Fails fast with file:line diagnostics;
 # suppressions live in lint-allowlist.txt.
 cargo run -q --offline -p ear-lint -- check
-# Tests run under both storage backends (DESIGN.md §9): the sharded
-# in-memory store and the file-per-block store.
-EAR_STORE=memory cargo test -q --offline
-EAR_STORE=file cargo test -q --offline
+# Tests run under both storage backends (DESIGN.md §9) and both sides of
+# the block cache (DESIGN.md §12): caching fully off (every read CRC32C
+# re-verified) and a deliberately small cache that forces eviction and
+# clock rotation under the suite's working sets.
+EAR_STORE=memory EAR_CACHE=off cargo test -q --offline
+EAR_STORE=memory EAR_CACHE=4m,16m cargo test -q --offline
+EAR_STORE=file EAR_CACHE=4m,16m cargo test -q --offline
 cargo clippy --workspace --offline -- -D warnings
 
 # Chaos smoke: a fixed-seed fault-injection sweep over both policies

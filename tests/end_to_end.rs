@@ -7,8 +7,8 @@ use ear::cluster::{ClusterConfig, ClusterPolicy, MiniCfs, RaidNode};
 use ear::core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear::sim::{run as sim_run, PolicyKind, SimConfig};
 use ear::types::{
-    Bandwidth, ByteSize, ClusterTopology, EarConfig, ErasureParams, NodeId, ReplicationConfig,
-    StoreBackend,
+    Bandwidth, ByteSize, CacheConfig, ClusterTopology, EarConfig, ErasureParams, NodeId,
+    ReplicationConfig, StoreBackend,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -93,6 +93,7 @@ fn full_pipeline_survives_node_failures() {
         policy: ClusterPolicy::Ear,
         seed: 2,
         store: StoreBackend::from_env(),
+        cache: CacheConfig::from_env(),
     };
     let cfs = MiniCfs::new(cfg).unwrap();
     let mut originals = Vec::new();
@@ -115,7 +116,7 @@ fn full_pipeline_survives_node_failures() {
             .iter()
             .map(|&b| {
                 let loc = cfs.namenode().locations(b).unwrap()[0];
-                cfs.datanode(loc).get(b).map(|d| d.as_ref().clone())
+                cfs.datanode(loc).get(b).map(|d| d.to_vec())
             })
             .collect();
         shards[0] = None;
@@ -152,6 +153,7 @@ fn storage_overhead_drops_from_replication_to_erasure_coding() {
         policy: ClusterPolicy::Rr,
         seed: 3,
         store: StoreBackend::from_env(),
+        cache: CacheConfig::from_env(),
     };
     let cfs = MiniCfs::new(cfg).unwrap();
     for i in 0..8u64 {

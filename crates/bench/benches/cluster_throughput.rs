@@ -2,8 +2,8 @@
 //! throughput of the mini-CFS after the BlockStore / sharded-NameNode
 //! refactor.
 //!
-//! Two workloads, each at 1, 4, and 8 client threads on both storage
-//! backends:
+//! Two workloads, each at 1, 4, and 8 client threads on all three storage
+//! backends (memory, file, extent):
 //!
 //! * `concurrent_reads` — whole-block reads through the unified `ClusterIo`
 //!   path, striding readers across the written block set, with the block
@@ -12,6 +12,11 @@
 //! * `metadata_mixed` — 90% `locations` lookups / 10% add+drop location
 //!   write pairs against the sharded NameNode block map.
 //!
+//! A third group, `store_engines`, compares raw block put/get against the
+//! file and extent engines with durability fsyncs off and on, isolating
+//! the extent layer's allocator + framing cost and the price of the fsync
+//! barrier (DESIGN.md §13).
+//!
 //! The emulated network bandwidth is effectively infinite so the numbers
 //! isolate the lock-striping and checksum work, not netem pacing. The
 //! registry-less capture twin of this group is
@@ -19,11 +24,14 @@
 //! `results/BENCH_cluster_throughput.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ear_cluster::blockstore::open_store_at;
 use ear_cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
+use ear_faults::crc32c;
 use ear_types::{
-    Bandwidth, BlockId, ByteSize, CacheConfig, EarConfig, ErasureParams, NodeId,
+    Bandwidth, Block, BlockId, ByteSize, CacheConfig, EarConfig, ErasureParams, NodeId,
     ReplicationConfig, StoreBackend,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const BLOCKS: u64 = 96;
 const READS_PER_THREAD: usize = 64;
@@ -80,8 +88,8 @@ fn metadata_mixed(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) {
                     let b = blocks[(i * threads + t) % blocks.len()];
                     if i % 10 == 9 {
                         let n = NodeId(((i + t) % nodes) as u32);
-                        nn.add_location(b, n);
-                        nn.drop_location(b, n);
+                        nn.add_location(b, n).expect("add_location");
+                        nn.drop_location(b, n).expect("drop_location");
                     } else {
                         let locs = nn.locations(b).expect("locations");
                         assert!(!locs.is_empty());
@@ -92,9 +100,63 @@ fn metadata_mixed(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) {
     });
 }
 
+/// Raw engine comparison (DESIGN.md §13): block put/get straight against
+/// the file and extent stores, with durability fsyncs off and on. Puts
+/// overwrite a bounded id window so the extent free-list recycles space
+/// instead of growing the segment files without bound.
+fn bench_store_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_engines");
+    const PAYLOAD: usize = 16 << 10;
+    const ID_WINDOW: u64 = 64;
+    for store in [StoreBackend::File, StoreBackend::Extent] {
+        for (sync, sync_label) in [(false, "nosync"), (true, "fsync")] {
+            let root = std::env::temp_dir().join(format!(
+                "ear-bench-store-{}-{}-{}",
+                store.name(),
+                sync_label,
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            let s = open_store_at(store, &root, sync).expect("open store");
+            let payload = vec![0x5Au8; PAYLOAD];
+            let crc = crc32c(&payload);
+            for id in 0..ID_WINDOW {
+                s.put(BlockId(id), Block::from(payload.clone()), crc)
+                    .expect("seed put");
+            }
+            let next = AtomicU64::new(ID_WINDOW);
+            group.throughput(Throughput::Bytes(PAYLOAD as u64));
+            group.bench_function(
+                BenchmarkId::new(format!("store_put_{}", store.name()), sync_label),
+                |b| {
+                    b.iter(|| {
+                        let id = next.fetch_add(1, Ordering::Relaxed) % ID_WINDOW;
+                        s.put(BlockId(id), Block::from(payload.clone()), crc)
+                            .expect("put");
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("store_get_{}", store.name()), sync_label),
+                |b| {
+                    b.iter(|| {
+                        let id = next.fetch_add(1, Ordering::Relaxed) % ID_WINDOW;
+                        let (data, got) = s.get_with_crc(BlockId(id)).expect("get");
+                        assert_eq!(got, crc);
+                        assert_eq!(data.len(), PAYLOAD);
+                    })
+                },
+            );
+            drop(s);
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+    group.finish();
+}
+
 fn bench_cluster_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_throughput");
-    for store in [StoreBackend::Memory, StoreBackend::File] {
+    for store in [StoreBackend::Memory, StoreBackend::File, StoreBackend::Extent] {
         // Reads with the cache off (every read re-verified) vs on (the
         // default sizes; hits serve verified-once bytes).
         for (cache, cache_label) in [
@@ -126,6 +188,7 @@ fn bench_cluster_throughput(c: &mut Criterion) {
         }
     }
     group.finish();
+    bench_store_engines(c);
 }
 
 criterion_group!(benches, bench_cluster_throughput);

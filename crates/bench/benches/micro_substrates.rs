@@ -203,8 +203,8 @@ fn bench_network_engines(c: &mut Criterion) {
             .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         for i in 0..200u64 {
-            let a = links[rng.gen_range(0..40)];
-            let b = links[rng.gen_range(0..40)];
+            let a = links[rng.gen_range(0..40usize)];
+            let b = links[rng.gen_range(0..40usize)];
             engine.submit(
                 SimTime::from_secs(i as f64 * 0.01),
                 &[a, b],

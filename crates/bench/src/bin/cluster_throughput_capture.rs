@@ -6,16 +6,19 @@
 //! stub cannot measure (same precedent as `BENCH_gf_kernels.json`).
 //!
 //! Run: `cargo run --release -p ear-bench --bin cluster_throughput_capture`
-//! The storage backend is selected with `EAR_STORE=memory|file` and the block
+//! The storage backend is selected with `EAR_STORE=memory|file|extent` and the block
 //! cache with `EAR_CACHE=off|<hot>,<cold>` exactly as in the tier-1 suite;
 //! both labels are echoed into each output line, along with the cache hit
 //! rate and CRC bytes skipped by the verified-once read path.
 
 use std::time::Instant;
 
+use ear_cluster::blockstore::open_store_at;
 use ear_cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
+use ear_faults::crc32c;
 use ear_types::{
-    Bandwidth, BlockId, ByteSize, CacheConfig, EarConfig, ErasureParams, NodeId, ReplicationConfig,
+    Bandwidth, Block, BlockId, ByteSize, CacheConfig, EarConfig, ErasureParams, NodeId,
+    ReplicationConfig, StoreBackend,
 };
 
 const BLOCKS: u64 = 96;
@@ -71,8 +74,8 @@ fn metadata_mixed(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) -> f64 {
                     let b = blocks[(i * threads + t) % blocks.len()];
                     if i % 10 == 9 {
                         let n = NodeId(((i + t) % nodes) as u32);
-                        nn.add_location(b, n);
-                        nn.drop_location(b, n);
+                        nn.add_location(b, n).expect("add_location");
+                        nn.drop_location(b, n).expect("drop_location");
                     } else {
                         let locs = nn.locations(b).expect("locations");
                         assert!(!locs.is_empty());
@@ -82,6 +85,58 @@ fn metadata_mixed(cfs: &MiniCfs, blocks: &[BlockId], threads: usize) -> f64 {
         }
     });
     (threads * META_OPS_PER_THREAD) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Raw engine comparison (DESIGN.md §13): put/get straight against the
+/// file and extent stores, fsync off and on. Puts cycle a bounded id
+/// window so the extent free-list recycles space. Emits one JSON line per
+/// (engine, sync) cell; the fsync rows price the durability barrier.
+fn store_engines() {
+    const PAYLOAD: usize = 16 << 10;
+    const ID_WINDOW: u64 = 64;
+    for store in [StoreBackend::File, StoreBackend::Extent] {
+        for sync in [false, true] {
+            // fsync-bound runs are ~3 orders of magnitude slower per op;
+            // scale the op count so each cell stays in the seconds range.
+            let ops: u64 = if sync { 400 } else { 20_000 };
+            let root = std::env::temp_dir().join(format!(
+                "ear-capture-store-{}-{}-{}",
+                store.name(),
+                sync,
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            let s = open_store_at(store, &root, sync).expect("open store");
+            let payload = vec![0x5Au8; PAYLOAD];
+            let crc = crc32c(&payload);
+            for id in 0..ID_WINDOW {
+                s.put(BlockId(id), Block::from(payload.clone()), crc)
+                    .expect("seed put");
+            }
+            let start = Instant::now();
+            for i in 0..ops {
+                s.put(BlockId(i % ID_WINDOW), Block::from(payload.clone()), crc)
+                    .expect("put");
+            }
+            let put_ops = ops as f64 / start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            for i in 0..ops {
+                let (data, got) = s.get_with_crc(BlockId(i % ID_WINDOW)).expect("get");
+                assert_eq!(got, crc);
+                assert_eq!(data.len(), PAYLOAD);
+            }
+            let get_ops = ops as f64 / start.elapsed().as_secs_f64();
+            drop(s);
+            let _ = std::fs::remove_dir_all(&root);
+            println!(
+                "{{\"workload\":\"store_engine\",\"engine\":\"{}\",\
+                 \"sync\":{sync},\"block_kib\":16,\
+                 \"put_ops_per_sec\":{put_ops:.0},\
+                 \"get_ops_per_sec\":{get_ops:.0}}}",
+                store.name()
+            );
+        }
+    }
 }
 
 fn main() {
@@ -126,5 +181,11 @@ fn main() {
              \"crc_bytes_skipped\":{crc_skipped},\
              \"metadata_mixed_ops_per_sec\":{meta:.0}}}"
         );
+    }
+    // Run the engine comparison once, from the memory-backend invocation,
+    // so the three EAR_STORE captures don't triple the (store-agnostic)
+    // section.
+    if backend == "memory" {
+        store_engines();
     }
 }

@@ -49,6 +49,7 @@ pub fn measure(c: usize, target_racks: Option<usize>, scale: Scale) -> Result<Re
         seed: 30,
         store: ear_types::StoreBackend::from_env(),
         cache: ear_types::CacheConfig::from_env(),
+        durability: ear_types::DurabilityConfig::default(),
     };
     let cfs = MiniCfs::new(cfg)?;
     let stripes = scale.pick(4, 30);

@@ -13,11 +13,12 @@ mod args;
 use args::{ArgError, Args};
 use ear_bench::{exp, Scale};
 use ear_cluster::chaos::{run_heal_plan, run_plan, ChaosConfig, HealSoakConfig};
-use ear_cluster::{ClusterPolicy, HealerConfig};
+use ear_cluster::{crashsim, ClusterConfig, ClusterPolicy, HealerConfig, MiniCfs};
 use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear_sim::{run as sim_run, PolicyKind, SimConfig};
 use ear_types::{
-    Bandwidth, ClusterTopology, EarConfig, ErasureParams, ReplicationConfig, StoreBackend,
+    Bandwidth, ByteSize, CacheConfig, ClusterTopology, DurabilityConfig, EarConfig, ErasureParams,
+    ReplicationConfig, StoreBackend,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -36,13 +37,18 @@ USAGE:
   ear analyze crossrack --racks R --k K
   ear analyze theorem1 --racks R --c C --k K
   ear chaos    [--policy rr|ear|both] [--plans N] [--seed S]
-               [--profile light|heavy|mixed] [--store memory|file]
+               [--profile light|heavy|mixed] [--store memory|file|extent]
   ear heal     [--plans N] [--seed S] [--kills K] [--stripes S]
-               [--max-rounds R] [--byte-budget B] [--store memory|file]
+               [--max-rounds R] [--byte-budget B] [--store memory|file|extent]
+  ear crashsim [--surface wal|checkpoint|extent|all] [--seeds N] [--kills K]
+               [--seed S]
+  ear recover  --dir PATH [--n N] [--k K] [--c C]
   ear list
 
 The chaos/heal storage backend defaults to the EAR_STORE environment
-variable (memory when unset); --store overrides it.
+variable (memory when unset); --store overrides it. `crashsim` sweeps the
+durability layer's deterministic kill-point simulators; `recover` replays
+a durable data directory's WAL + checkpoint and prints the image.
 ";
 
 fn main() {
@@ -68,6 +74,8 @@ fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
         ["analyze", what] => analyze(what, &args),
         ["chaos"] => chaos(&args),
         ["heal"] => heal(&args),
+        ["crashsim"] => crashsim(&args),
+        ["recover"] => recover(&args),
         other => Err(Box::new(ArgError(format!(
             "unknown command: {}",
             other.join(" ")
@@ -123,6 +131,7 @@ fn store_backend(args: &Args) -> Result<StoreBackend, ArgError> {
         None => Ok(StoreBackend::from_env()),
         Some("memory") => Ok(StoreBackend::Memory),
         Some("file") => Ok(StoreBackend::File),
+        Some("extent") => Ok(StoreBackend::Extent),
         Some(other) => Err(ArgError(format!("unknown store backend: {other}"))),
     }
 }
@@ -300,6 +309,142 @@ fn heal(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     }
 }
 
+/// Sweeps the durability layer's deterministic kill-point simulators
+/// (DESIGN.md §13) over a seeds × kill-points grid. Any invariant
+/// violation comes back with the (seed, kill) pair to replay.
+fn crashsim(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    type KillFn = fn(u64, u64) -> ear_types::Result<crashsim::KillSummary>;
+    const SURFACES: &[(&str, KillFn)] = &[
+        ("wal", crashsim::run_wal_kill),
+        ("checkpoint", crashsim::run_checkpoint_kill),
+        ("extent", crashsim::run_extent_kill),
+    ];
+    let seeds: u64 = args.get_parsed("seeds", 8)?;
+    let kills: u64 = args.get_parsed("kills", 8)?;
+    let seed0: u64 = args.get_parsed("seed", 0)?;
+    let selected = args.get("surface").unwrap_or("all");
+    let surfaces: Vec<&(&str, KillFn)> = if selected == "all" {
+        SURFACES.iter().collect()
+    } else {
+        let hit = SURFACES.iter().find(|(name, _)| *name == selected);
+        vec![hit.ok_or_else(|| ArgError(format!("unknown surface: {selected}")))?]
+    };
+
+    let mut out = String::new();
+    let mut failures: Vec<String> = Vec::new();
+    for (name, run_kill) in &surfaces {
+        let mut clean = 0usize;
+        let mut survivors = 0usize;
+        let mut ops = 0usize;
+        for seed in seed0..seed0 + seeds {
+            for j in 0..kills {
+                // Golden-ratio stride spreads the kill points across the
+                // whole cut space (the simulators reduce `kill` modulo the
+                // surface's write-stream length); a plain 0..K sweep would
+                // only ever cut the first K bytes.
+                let kill = j.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                match run_kill(seed, kill) {
+                    Ok(s) => {
+                        clean += 1;
+                        survivors += s.survivors;
+                        ops += s.ops;
+                    }
+                    Err(e) => failures.push(format!("{name} seed={seed} kill={kill}: {e}")),
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{name:>10}: {clean}/{} kill point(s) recovered clean; \
+             {survivors}/{ops} scripted ops durable at their cuts\n",
+            seeds * kills,
+        ));
+    }
+    if failures.is_empty() {
+        out.push_str(&format!(
+            "\n{} surface(s) x {seeds} seed(s) x {kills} kill point(s): all invariants held",
+            surfaces.len()
+        ));
+        Ok(out)
+    } else {
+        out.push_str(&format!("\n{} FAILED:\n{}", failures.len(), failures.join("\n")));
+        Err(Box::new(ArgError(out)))
+    }
+}
+
+/// Reopens a durable data directory (written by a cluster booted with
+/// `DurabilityConfig::at`): replays checkpoint + WAL suffix and prints the
+/// recovered metadata image. Shape parameters come from the directory's
+/// MANIFEST; only the erasure-coding geometry (not persisted) is taken
+/// from flags.
+fn recover(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let dir = std::path::PathBuf::from(
+        args.get("dir")
+            .ok_or_else(|| ArgError("recover requires --dir".into()))?,
+    );
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST"))
+        .map_err(|e| ArgError(format!("read {}/MANIFEST: {e}", dir.display())))?;
+    let mut kv = std::collections::BTreeMap::new();
+    for line in manifest.lines() {
+        if let Some((key, value)) = line.split_once('=') {
+            kv.insert(key.to_string(), value.to_string());
+        }
+    }
+    let field = |key: &str| -> Result<String, ArgError> {
+        kv.get(key)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("MANIFEST is missing `{key}`")))
+    };
+    let number = |key: &str| -> Result<u64, ArgError> {
+        field(key)?
+            .parse()
+            .map_err(|e| ArgError(format!("MANIFEST `{key}`: {e}")))
+    };
+    let store = match field("store")?.as_str() {
+        "memory" => StoreBackend::Memory,
+        "file" => StoreBackend::File,
+        "extent" => StoreBackend::Extent,
+        other => return Err(Box::new(ArgError(format!("MANIFEST store: {other}")))),
+    };
+    let policy = match field("policy")?.as_str() {
+        "rr" => ClusterPolicy::Rr,
+        "ear" => ClusterPolicy::Ear,
+        other => return Err(Box::new(ArgError(format!("MANIFEST policy: {other}")))),
+    };
+    let ear = EarConfig::new(
+        ErasureParams::new(args.get_parsed("n", 6)?, args.get_parsed("k", 4)?)?,
+        ReplicationConfig::two_way(),
+        args.get_parsed("c", 1)?,
+    )?;
+    let cfg = ClusterConfig {
+        racks: number("racks")? as usize,
+        nodes_per_rack: number("nodes_per_rack")? as usize,
+        block_size: ByteSize::bytes(number("block_size")?),
+        node_bandwidth: Bandwidth::bytes_per_sec(1e9),
+        rack_bandwidth: Bandwidth::bytes_per_sec(1e9),
+        ear,
+        policy,
+        seed: number("seed")?,
+        store,
+        cache: CacheConfig::from_env(),
+        durability: DurabilityConfig::at(&dir),
+    };
+    let cfs = MiniCfs::reopen(cfg)?;
+    let snap = cfs.namenode().snapshot();
+    Ok(format!(
+        "recovered {} ({} backend)\n\
+         blocks: {}\nunsealed blocks: {}\npending stripes: {}\nencoded stripes: {}\n\
+         next block id: {}\nnext stripe id: {}",
+        dir.display(),
+        store.name(),
+        snap.blocks.len(),
+        snap.unsealed.len(),
+        snap.pending.len(),
+        snap.encoded.len(),
+        snap.next_block,
+        snap.next_stripe,
+    ))
+}
+
 fn place(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let n: usize = args.get_parsed("n", 6)?;
     let k: usize = args.get_parsed("k", 4)?;
@@ -459,5 +604,62 @@ mod tests {
         assert!(run_words(&["experiment", "fig99"]).is_err());
         assert!(run_words(&["analyze", "nothing"]).is_err());
         assert!(run_words(&["simulate", "--policy", "quorum"]).is_err());
+    }
+
+    #[test]
+    fn chaos_accepts_extent_store() {
+        let out = run_words(&[
+            "chaos", "--plans", "1", "--policy", "ear", "--profile", "light", "--store", "extent",
+        ])
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn crashsim_sweeps_all_surfaces() {
+        let out = run_words(&["crashsim", "--seeds", "2", "--kills", "2"]).unwrap();
+        assert!(out.contains("wal"), "{out}");
+        assert!(out.contains("checkpoint"), "{out}");
+        assert!(out.contains("extent"), "{out}");
+        assert!(out.contains("all invariants held"), "{out}");
+        assert!(run_words(&["crashsim", "--surface", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn recover_prints_the_recovered_image() {
+        let dir = std::env::temp_dir().join(format!("ear-cli-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ear = EarConfig::new(
+            ErasureParams::new(6, 4).unwrap(),
+            ReplicationConfig::two_way(),
+            1,
+        )
+        .unwrap();
+        let cfg = ClusterConfig {
+            racks: 8,
+            nodes_per_rack: 1,
+            block_size: ByteSize::kib(16),
+            node_bandwidth: Bandwidth::bytes_per_sec(1e9),
+            rack_bandwidth: Bandwidth::bytes_per_sec(1e9),
+            ear,
+            policy: ClusterPolicy::Ear,
+            seed: 5,
+            store: StoreBackend::File,
+            cache: CacheConfig::default(),
+            durability: DurabilityConfig::at(&dir),
+        };
+        {
+            let cfs = MiniCfs::new(cfg).unwrap();
+            for i in 0..6u64 {
+                let data = cfs.make_block(i);
+                cfs.write_block(ear_types::NodeId((i % 8) as u32), data)
+                    .unwrap();
+            }
+        }
+        let out = run_words(&["recover", "--dir", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("blocks: 6"), "{out}");
+        assert!(out.contains("file backend"), "{out}");
+        assert!(run_words(&["recover"]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

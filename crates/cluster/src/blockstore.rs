@@ -182,6 +182,10 @@ struct FileMeta {
 pub struct FileStore {
     root: PathBuf,
     index: Vec<Mutex<HashMap<BlockId, FileMeta>>>,
+    /// Persistent stores keep their root on drop and recover it on open.
+    persistent: bool,
+    /// Synchronous stores fsync file and directory before acknowledging.
+    sync: bool,
 }
 
 impl FileStore {
@@ -205,7 +209,69 @@ impl FileStore {
         Ok(FileStore {
             root,
             index: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            persistent: false,
+            sync: false,
         })
+    }
+
+    /// Opens (or creates) a persistent store rooted at `root`, rebuilding
+    /// the in-memory index from the `<id>.blk` files found there. Stale
+    /// `.tmp` files (a write cut before its rename) and short files are
+    /// removed — the rename protocol means they were never acknowledged.
+    /// The root is kept on drop.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the directory cannot be created or scanned.
+    pub fn open_at(root: &std::path::Path, sync: bool) -> Result<Self> {
+        fs::create_dir_all(root).map_err(|e| Error::Io {
+            context: format!("create {}: {e}", root.display()),
+        })?;
+        let store = FileStore {
+            root: root.to_path_buf(),
+            index: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            persistent: true,
+            sync,
+        };
+        let entries = fs::read_dir(root).map_err(|e| Error::Io {
+            context: format!("scan {}: {e}", root.display()),
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::Io {
+                context: format!("scan {}: {e}", root.display()),
+            })?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            let Some(id) = name
+                .strip_suffix(".blk")
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let bytes = fs::read(&path).map_err(|e| Error::Io {
+                context: format!("read {}: {e}", path.display()),
+            })?;
+            let Some(hdr) = bytes.get(0..4) else {
+                // Shorter than its own header: never a committed block.
+                let _ = fs::remove_file(&path);
+                continue;
+            };
+            let mut crc = [0u8; 4];
+            crc.copy_from_slice(hdr);
+            let block = BlockId(id);
+            store.stripe_for(block).lock().insert(
+                block,
+                FileMeta {
+                    crc: u32::from_le_bytes(crc),
+                    len: bytes.len() as u64 - 4,
+                },
+            );
+        }
+        Ok(store)
     }
 
     /// The temp root this store writes under (removed on drop).
@@ -228,7 +294,11 @@ impl Drop for FileStore {
     fn drop(&mut self) {
         // Best-effort: the root lives under the OS temp dir, so anything a
         // dying process leaks is reclaimed by the host eventually anyway.
-        let _ = fs::remove_dir_all(&self.root);
+        // Persistent stores are the whole point of the durability layer —
+        // their root stays.
+        if !self.persistent {
+            let _ = fs::remove_dir_all(&self.root);
+        }
     }
 }
 
@@ -240,7 +310,11 @@ impl BlockStore for FileStore {
         // joined copy of the whole block ever exists.
         let write = fs::File::create(&tmp).and_then(|mut f| {
             f.write_all(&crc.to_le_bytes())?;
-            f.write_all(&data)
+            f.write_all(&data)?;
+            if self.sync {
+                f.sync_all()?;
+            }
+            Ok(())
         });
         write.map_err(|e| Error::Io {
             context: format!("write {}: {e}", tmp.display()),
@@ -248,6 +322,13 @@ impl BlockStore for FileStore {
         fs::rename(&tmp, &path).map_err(|e| Error::Io {
             context: format!("rename {}: {e}", path.display()),
         })?;
+        if self.sync {
+            fs::File::open(&self.root)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| Error::Io {
+                    context: format!("fsync {}: {e}", self.root.display()),
+                })?;
+        }
         self.stripe_for(block).lock().insert(
             block,
             FileMeta {
@@ -309,11 +390,37 @@ impl BlockStore for FileStore {
 ///
 /// # Errors
 ///
-/// [`Error::Io`] if the file backend cannot create its root.
+/// [`Error::Io`] if the file or extent backend cannot create its root.
 pub fn open_store(backend: StoreBackend, label: &str) -> Result<Box<dyn BlockStore>> {
     Ok(match backend {
         StoreBackend::Memory => Box::new(ShardedMemStore::new()),
         StoreBackend::File => Box::new(FileStore::new(label)?),
+        StoreBackend::Extent => Box::new(crate::extent::ExtentStore::new(label)?),
+    })
+}
+
+/// Builds a *persistent* store of the requested backend rooted at `root`:
+/// existing state is recovered on open and the root is kept on drop. The
+/// memory backend cannot satisfy this and returns a typed error — a typo'd
+/// `EAR_STORE` must never silently produce a cluster that forgets on
+/// restart (DESIGN.md §13).
+///
+/// # Errors
+///
+/// [`Error::NotDurable`] for the memory backend; [`Error::Io`] /
+/// [`Error::WalCorrupt`] if the on-disk state cannot be opened or
+/// recovered.
+pub fn open_store_at(
+    backend: StoreBackend,
+    root: &std::path::Path,
+    sync: bool,
+) -> Result<Box<dyn BlockStore>> {
+    Ok(match backend {
+        StoreBackend::Memory => {
+            return Err(Error::NotDurable { backend: "memory" });
+        }
+        StoreBackend::File => Box::new(FileStore::open_at(root, sync)?),
+        StoreBackend::Extent => Box::new(crate::extent::ExtentStore::open_at(root, sync)?),
     })
 }
 

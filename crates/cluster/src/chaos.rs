@@ -147,6 +147,7 @@ fn chaos_cluster(
         seed: seed ^ 0xA11CE,
         store,
         cache,
+        durability: ear_types::DurabilityConfig::default(),
     })
 }
 
@@ -441,6 +442,7 @@ fn heal_cluster(seed: u64, store: StoreBackend, cache: CacheConfig) -> Result<Cl
         seed: seed ^ 0x4EA1,
         store,
         cache,
+        durability: ear_types::DurabilityConfig::default(),
     })
 }
 

@@ -4,14 +4,17 @@ use crate::datanode::DataNode;
 use crate::health::{FailureDetector, HealthConfig, HealthTransition};
 use crate::io::{ClusterIo, IoStats};
 use crate::namenode::NameNode;
+use crate::wal::MetaWal;
 use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear_erasure::ReedSolomon;
 use ear_faults::{FaultInjector, FaultPlan};
 use ear_netem::EmulatedNetwork;
 use ear_types::{
-    Bandwidth, Block, BlockId, ByteSize, CacheConfig, ClusterTopology, EarConfig, Error,
-    NodeHealth, NodeId, Result, StoreBackend,
+    Bandwidth, Block, BlockId, ByteSize, CacheConfig, ClusterTopology, DurabilityConfig,
+    EarConfig, Error, NodeHealth, NodeId, Result, StoreBackend,
 };
+use std::fs;
+use std::path::Path;
 use std::sync::Mutex;
 
 use crate::sync::locked;
@@ -51,6 +54,10 @@ pub struct ClusterConfig {
     pub store: StoreBackend,
     /// The DataNodes' block-cache configuration (DESIGN.md §12).
     pub cache: CacheConfig,
+    /// The durability layer (DESIGN.md §13). Default: volatile — no data
+    /// directory, no WAL, state dies with the process, exactly the
+    /// pre-durability testbed.
+    pub durability: DurabilityConfig,
 }
 
 impl ClusterConfig {
@@ -69,7 +76,54 @@ impl ClusterConfig {
             seed: 1,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            durability: DurabilityConfig::default(),
         }
+    }
+}
+
+/// Validates (or, on first boot, writes) the data directory's MANIFEST:
+/// the shape parameters a durable cluster must be reopened with. A reopen
+/// under a different shape would silently mis-route every block, so a
+/// mismatch is a hard [`Error::Invariant`].
+fn check_manifest(dir: &Path, config: &ClusterConfig) -> Result<()> {
+    let expected = format!(
+        "store={}\nracks={}\nnodes_per_rack={}\nblock_size={}\npolicy={}\nseed={}\n",
+        config.store.name(),
+        config.racks,
+        config.nodes_per_rack,
+        config.block_size.as_u64(),
+        match config.policy {
+            ClusterPolicy::Rr => "rr",
+            ClusterPolicy::Ear => "ear",
+        },
+        config.seed,
+    );
+    let path = dir.join("MANIFEST");
+    match fs::read_to_string(&path) {
+        Ok(found) => {
+            if found != expected {
+                return Err(Error::Invariant(format!(
+                    "manifest mismatch at {}: directory was written as\n{found}but is being \
+                     reopened as\n{expected}",
+                    path.display()
+                )));
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            fs::create_dir_all(dir).map_err(|e| Error::Io {
+                context: format!("create {}: {e}", dir.display()),
+            })?;
+            let tmp = dir.join("MANIFEST.tmp");
+            fs::write(&tmp, &expected)
+                .and_then(|()| fs::rename(&tmp, &path))
+                .map_err(|e| Error::Io {
+                    context: format!("write {}: {e}", path.display()),
+                })
+        }
+        Err(e) => Err(Error::Io {
+            context: format!("read {}: {e}", path.display()),
+        }),
     }
 }
 
@@ -108,17 +162,78 @@ impl MiniCfs {
         Self::boot(config, Some(plan))
     }
 
+    /// Reopens a durable cluster from its data directory: validates the
+    /// manifest, replays the NameNode's checkpoint + WAL suffix, and
+    /// recovers every DataNode's on-disk store. Equivalent to [`MiniCfs::new`]
+    /// with the same durable config — this alias exists so restart tests
+    /// and the `recover` CLI read as what they are.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotDurable`] if the config carries no data directory (or
+    ///   the memory backend, which cannot persist).
+    /// * [`Error::Invariant`] if the manifest on disk disagrees with the
+    ///   config.
+    /// * [`Error::WalCorrupt`] if recovery finds corrupt committed state.
+    pub fn reopen(config: ClusterConfig) -> Result<Self> {
+        if !config.durability.is_durable() {
+            return Err(Error::NotDurable {
+                backend: config.store.name(),
+            });
+        }
+        Self::boot(config, None)
+    }
+
+    /// Forces a NameNode checkpoint now (no-op on a volatile cluster):
+    /// snapshot the metadata, persist it, compact the WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the checkpoint cannot be persisted.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.namenode.checkpoint_now()
+    }
+
     fn boot(config: ClusterConfig, plan: Option<FaultPlan>) -> Result<Self> {
         let topo = ClusterTopology::uniform(config.racks, config.nodes_per_rack);
         let policy: Box<dyn PlacementPolicy> = match config.policy {
             ClusterPolicy::Rr => Box::new(RandomReplicationPolicy::new(config.ear, topo.clone())?),
             ClusterPolicy::Ear => Box::new(EncodingAwareReplication::new(config.ear, topo.clone())),
         };
-        let namenode = NameNode::new(topo.clone(), policy, config.seed);
-        let datanodes: Vec<DataNode> = topo
-            .nodes()
-            .map(|n| DataNode::with_backend(n, config.store, config.cache, config.seed))
-            .collect::<Result<_>>()?;
+        let (namenode, datanodes) = match config.durability.data_dir.clone() {
+            Some(dir) => {
+                check_manifest(&dir, &config)?;
+                let (wal, recovered) = MetaWal::open(
+                    &dir.join("meta"),
+                    config.durability.sync_writes,
+                    config.durability.checkpoint_every,
+                )?;
+                let namenode =
+                    NameNode::with_wal(topo.clone(), policy, config.seed, wal, &recovered)?;
+                let datanodes: Vec<DataNode> = topo
+                    .nodes()
+                    .map(|n| {
+                        DataNode::with_backend_at(
+                            n,
+                            config.store,
+                            &dir.join("nodes").join(format!("n{}", n.0)),
+                            config.durability.sync_writes,
+                            config.cache,
+                            config.seed,
+                        )
+                    })
+                    .collect::<Result<_>>()?;
+                (namenode, datanodes)
+            }
+            None => {
+                let namenode = NameNode::new(topo.clone(), policy, config.seed);
+                let datanodes: Vec<DataNode> = topo
+                    .nodes()
+                    .map(|n| DataNode::with_backend(n, config.store, config.cache, config.seed))
+                    .collect::<Result<_>>()?;
+                (namenode, datanodes)
+            }
+        };
         let net = EmulatedNetwork::new(&topo, config.node_bandwidth, config.rack_bandwidth);
         let codec = ReedSolomon::new(config.ear.erasure());
         let injector = match plan {
@@ -268,7 +383,7 @@ impl MiniCfs {
         if let Some(e) = err {
             // The write is not acknowledged; record honestly which replicas
             // actually landed so later repair can see them.
-            self.namenode.set_locations(id, stored);
+            self.namenode.set_locations(id, stored)?;
             return Err(e);
         }
         Ok(id)
@@ -405,6 +520,7 @@ mod tests {
             seed: 3,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            durability: DurabilityConfig::default(),
         }
     }
 

@@ -2,7 +2,7 @@
 //! [`BlockStore`] backend (memory or file-backed; DESIGN.md §9), fronted
 //! by an optional [`BlockCache`] (DESIGN.md §12).
 
-use crate::blockstore::{open_store, BlockStore, ShardedMemStore};
+use crate::blockstore::{open_store, open_store_at, BlockStore, ShardedMemStore};
 use crate::cache::{BlockCache, CacheStats};
 use ear_faults::crc32c;
 use ear_types::{Block, BlockId, CacheConfig, NodeId, Result, StoreBackend};
@@ -77,6 +77,31 @@ impl DataNode {
         Ok(DataNode {
             id,
             store: open_store(backend, &format!("n{}", id.0))?,
+            cache: BlockCache::new(cache, cache_seed(seed, id)),
+        })
+    }
+
+    /// Creates (or reopens) a DataNode whose store persists under `root`,
+    /// for the durable-cluster path: the backend recovers whatever blocks
+    /// survive there and keeps the directory on drop. `sync` selects
+    /// fsync-before-ack writes.
+    ///
+    /// # Errors
+    ///
+    /// [`ear_types::Error::NotDurable`] for the memory backend;
+    /// [`ear_types::Error::Io`] / [`ear_types::Error::WalCorrupt`] if the
+    /// on-disk state cannot be opened or fails recovery.
+    pub fn with_backend_at(
+        id: NodeId,
+        backend: StoreBackend,
+        root: &std::path::Path,
+        sync: bool,
+        cache: CacheConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        Ok(DataNode {
+            id,
+            store: open_store_at(backend, root, sync)?,
             cache: BlockCache::new(cache, cache_seed(seed, id)),
         })
     }

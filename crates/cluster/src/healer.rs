@@ -177,7 +177,7 @@ impl<'a> Healer<'a> {
         // copy is dropped from the location map so the scan below queues
         // its repair; the (node, block) pair is remembered so repair never
         // places a copy back onto storage known to corrupt it.
-        report.scrub_hits = self.scrub_window(&snapshot);
+        report.scrub_hits = self.scrub_window(&snapshot)?;
 
         // 3. Rebuild the degraded-state queues from metadata.
         let mut tracker = DegradedTracker::scan(self.cfs, &snapshot, &self.known_bad);
@@ -364,10 +364,10 @@ impl<'a> Healer<'a> {
     /// CRC32C-scrubs the next window of blocks. Scrubbing is local disk
     /// I/O on each DataNode (no network), so it is not charged against the
     /// repair byte budget. Returns the number of replicas dropped.
-    fn scrub_window(&mut self, snapshot: &[NodeHealth]) -> usize {
+    fn scrub_window(&mut self, snapshot: &[NodeHealth]) -> Result<usize> {
         let total = self.cfs.namenode().block_count();
         if total == 0 {
-            return 0;
+            return Ok(0);
         }
         let window = self.cfg.scrub_per_round.min(total as usize) as u64;
         let mut hits = 0usize;
@@ -392,7 +392,7 @@ impl<'a> Healer<'a> {
                 };
                 if bad {
                     self.known_bad.insert((h, b));
-                    self.cfs.namenode().drop_location(b, h);
+                    self.cfs.namenode().drop_location(b, h)?;
                     self.cfs.datanode(h).delete(b);
                     self.stats.scrub_hits += 1;
                     hits += 1;
@@ -400,7 +400,7 @@ impl<'a> Healer<'a> {
             }
         }
         self.scrub_cursor = (self.scrub_cursor + window) % total;
-        hits
+        Ok(hits)
     }
 }
 
@@ -488,7 +488,7 @@ fn re_replicate(
         if health_of(ctx.snapshot, h) == NodeHealth::Dead {
             // The detector declared the holder lost; retire the location
             // (its bytes, if any, are unreachable).
-            nn.drop_location(block, h);
+            nn.drop_location(block, h)?;
         } else if !ctx.known_bad.contains(&(h, block)) {
             holders.push(h);
         }
@@ -547,7 +547,7 @@ fn re_replicate(
             .ok_or(Error::NoRepairDestination { block })?;
         let (data, src) = cfs.io().read_with_fallback(dst, block, &holders, None, None)?;
         cfs.datanode(dst).put(block, data)?;
-        nn.add_location(block, dst);
+        nn.add_location(block, dst)?;
         outcome.bytes += bs;
         if topo.rack_of(src) != topo.rack_of(dst) {
             outcome.cross_rack_bytes += bs;
@@ -587,6 +587,7 @@ mod tests {
             seed,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            durability: Default::default(),
         }
     }
 
@@ -793,7 +794,7 @@ mod tests {
             .find(|&n| cfs.topology().rack_of(n) == core)
             .expect("EAR keeps a core-rack copy");
         cfs.datanode(core_copy).delete(block);
-        cfs.namenode().drop_location(block, core_copy);
+        cfs.namenode().drop_location(block, core_copy).unwrap();
 
         let stats = Healer::new(&cfs).run_to_convergence().unwrap();
         assert!(stats.converged);

@@ -7,9 +7,9 @@
 //!   stripe state), the placement policy, and the *pre-encoding store* that
 //!   groups blocks into stripes (Section IV-B);
 //! * [`DataNode`] — a block store per emulated machine over a pluggable
-//!   [`BlockStore`] backend: lock-striped memory or file-per-block
-//!   (`EAR_STORE=memory|file`), fronted by an optional [`BlockCache`]
-//!   (`EAR_CACHE=off|<hot>,<cold>`);
+//!   [`BlockStore`] backend: lock-striped memory, file-per-block, or the
+//!   extent engine (`EAR_STORE=memory|file|extent`), fronted by an
+//!   optional [`BlockCache`] (`EAR_CACHE=off|<hot>,<cold>`);
 //! * [`cache`] — the deterministic multi-level block cache (hot LRU + cold
 //!   clock + metadata side table) behind every DataNode's read path;
 //! * [`ClusterIo`] — the unified data-plane I/O service: every block fetch
@@ -27,7 +27,14 @@
 //!   replay of Experiment A.3;
 //! * [`health`] / [`healer`] — the self-healing control plane: seeded-clock
 //!   heartbeats into a phi-style failure detector, degraded-state priority
-//!   queues, and the budgeted background repair scheduler (DESIGN.md §8).
+//!   queues, and the budgeted background repair scheduler (DESIGN.md §8);
+//! * [`wal`] / [`ExtentStore`] / [`crashsim`] — the durability layer
+//!   (DESIGN.md §13): a CRC-framed metadata write-ahead log with periodic
+//!   checkpoint compaction, the extent/allocator block engine with
+//!   header-last commits and explicit fsync barriers, and the
+//!   deterministic crash/power-loss simulator that kill-point-tests both.
+//!   A cluster given `DurabilityConfig::at(dir)` survives
+//!   [`MiniCfs::reopen`] with a bit-identical metadata snapshot.
 //!
 //! # Example
 //!
@@ -57,7 +64,9 @@ pub mod blockstore;
 pub mod cache;
 pub mod chaos;
 mod cluster;
+pub mod crashsim;
 mod datanode;
+mod extent;
 pub mod healer;
 pub mod health;
 mod io;
@@ -67,8 +76,10 @@ mod namenode;
 mod raidnode;
 mod recovery;
 pub mod sync;
+pub mod wal;
 
 pub use blockstore::{BlockStore, FileStore, ShardedMemStore};
+pub use extent::{ExtentStore, WriteEvent};
 pub use cache::{BlockCache, CacheStats};
 pub use chaos::{
     run_heal_plan, run_plan, ChaosConfig, ChaosReport, HealSoakConfig, HealSoakReport,
@@ -82,6 +93,7 @@ pub use health::{
 };
 pub use monitor::{plan_repairs, scan, Violation};
 pub use namenode::{EncodedStripe, NameNode, PendingStripe};
+pub use wal::{MetaRecord, MetaSnapshot, MetaWal, PlanRecord};
 pub use raidnode::{EncodeStats, RaidNode, Relocation};
 pub use recovery::{recover_node, RecoveryStats};
 pub use sync::locked;

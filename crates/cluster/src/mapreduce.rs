@@ -248,6 +248,7 @@ mod tests {
             seed: 7,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            durability: Default::default(),
         };
         MiniCfs::new(cfg).unwrap()
     }

@@ -167,6 +167,7 @@ mod tests {
             seed: 77,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            durability: Default::default(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -212,7 +213,7 @@ mod tests {
         let data = cfs.datanode(old).get(b1).unwrap();
         cfs.datanode(other).put(b1, data).unwrap();
         cfs.datanode(old).delete(b1);
-        cfs.namenode().set_locations(b1, vec![other]);
+        cfs.namenode().set_locations(b1, vec![other]).unwrap();
 
         let violations = scan(&cfs);
         assert_eq!(violations.len(), 1);
@@ -247,6 +248,7 @@ mod tests {
             seed: 79,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            durability: Default::default(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;
@@ -277,7 +279,7 @@ mod tests {
             let data = cfs.datanode(old).get(b).unwrap();
             cfs.datanode(dst).put(b, data).unwrap();
             cfs.datanode(old).delete(b);
-            cfs.namenode().set_locations(b, vec![dst]);
+            cfs.namenode().set_locations(b, vec![dst]).unwrap();
         }
         assert!(!scan(&cfs).is_empty(), "manufactured overload must be seen");
         // Iterated monitor repair must converge, never stacking two planned
@@ -330,7 +332,7 @@ mod tests {
             let data = cfs.datanode(old).get(b1).unwrap();
             cfs.datanode(other).put(b1, data).unwrap();
             cfs.datanode(old).delete(b1);
-            cfs.namenode().set_locations(b1, vec![other]);
+            cfs.namenode().set_locations(b1, vec![other]).unwrap();
             let violations = scan(&cfs);
             plan_repairs(&cfs, &violations)
         };
@@ -360,6 +362,7 @@ mod tests {
             seed: 78,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            durability: Default::default(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;

@@ -10,13 +10,14 @@
 //! downstream consumers see the same order regardless of which shard or
 //! thread produced an entry.
 
+use crate::wal::{BlockRec, EncodedEntry, MetaRecord, MetaSnapshot, MetaWal, PlanRecord, StripeEntry};
 use ear_core::{PlacementPolicy, StripePlan};
 use ear_types::{BlockId, BlockId as Bid, ClusterTopology, NodeId, Result, StripeId};
 use parking_lot::{Mutex, RwLock};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Number of metadata shards. A power of two comfortably above the thread
 /// counts we drive, so stripes of the id space map evenly.
@@ -69,6 +70,10 @@ struct BlockMeta {
 struct StripeState {
     /// Stripes sealed by the policy but not yet encoded.
     pending: Vec<PendingStripe>,
+    /// Stripes handed to encode jobs but not yet committed. Not logged:
+    /// durably these are still pending — a crash before the encode commit
+    /// puts them back in the queue, which is exactly right.
+    in_flight: Vec<PendingStripe>,
     /// Stripes that have been encoded.
     encoded: Vec<EncodedStripe>,
     /// Blocks of the stripe currently being accumulated, in seal order —
@@ -81,8 +86,8 @@ struct StripeState {
 /// groups blocks into stripes for the RaidNode.
 ///
 /// Lock order (coarse→fine, never the reverse): `policy` → `rng` →
-/// `stripes` → a location shard. Pure metadata ops touch only their one
-/// shard.
+/// `stripes` → a location shard → `wal`. Pure metadata ops touch only
+/// their one shard (plus the log).
 pub struct NameNode {
     topo: ClusterTopology,
     policy: Mutex<Box<dyn PlacementPolicy>>,
@@ -91,10 +96,17 @@ pub struct NameNode {
     shards: Vec<RwLock<HashMap<BlockId, BlockMeta>>>,
     stripes: Mutex<StripeState>,
     next_block: AtomicU64,
+    /// The write-ahead log. `None` for the volatile (classic testbed)
+    /// NameNode: mutations then skip the append and behave exactly as
+    /// before the durability layer existed.
+    wal: Option<MetaWal>,
+    /// Guards against concurrent checkpoints: the first thread to trip the
+    /// threshold writes the snapshot, the rest carry on.
+    checkpointing: AtomicBool,
 }
 
 impl NameNode {
-    /// Creates a NameNode around a placement policy.
+    /// Creates a volatile NameNode around a placement policy.
     pub fn new(topo: ClusterTopology, policy: Box<dyn PlacementPolicy>, seed: u64) -> Self {
         NameNode {
             topo,
@@ -104,7 +116,167 @@ impl NameNode {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             stripes: Mutex::new(StripeState::default()),
             next_block: AtomicU64::new(0),
+            wal: None,
+            checkpointing: AtomicBool::new(false),
         }
+    }
+
+    /// Creates a durable NameNode over an open write-ahead log, seeding the
+    /// in-memory image from the recovered snapshot (what [`MetaWal::open`]
+    /// returned). Every subsequent mutation is appended to the log before
+    /// it is acknowledged.
+    ///
+    /// The placement policy restarts fresh: blocks that were unsealed at
+    /// the crash stay readable through replication and are matched into a
+    /// stripe only if the policy re-produces their layout — the same lazy
+    /// rebuild HDFS-RAID applies to its pre-encoding store.
+    ///
+    /// # Errors
+    ///
+    /// [`ear_types::Error::WalCorrupt`] if a recovered stripe plan fails
+    /// validation on rebuild.
+    pub fn with_wal(
+        topo: ClusterTopology,
+        policy: Box<dyn PlacementPolicy>,
+        seed: u64,
+        wal: MetaWal,
+        recovered: &MetaSnapshot,
+    ) -> Result<Self> {
+        let nn = NameNode {
+            topo,
+            policy: Mutex::new(policy),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+            seed,
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            stripes: Mutex::new(StripeState::default()),
+            next_block: AtomicU64::new(recovered.next_block),
+            wal: Some(wal),
+            checkpointing: AtomicBool::new(false),
+        };
+        for (id, rec) in &recovered.blocks {
+            nn.shard(*id).write().insert(
+                *id,
+                BlockMeta {
+                    locations: rec.locations.clone(),
+                    assigned: rec.assigned.clone(),
+                },
+            );
+        }
+        {
+            let mut stripes = nn.stripes.lock();
+            stripes.unsealed = recovered.unsealed.clone();
+            for s in &recovered.pending {
+                stripes.pending.push(PendingStripe {
+                    id: s.id,
+                    blocks: s.blocks.clone(),
+                    plan: s.plan.to_plan()?,
+                });
+            }
+            for s in &recovered.encoded {
+                stripes.encoded.push(EncodedStripe {
+                    id: s.id,
+                    data: s.data.clone(),
+                    parity: s.parity.clone(),
+                });
+            }
+            stripes.next_stripe = recovered.next_stripe;
+        }
+        Ok(nn)
+    }
+
+    /// Appends one mutation to the log (no-op for a volatile NameNode).
+    /// Called while the lock guarding the mutated state is held, so log
+    /// order equals apply order.
+    fn log(&self, rec: &MetaRecord) -> Result<()> {
+        match &self.wal {
+            Some(w) => w.append(rec).map(|_| ()),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether this NameNode writes a durable log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The complete metadata image, gathered under the stripe mutex and
+    /// shard read locks. In-flight stripes are folded back into `pending`:
+    /// durably, an encode that has not committed never happened.
+    pub fn snapshot(&self) -> MetaSnapshot {
+        let mut snap = MetaSnapshot::default();
+        {
+            let stripes = self.stripes.lock();
+            snap.unsealed = stripes.unsealed.clone();
+            for s in stripes.pending.iter().chain(stripes.in_flight.iter()) {
+                snap.pending.push(StripeEntry {
+                    id: s.id,
+                    blocks: s.blocks.clone(),
+                    plan: PlanRecord::from_plan(&s.plan),
+                });
+            }
+            snap.pending.sort_by_key(|s| s.id);
+            for s in &stripes.encoded {
+                snap.encoded.push(EncodedEntry {
+                    id: s.id,
+                    data: s.data.clone(),
+                    parity: s.parity.clone(),
+                });
+            }
+            snap.encoded.sort_by_key(|s| s.id);
+            snap.next_stripe = stripes.next_stripe;
+        }
+        for shard in &self.shards {
+            for (id, meta) in shard.read().iter() {
+                snap.blocks.insert(
+                    *id,
+                    BlockRec {
+                        locations: meta.locations.clone(),
+                        assigned: meta.assigned.clone(),
+                    },
+                );
+            }
+        }
+        snap.next_block = self.next_block.load(Ordering::SeqCst);
+        snap
+    }
+
+    /// Writes a checkpoint now (no-op for a volatile NameNode): snapshot
+    /// the metadata, persist it, compact the log.
+    ///
+    /// # Errors
+    ///
+    /// [`ear_types::Error::Io`] if the checkpoint cannot be persisted.
+    pub fn checkpoint_now(&self) -> Result<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        // The low-water mark is read *before* gathering: records racing
+        // with the gather land in the snapshot *and* stay in the log, and
+        // re-apply-safe replay converges them.
+        let last_lsn = wal.last_lsn();
+        let snap = self.snapshot();
+        wal.checkpoint(&snap, last_lsn)
+    }
+
+    /// Writes a checkpoint if enough records accumulated since the last
+    /// one. At most one thread checkpoints at a time; the others skip.
+    ///
+    /// # Errors
+    ///
+    /// [`ear_types::Error::Io`] if the checkpoint cannot be persisted.
+    pub fn maybe_checkpoint(&self) -> Result<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        if !wal.should_checkpoint() {
+            return Ok(());
+        }
+        if self.checkpointing.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let result = self.checkpoint_now();
+        self.checkpointing.store(false, Ordering::Release);
+        result
     }
 
     /// The cluster topology.
@@ -118,45 +290,63 @@ impl NameNode {
 
     /// Allocates a block id and replica layout for a new write; registers
     /// the block in the pre-encoding store and seals a stripe when the
-    /// policy completes one.
+    /// policy completes one. On a durable NameNode the allocation (and any
+    /// seal) is in the log before this returns — the acknowledgment point.
     ///
     /// # Errors
     ///
-    /// Propagates placement failures from the policy.
+    /// Propagates placement failures from the policy and log-append
+    /// failures from the WAL.
     pub fn allocate_block(&self) -> Result<(BlockId, Vec<NodeId>)> {
-        // Placement is inherently sequential (one RNG stream); keep the
-        // policy lock across registration so id order, unsealed order, and
-        // placement order agree — sealing matches layouts by recency.
-        let mut policy = self.policy.lock();
-        let mut rng = self.rng.lock();
-        let placed = policy.place_block(&mut *rng)?;
-        let mut stripes = self.stripes.lock();
-        let id = Bid(self.next_block.fetch_add(1, Ordering::SeqCst));
-        self.shard(id).write().insert(
-            id,
-            BlockMeta {
+        let result = {
+            // Placement is inherently sequential (one RNG stream); keep the
+            // policy lock across registration so id order, unsealed order,
+            // and placement order agree — sealing matches layouts by
+            // recency.
+            let mut policy = self.policy.lock();
+            let mut rng = self.rng.lock();
+            let placed = policy.place_block(&mut *rng)?;
+            let mut stripes = self.stripes.lock();
+            let id = Bid(self.next_block.fetch_add(1, Ordering::SeqCst));
+            self.shard(id).write().insert(
+                id,
+                BlockMeta {
+                    locations: placed.layout.replicas.clone(),
+                    assigned: Some(placed.layout.replicas.clone()),
+                },
+            );
+            stripes.unsealed.push(id);
+            self.log(&MetaRecord::Allocate {
+                block: id,
                 locations: placed.layout.replicas.clone(),
-                assigned: Some(placed.layout.replicas.clone()),
-            },
-        );
-        stripes.unsealed.push(id);
-        if let Some(plan) = placed.sealed_stripe {
-            let k = plan.num_blocks();
-            debug_assert!(stripes.unsealed.len() >= k);
-            // Under RR the last k allocated blocks form the stripe; under
-            // EAR the sealed stripe's blocks are the ones whose layouts
-            // match the plan — which are exactly the most recent k blocks
-            // placed into that core rack. We track them by layout identity.
-            let blocks = self.take_stripe_blocks(&mut stripes, &plan)?;
-            let sid = StripeId(stripes.next_stripe);
-            stripes.next_stripe += 1;
-            stripes.pending.push(PendingStripe {
-                id: sid,
-                blocks,
-                plan,
-            });
-        }
-        Ok((id, placed.layout.replicas))
+                assigned: true,
+            })?;
+            if let Some(plan) = placed.sealed_stripe {
+                let k = plan.num_blocks();
+                debug_assert!(stripes.unsealed.len() >= k);
+                // Under RR the last k allocated blocks form the stripe;
+                // under EAR the sealed stripe's blocks are the ones whose
+                // layouts match the plan — which are exactly the most
+                // recent k blocks placed into that core rack. We track
+                // them by layout identity.
+                let blocks = self.take_stripe_blocks(&mut stripes, &plan)?;
+                let sid = StripeId(stripes.next_stripe);
+                stripes.next_stripe += 1;
+                self.log(&MetaRecord::SealStripe {
+                    stripe: sid,
+                    blocks: blocks.clone(),
+                    plan: PlanRecord::from_plan(&plan),
+                })?;
+                stripes.pending.push(PendingStripe {
+                    id: sid,
+                    blocks,
+                    plan,
+                });
+            }
+            (id, placed.layout.replicas)
+        };
+        self.maybe_checkpoint()?;
+        Ok(result)
     }
 
     /// Current replica locations of a block.
@@ -169,53 +359,89 @@ impl NameNode {
 
     /// Replaces a block's location set (after encoding deletes replicas or
     /// relocates blocks).
-    pub fn set_locations(&self, block: BlockId, nodes: Vec<NodeId>) {
-        self.shard(block).write().entry(block).or_default().locations = nodes;
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-append failures from the WAL.
+    pub fn set_locations(&self, block: BlockId, nodes: Vec<NodeId>) -> Result<()> {
+        let mut shard = self.shard(block).write();
+        shard.entry(block).or_default().locations = nodes.clone();
+        self.log(&MetaRecord::SetLocations { block, nodes })
     }
 
     /// Removes one node from a block's location set (a replica declared
     /// lost by the failure detector, or dropped by the scrubber). Returns
     /// whether the node was listed.
-    pub fn drop_location(&self, block: BlockId, node: NodeId) -> bool {
-        match self.shard(block).write().get_mut(&block) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-append failures from the WAL.
+    pub fn drop_location(&self, block: BlockId, node: NodeId) -> Result<bool> {
+        let mut shard = self.shard(block).write();
+        match shard.get_mut(&block) {
             Some(meta) => {
                 let before = meta.locations.len();
                 meta.locations.retain(|&n| n != node);
-                meta.locations.len() < before
+                if meta.locations.len() < before {
+                    self.log(&MetaRecord::DropLocation { block, node })?;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
     /// Adds one node to a block's location set (a repaired copy landed).
     /// No-op if the node is already listed.
-    pub fn add_location(&self, block: BlockId, node: NodeId) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-append failures from the WAL.
+    pub fn add_location(&self, block: BlockId, node: NodeId) -> Result<()> {
         let mut shard = self.shard(block).write();
         let meta = shard.entry(block).or_default();
         if !meta.locations.contains(&node) {
             meta.locations.push(node);
+            self.log(&MetaRecord::AddLocation { block, node })?;
         }
+        Ok(())
     }
 
     /// Registers a brand-new block (parity) at fixed locations, returning
     /// its id.
-    pub fn register_block(&self, nodes: Vec<NodeId>) -> BlockId {
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-append failures from the WAL.
+    pub fn register_block(&self, nodes: Vec<NodeId>) -> Result<BlockId> {
         let id = Bid(self.next_block.fetch_add(1, Ordering::SeqCst));
-        self.shard(id).write().insert(
+        let mut shard = self.shard(id).write();
+        shard.insert(
             id,
             BlockMeta {
-                locations: nodes,
+                locations: nodes.clone(),
                 assigned: None,
             },
         );
-        id
+        self.log(&MetaRecord::Allocate {
+            block: id,
+            locations: nodes,
+            assigned: false,
+        })?;
+        Ok(id)
     }
 
     /// Takes every stripe currently sealed for encoding (the RaidNode's
-    /// periodic scan), in stripe-id order.
+    /// periodic scan), in stripe-id order. Taken stripes move to the
+    /// in-flight set: durably they remain pending until the encode
+    /// commits, so a crash mid-encode re-queues them on recovery.
     pub fn take_pending_stripes(&self) -> Vec<PendingStripe> {
-        let mut taken = std::mem::take(&mut self.stripes.lock().pending);
+        let mut stripes = self.stripes.lock();
+        let mut taken = std::mem::take(&mut stripes.pending);
         taken.sort_by_key(|s| s.id);
+        stripes.in_flight.extend(taken.iter().cloned());
         taken
     }
 
@@ -224,7 +450,9 @@ impl NameNode {
     /// blocks keep their replicas, so nothing is lost; a later encoding
     /// round will pick the stripe up again.
     pub fn requeue_stripe(&self, stripe: PendingStripe) {
-        self.stripes.lock().pending.push(stripe);
+        let mut stripes = self.stripes.lock();
+        stripes.in_flight.retain(|s| s.id != stripe.id);
+        stripes.pending.push(stripe);
     }
 
     /// Number of stripes sealed and awaiting encoding.
@@ -241,9 +469,24 @@ impl NameNode {
     }
 
     /// Records a stripe as encoded (called by the RaidNode after parity is
-    /// stored and replicas deleted).
-    pub fn record_encoded(&self, stripe: EncodedStripe) {
-        self.stripes.lock().encoded.push(stripe);
+    /// stored and replicas deleted). The durable encode-commit point: once
+    /// the record is in the log, recovery will never re-queue the stripe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-append failures from the WAL.
+    pub fn record_encoded(&self, stripe: EncodedStripe) -> Result<()> {
+        {
+            let mut stripes = self.stripes.lock();
+            self.log(&MetaRecord::EncodeCommit {
+                stripe: stripe.id,
+                data: stripe.data.clone(),
+                parity: stripe.parity.clone(),
+            })?;
+            stripes.in_flight.retain(|s| s.id != stripe.id);
+            stripes.encoded.push(stripe);
+        }
+        self.maybe_checkpoint()
     }
 
     /// All stripes encoded so far, in stripe-id order (encode jobs may
@@ -389,14 +632,14 @@ mod tests {
         let nn = rr_namenode();
         let (id, layout) = nn.allocate_block().unwrap();
         let lost = layout[0];
-        assert!(nn.drop_location(id, lost));
-        assert!(!nn.drop_location(id, lost), "second drop is a no-op");
+        assert!(nn.drop_location(id, lost).unwrap());
+        assert!(!nn.drop_location(id, lost).unwrap(), "second drop is a no-op");
         assert!(!nn.locations(id).unwrap().contains(&lost));
-        nn.add_location(id, NodeId(31));
-        nn.add_location(id, NodeId(31));
+        nn.add_location(id, NodeId(31)).unwrap();
+        nn.add_location(id, NodeId(31)).unwrap();
         let locs = nn.locations(id).unwrap();
         assert_eq!(locs.iter().filter(|&&n| n == NodeId(31)).count(), 1);
-        assert!(!nn.drop_location(BlockId(999), NodeId(0)));
+        assert!(!nn.drop_location(BlockId(999), NodeId(0)).unwrap());
     }
 
     #[test]
@@ -408,8 +651,8 @@ mod tests {
         let policy = EncodingAwareReplication::new(cfg(), topo.clone());
         let nn = NameNode::new(topo, Box::new(policy), 5);
         let (first, layout) = nn.allocate_block().unwrap();
-        nn.drop_location(first, layout[0]);
-        nn.add_location(first, NodeId(31));
+        nn.drop_location(first, layout[0]).unwrap();
+        nn.add_location(first, NodeId(31)).unwrap();
         let mut sealed = 0usize;
         for _ in 0..64 {
             nn.allocate_block().expect("sealing survives healed layouts");
@@ -421,9 +664,9 @@ mod tests {
     #[test]
     fn register_and_relocate_blocks() {
         let nn = rr_namenode();
-        let parity = nn.register_block(vec![NodeId(5)]);
+        let parity = nn.register_block(vec![NodeId(5)]).unwrap();
         assert_eq!(nn.locations(parity), Some(vec![NodeId(5)]));
-        nn.set_locations(parity, vec![NodeId(9)]);
+        nn.set_locations(parity, vec![NodeId(9)]).unwrap();
         assert_eq!(nn.locations(parity), Some(vec![NodeId(9)]));
     }
 
@@ -477,7 +720,8 @@ mod tests {
                 id: s.id,
                 data: s.blocks.clone(),
                 parity: vec![],
-            });
+            })
+            .unwrap();
         }
         let ids: Vec<_> = nn.encoded_stripes().iter().map(|s| s.id).collect();
         assert_eq!(ids, vec![StripeId(0), StripeId(1), StripeId(2)]);

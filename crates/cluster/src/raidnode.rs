@@ -176,7 +176,7 @@ impl RaidNode {
             cfs.io().transfer(from, to, data.len() as u64);
             cfs.datanode(to).put(block, data)?;
             cfs.datanode(from).delete(block);
-            cfs.namenode().set_locations(block, vec![to]);
+            cfs.namenode().set_locations(block, vec![to])?;
         }
         Ok(relocations.len())
     }
@@ -252,7 +252,7 @@ fn encode_stripe(
     let mut stored: Vec<(BlockId, NodeId)> = Vec::with_capacity(parity.len());
     let mut store_err = None;
     for (p, &planned) in parity.into_iter().zip(&plan.parity_nodes) {
-        let id = cfs.namenode().register_block(Vec::new());
+        let id = cfs.namenode().register_block(Vec::new())?;
         match store_parity(cfs, id, Block::from(p), enc, planned, &plan.kept_data, &stored) {
             Ok(dst) => stored.push((id, dst)),
             Err(e) => {
@@ -273,14 +273,14 @@ fn encode_stripe(
     // Parity is durable — only now does the stripe transition to "encoded":
     // publish parity locations, record the stripe, delete extra replicas.
     for &(id, dst) in &stored {
-        cfs.namenode().set_locations(id, vec![dst]);
+        cfs.namenode().set_locations(id, vec![dst])?;
     }
     cfs.namenode()
         .record_encoded(crate::namenode::EncodedStripe {
             id: stripe.id,
             data: stripe.blocks.clone(),
             parity: stored.iter().map(|&(id, _)| id).collect(),
-        });
+        })?;
 
     // Delete redundant replicas, keeping the matching's choice. The kept
     // node may be one the fault plan has crashed — that is fine: the shard
@@ -297,7 +297,7 @@ fn encode_stripe(
                 cfs.datanode(n).delete(block);
             }
         }
-        cfs.namenode().set_locations(block, vec![kept]);
+        cfs.namenode().set_locations(block, vec![kept])?;
     }
     // Queue relocations for the BlockMover.
     let violated = plan.violated_rack_fault_tolerance();
@@ -422,6 +422,7 @@ mod tests {
             seed: 5,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            durability: Default::default(),
         };
         MiniCfs::new(cfg).unwrap()
     }

@@ -203,7 +203,7 @@ pub(crate) fn reconstruct_stripe_block(
     }
     repair.placement = placement;
     cfs.datanode(placement).put(block, Block::from(rebuilt))?;
-    cfs.namenode().set_locations(block, vec![placement]);
+    cfs.namenode().set_locations(block, vec![placement])?;
     Ok(repair)
 }
 
@@ -275,7 +275,7 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
             .into_iter()
             .filter(|&nd| nd != failed)
             .collect();
-        cfs.namenode().set_locations(b, locs);
+        cfs.namenode().set_locations(b, locs)?;
         cfs.datanode(failed).delete(b);
     }
 
@@ -308,7 +308,7 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
             cfs.datanode(*dst).put(block, data)?;
             let mut locs = survivors;
             locs.push(*dst);
-            cfs.namenode().set_locations(block, locs);
+            cfs.namenode().set_locations(block, locs)?;
             if topo.rack_of(src) != topo.rack_of(*dst) {
                 stats.cross_rack_downloads += 1;
             }
@@ -368,6 +368,7 @@ mod tests {
             seed: 11,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            durability: Default::default(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -481,6 +482,7 @@ mod tests {
                 seed: 11,
                 store: StoreBackend::from_env(),
                 cache: CacheConfig::from_env(),
+                durability: Default::default(),
             };
             let cfs = MiniCfs::new(cfg).unwrap();
             write_and_encode(&cfs, 3);
@@ -510,7 +512,7 @@ mod tests {
         for &b in all.iter().take(3) {
             let loc = cfs.namenode().locations(b).unwrap()[0];
             cfs.datanode(loc).delete(b);
-            cfs.namenode().set_locations(b, vec![]);
+            cfs.namenode().set_locations(b, vec![]).unwrap();
         }
         // Recovering any node holding a surviving stripe block must fail for
         // that block.

@@ -1,0 +1,1220 @@
+//! NameNode write-ahead log and checkpoint (DESIGN.md §13).
+//!
+//! Every metadata mutation appends a CRC32C-framed record here *before* it
+//! is acknowledged to the caller. On open, the log is replayed over the
+//! most recent checkpoint to rebuild the metadata image; a torn tail (the
+//! crash window of an in-flight append) is detected by the framing and
+//! truncated, never surfaced.
+//!
+//! Layout under the meta directory:
+//!
+//! ```text
+//! meta/
+//! ├── CHECKPOINT        committed snapshot (tmp+rename, never in-place)
+//! └── wal               framed record suffix: [len][crc32c][lsn|payload]*
+//! ```
+//!
+//! Consistency protocol:
+//!
+//! - **Framing.** A frame is `len: u32 LE | crc: u32 LE | body`, where
+//!   `body = lsn: u64 LE | record bytes` and `crc = crc32c(body)`. Replay
+//!   stops at the first frame that is short, oversized, CRC-mismatched, or
+//!   non-monotonic in LSN — that prefix property is what makes a torn last
+//!   record indistinguishable from a clean end of log. A frame whose CRC
+//!   verifies but whose body does not decode is *corruption*, not a torn
+//!   tail, and surfaces as a typed [`Error::WalCorrupt`].
+//! - **LSNs** increase by exactly 1 per append. The checkpoint stores the
+//!   `last_lsn` observed *before* its snapshot was gathered; replay skips
+//!   records at or below it. Records are deliberately re-apply-safe
+//!   (absolute sets, add-if-absent, id-keyed seals/commits), so a record
+//!   that raced into both the snapshot and the replayed suffix converges.
+//! - **Checkpoints** are written to `CHECKPOINT.tmp`, fsynced, renamed over
+//!   `CHECKPOINT`, and the directory fsynced — a crash leaves either the
+//!   old or the new checkpoint, never a blend. Only after the rename does
+//!   compaction rewrite the log (same tmp+rename dance), so every state on
+//!   disk replays to the same image.
+
+use ear_faults::crc32c;
+use ear_types::{BlockId, Error, NodeId, RackId, Result, StripeId};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File name of the framed record log inside the meta directory.
+pub const WAL_FILE: &str = "wal";
+/// File name of the committed checkpoint inside the meta directory.
+pub const CHECKPOINT_FILE: &str = "CHECKPOINT";
+
+/// Upper bound on one frame's body. A record holds at most a stripe's
+/// worth of ids; a megabyte is orders of magnitude above that, so any
+/// larger length field is treated as a torn header.
+pub const MAX_RECORD: u32 = 1 << 20;
+
+const CHECKPOINT_MAGIC: u32 = 0x4541_52C5; // "EAR" + checkpoint marker
+const CHECKPOINT_VERSION: u32 = 1;
+
+fn io_err(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> Error {
+    let context = context.into();
+    move |e| Error::Io {
+        context: format!("{context}: {e}"),
+    }
+}
+
+fn corrupt(context: impl Into<String>) -> Error {
+    Error::WalCorrupt {
+        context: context.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record vocabulary
+// ---------------------------------------------------------------------------
+
+/// A [`ear_core::StripePlan`] in durable form. The live type validates on
+/// construction (and panics on violations); this mirror re-validates on
+/// [`PlanRecord::to_plan`] so corrupt bytes surface as typed errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRecord {
+    /// Replica nodes of each data block, in stripe order.
+    pub layouts: Vec<Vec<NodeId>>,
+    /// The stripe's core rack (EAR); `None` under random replication.
+    pub core_rack: Option<RackId>,
+    /// Target racks restricting post-encoding placement, if any.
+    pub target_racks: Option<Vec<RackId>>,
+    /// Layout-regeneration count per block (Theorem 1 telemetry).
+    pub retries: Vec<u64>,
+}
+
+impl PlanRecord {
+    /// Captures a live plan.
+    pub fn from_plan(plan: &ear_core::StripePlan) -> Self {
+        PlanRecord {
+            layouts: plan
+                .data_layouts()
+                .iter()
+                .map(|l| l.replicas.clone())
+                .collect(),
+            core_rack: plan.core_rack(),
+            target_racks: plan.target_racks().map(<[RackId]>::to_vec),
+            retries: plan.retries().iter().map(|&r| r as u64).collect(),
+        }
+    }
+
+    /// Rebuilds the live plan, re-checking the invariants
+    /// `StripePlan::new` / `BlockLayout::new` assert.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WalCorrupt`] if a layout is empty, has duplicate nodes, or
+    /// the retry vector length disagrees with the layout count.
+    pub fn to_plan(&self) -> Result<ear_core::StripePlan> {
+        if self.retries.len() != self.layouts.len() {
+            return Err(corrupt("plan record: retries/layouts length mismatch"));
+        }
+        let mut layouts = Vec::with_capacity(self.layouts.len());
+        for replicas in &self.layouts {
+            if replicas.is_empty() {
+                return Err(corrupt("plan record: empty replica layout"));
+            }
+            let mut sorted = replicas.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != replicas.len() {
+                return Err(corrupt("plan record: duplicate replica node"));
+            }
+            layouts.push(ear_core::BlockLayout::new(replicas.clone()));
+        }
+        Ok(ear_core::StripePlan::new(
+            layouts,
+            self.core_rack,
+            self.target_racks.clone(),
+            self.retries.iter().map(|&r| r as usize).collect(),
+        ))
+    }
+}
+
+/// One durable metadata mutation. Every variant is re-apply-safe: applying
+/// a record twice (or over a snapshot that already contains its effect)
+/// yields the same image as applying it once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaRecord {
+    /// A block came into existence at `locations`. `assigned` is true for
+    /// policy-placed data blocks (which enter the unsealed list) and false
+    /// for registered parity blocks.
+    Allocate {
+        /// The new block's id.
+        block: BlockId,
+        /// Its initial replica locations.
+        locations: Vec<NodeId>,
+        /// Whether the layout was policy-assigned (data) or fixed (parity).
+        assigned: bool,
+    },
+    /// A block's location set was replaced wholesale.
+    SetLocations {
+        /// The block.
+        block: BlockId,
+        /// The new complete location set.
+        nodes: Vec<NodeId>,
+    },
+    /// One node was removed from a block's location set.
+    DropLocation {
+        /// The block.
+        block: BlockId,
+        /// The node declared lost.
+        node: NodeId,
+    },
+    /// One node was added to a block's location set.
+    AddLocation {
+        /// The block.
+        block: BlockId,
+        /// The node a repaired copy landed on.
+        node: NodeId,
+    },
+    /// The policy sealed a stripe: `blocks` leave the unsealed list and
+    /// enter the pre-encoding store under `stripe`.
+    SealStripe {
+        /// The new stripe's id.
+        stripe: StripeId,
+        /// Its `k` data blocks in stripe order.
+        blocks: Vec<BlockId>,
+        /// The placement plan, in durable form.
+        plan: PlanRecord,
+    },
+    /// A stripe finished encoding: it leaves the pre-encoding store and its
+    /// data + parity ids are recorded.
+    EncodeCommit {
+        /// The encoded stripe.
+        stripe: StripeId,
+        /// Data block ids in generator order.
+        data: Vec<BlockId>,
+        /// Parity block ids in generator-row order.
+        parity: Vec<BlockId>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding (little-endian, length-prefixed, panic-free decode)
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_nodes(out: &mut Vec<u8>, nodes: &[NodeId]) {
+    put_u32(out, nodes.len() as u32);
+    for n in nodes {
+        put_u32(out, n.0);
+    }
+}
+
+fn put_blocks(out: &mut Vec<u8>, blocks: &[BlockId]) {
+    put_u32(out, blocks.len() as u32);
+    for b in blocks {
+        put_u64(out, b.0);
+    }
+}
+
+/// Takes the next `n` bytes of `buf` at `*pos`, advancing the cursor.
+/// Returns `None` on underrun — the decoder's only failure mode, mapped to
+/// [`Error::WalCorrupt`] at the call boundary.
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let end = pos.checked_add(n)?;
+    let slice = buf.get(*pos..end)?;
+    *pos = end;
+    Some(slice)
+}
+
+fn get_u8(buf: &[u8], pos: &mut usize) -> Option<u8> {
+    take(buf, pos, 1).map(|s| s.iter().copied().next().unwrap_or(0))
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let s = take(buf, pos, 4)?;
+    let mut b = [0u8; 4];
+    b.copy_from_slice(s);
+    Some(u32::from_le_bytes(b))
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let s = take(buf, pos, 8)?;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(s);
+    Some(u64::from_le_bytes(b))
+}
+
+/// Reads a `u32` count and rejects counts the remaining bytes cannot hold
+/// (`elem` = bytes per element) — a cheap guard against huge allocations
+/// from corrupt length fields.
+fn get_count(buf: &[u8], pos: &mut usize, elem: usize) -> Option<usize> {
+    let n = get_u32(buf, pos)? as usize;
+    let need = n.checked_mul(elem)?;
+    if buf.len().saturating_sub(*pos) < need {
+        return None;
+    }
+    Some(n)
+}
+
+fn get_nodes(buf: &[u8], pos: &mut usize) -> Option<Vec<NodeId>> {
+    let n = get_count(buf, pos, 4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(NodeId(get_u32(buf, pos)?));
+    }
+    Some(out)
+}
+
+fn get_blocks(buf: &[u8], pos: &mut usize) -> Option<Vec<BlockId>> {
+    let n = get_count(buf, pos, 8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(BlockId(get_u64(buf, pos)?));
+    }
+    Some(out)
+}
+
+fn put_plan(out: &mut Vec<u8>, plan: &PlanRecord) {
+    put_u32(out, plan.layouts.len() as u32);
+    for layout in &plan.layouts {
+        put_nodes(out, layout);
+    }
+    match plan.core_rack {
+        Some(r) => {
+            out.push(1);
+            put_u32(out, r.0);
+        }
+        None => out.push(0),
+    }
+    match &plan.target_racks {
+        Some(racks) => {
+            out.push(1);
+            put_u32(out, racks.len() as u32);
+            for r in racks {
+                put_u32(out, r.0);
+            }
+        }
+        None => out.push(0),
+    }
+    put_u32(out, plan.retries.len() as u32);
+    for &r in &plan.retries {
+        put_u64(out, r);
+    }
+}
+
+fn get_plan(buf: &[u8], pos: &mut usize) -> Option<PlanRecord> {
+    let n = get_count(buf, pos, 4)?;
+    let mut layouts = Vec::with_capacity(n);
+    for _ in 0..n {
+        layouts.push(get_nodes(buf, pos)?);
+    }
+    let core_rack = match get_u8(buf, pos)? {
+        0 => None,
+        1 => Some(RackId(get_u32(buf, pos)?)),
+        _ => return None,
+    };
+    let target_racks = match get_u8(buf, pos)? {
+        0 => None,
+        1 => {
+            let n = get_count(buf, pos, 4)?;
+            let mut racks = Vec::with_capacity(n);
+            for _ in 0..n {
+                racks.push(RackId(get_u32(buf, pos)?));
+            }
+            Some(racks)
+        }
+        _ => return None,
+    };
+    let n = get_count(buf, pos, 8)?;
+    let mut retries = Vec::with_capacity(n);
+    for _ in 0..n {
+        retries.push(get_u64(buf, pos)?);
+    }
+    Some(PlanRecord {
+        layouts,
+        core_rack,
+        target_racks,
+        retries,
+    })
+}
+
+const TAG_ALLOCATE: u8 = 1;
+const TAG_SET_LOCATIONS: u8 = 2;
+const TAG_DROP_LOCATION: u8 = 3;
+const TAG_ADD_LOCATION: u8 = 4;
+const TAG_SEAL_STRIPE: u8 = 5;
+const TAG_ENCODE_COMMIT: u8 = 6;
+
+impl MetaRecord {
+    /// Appends this record's byte form to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MetaRecord::Allocate {
+                block,
+                locations,
+                assigned,
+            } => {
+                out.push(TAG_ALLOCATE);
+                put_u64(out, block.0);
+                out.push(u8::from(*assigned));
+                put_nodes(out, locations);
+            }
+            MetaRecord::SetLocations { block, nodes } => {
+                out.push(TAG_SET_LOCATIONS);
+                put_u64(out, block.0);
+                put_nodes(out, nodes);
+            }
+            MetaRecord::DropLocation { block, node } => {
+                out.push(TAG_DROP_LOCATION);
+                put_u64(out, block.0);
+                put_u32(out, node.0);
+            }
+            MetaRecord::AddLocation { block, node } => {
+                out.push(TAG_ADD_LOCATION);
+                put_u64(out, block.0);
+                put_u32(out, node.0);
+            }
+            MetaRecord::SealStripe {
+                stripe,
+                blocks,
+                plan,
+            } => {
+                out.push(TAG_SEAL_STRIPE);
+                put_u64(out, stripe.0);
+                put_blocks(out, blocks);
+                put_plan(out, plan);
+            }
+            MetaRecord::EncodeCommit {
+                stripe,
+                data,
+                parity,
+            } => {
+                out.push(TAG_ENCODE_COMMIT);
+                put_u64(out, stripe.0);
+                put_blocks(out, data);
+                put_blocks(out, parity);
+            }
+        }
+    }
+
+    /// Decodes one record from `buf`, requiring full consumption.
+    pub fn decode(buf: &[u8]) -> Option<MetaRecord> {
+        let mut pos = 0usize;
+        let rec = match get_u8(buf, &mut pos)? {
+            TAG_ALLOCATE => {
+                let block = BlockId(get_u64(buf, &mut pos)?);
+                let assigned = match get_u8(buf, &mut pos)? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                let locations = get_nodes(buf, &mut pos)?;
+                MetaRecord::Allocate {
+                    block,
+                    locations,
+                    assigned,
+                }
+            }
+            TAG_SET_LOCATIONS => MetaRecord::SetLocations {
+                block: BlockId(get_u64(buf, &mut pos)?),
+                nodes: get_nodes(buf, &mut pos)?,
+            },
+            TAG_DROP_LOCATION => MetaRecord::DropLocation {
+                block: BlockId(get_u64(buf, &mut pos)?),
+                node: NodeId(get_u32(buf, &mut pos)?),
+            },
+            TAG_ADD_LOCATION => MetaRecord::AddLocation {
+                block: BlockId(get_u64(buf, &mut pos)?),
+                node: NodeId(get_u32(buf, &mut pos)?),
+            },
+            TAG_SEAL_STRIPE => MetaRecord::SealStripe {
+                stripe: StripeId(get_u64(buf, &mut pos)?),
+                blocks: get_blocks(buf, &mut pos)?,
+                plan: get_plan(buf, &mut pos)?,
+            },
+            TAG_ENCODE_COMMIT => MetaRecord::EncodeCommit {
+                stripe: StripeId(get_u64(buf, &mut pos)?),
+                data: get_blocks(buf, &mut pos)?,
+                parity: get_blocks(buf, &mut pos)?,
+            },
+            _ => return None,
+        };
+        (pos == buf.len()).then_some(rec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// Durable per-block metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockRec {
+    /// Current replica locations.
+    pub locations: Vec<NodeId>,
+    /// The allocation-time layout (data blocks only; `None` for parity).
+    pub assigned: Option<Vec<NodeId>>,
+}
+
+/// A stripe awaiting encoding, in durable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeEntry {
+    /// The stripe's id.
+    pub id: StripeId,
+    /// Its data blocks in stripe order.
+    pub blocks: Vec<BlockId>,
+    /// Its placement plan.
+    pub plan: PlanRecord,
+}
+
+/// An encoded stripe, in durable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedEntry {
+    /// The stripe's id.
+    pub id: StripeId,
+    /// Data block ids in generator order.
+    pub data: Vec<BlockId>,
+    /// Parity block ids in generator-row order.
+    pub parity: Vec<BlockId>,
+}
+
+/// The complete durable metadata image: what a checkpoint stores and what
+/// replay rebuilds. Ordered containers only (L2 determinism): two
+/// snapshots of equal state compare and encode bit-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetaSnapshot {
+    /// Every known block, keyed (and therefore iterated) by id.
+    pub blocks: BTreeMap<BlockId, BlockRec>,
+    /// Blocks allocated but not yet sealed into a stripe, in seal order.
+    pub unsealed: Vec<BlockId>,
+    /// Stripes awaiting encoding, in stripe-id order.
+    pub pending: Vec<StripeEntry>,
+    /// Encoded stripes, in stripe-id order.
+    pub encoded: Vec<EncodedEntry>,
+    /// Next block id to allocate.
+    pub next_block: u64,
+    /// Next stripe id to seal.
+    pub next_stripe: u64,
+}
+
+impl MetaSnapshot {
+    /// Applies one record. Re-apply-safe: `apply(r); apply(r)` equals
+    /// `apply(r)` for every record, which is what lets replay run over a
+    /// checkpoint whose snapshot already absorbed a suffix of the log.
+    pub fn apply(&mut self, rec: &MetaRecord) {
+        match rec {
+            MetaRecord::Allocate {
+                block,
+                locations,
+                assigned,
+            } => {
+                self.blocks.insert(
+                    *block,
+                    BlockRec {
+                        locations: locations.clone(),
+                        assigned: assigned.then(|| locations.clone()),
+                    },
+                );
+                if *assigned && !self.unsealed.contains(block) {
+                    self.unsealed.push(*block);
+                }
+                self.next_block = self.next_block.max(block.0 + 1);
+            }
+            MetaRecord::SetLocations { block, nodes } => {
+                self.blocks.entry(*block).or_default().locations = nodes.clone();
+            }
+            MetaRecord::DropLocation { block, node } => {
+                if let Some(meta) = self.blocks.get_mut(block) {
+                    meta.locations.retain(|n| n != node);
+                }
+            }
+            MetaRecord::AddLocation { block, node } => {
+                let meta = self.blocks.entry(*block).or_default();
+                if !meta.locations.contains(node) {
+                    meta.locations.push(*node);
+                }
+            }
+            MetaRecord::SealStripe {
+                stripe,
+                blocks,
+                plan,
+            } => {
+                self.unsealed.retain(|b| !blocks.contains(b));
+                if !self.pending.iter().any(|s| s.id == *stripe)
+                    && !self.encoded.iter().any(|s| s.id == *stripe)
+                {
+                    self.pending.push(StripeEntry {
+                        id: *stripe,
+                        blocks: blocks.clone(),
+                        plan: plan.clone(),
+                    });
+                    self.pending.sort_by_key(|s| s.id);
+                }
+                self.next_stripe = self.next_stripe.max(stripe.0 + 1);
+            }
+            MetaRecord::EncodeCommit {
+                stripe,
+                data,
+                parity,
+            } => {
+                self.pending.retain(|s| s.id != *stripe);
+                if !self.encoded.iter().any(|s| s.id == *stripe) {
+                    self.encoded.push(EncodedEntry {
+                        id: *stripe,
+                        data: data.clone(),
+                        parity: parity.clone(),
+                    });
+                    self.encoded.sort_by_key(|s| s.id);
+                }
+                self.next_stripe = self.next_stripe.max(stripe.0 + 1);
+            }
+        }
+    }
+
+    /// Byte form of the snapshot (the checkpoint payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.blocks.len() as u64);
+        for (id, meta) in &self.blocks {
+            put_u64(&mut out, id.0);
+            put_nodes(&mut out, &meta.locations);
+            match &meta.assigned {
+                Some(nodes) => {
+                    out.push(1);
+                    put_nodes(&mut out, nodes);
+                }
+                None => out.push(0),
+            }
+        }
+        put_blocks(&mut out, &self.unsealed);
+        put_u32(&mut out, self.pending.len() as u32);
+        for s in &self.pending {
+            put_u64(&mut out, s.id.0);
+            put_blocks(&mut out, &s.blocks);
+            put_plan(&mut out, &s.plan);
+        }
+        put_u32(&mut out, self.encoded.len() as u32);
+        for s in &self.encoded {
+            put_u64(&mut out, s.id.0);
+            put_blocks(&mut out, &s.data);
+            put_blocks(&mut out, &s.parity);
+        }
+        put_u64(&mut out, self.next_block);
+        put_u64(&mut out, self.next_stripe);
+        out
+    }
+
+    /// Decodes a snapshot, requiring full consumption.
+    pub fn decode(buf: &[u8]) -> Option<MetaSnapshot> {
+        let mut pos = 0usize;
+        let n_blocks = get_u64(buf, &mut pos)? as usize;
+        // Each block entry is ≥ 17 bytes; reject counts the buffer can't hold.
+        if buf.len().saturating_sub(pos) < n_blocks.checked_mul(17)? {
+            return None;
+        }
+        let mut blocks = BTreeMap::new();
+        for _ in 0..n_blocks {
+            let id = BlockId(get_u64(buf, &mut pos)?);
+            let locations = get_nodes(buf, &mut pos)?;
+            let assigned = match get_u8(buf, &mut pos)? {
+                0 => None,
+                1 => Some(get_nodes(buf, &mut pos)?),
+                _ => return None,
+            };
+            blocks.insert(
+                id,
+                BlockRec {
+                    locations,
+                    assigned,
+                },
+            );
+        }
+        let unsealed = get_blocks(buf, &mut pos)?;
+        let n = get_count(buf, &mut pos, 8)?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending.push(StripeEntry {
+                id: StripeId(get_u64(buf, &mut pos)?),
+                blocks: get_blocks(buf, &mut pos)?,
+                plan: get_plan(buf, &mut pos)?,
+            });
+        }
+        let n = get_count(buf, &mut pos, 8)?;
+        let mut encoded = Vec::with_capacity(n);
+        for _ in 0..n {
+            encoded.push(EncodedEntry {
+                id: StripeId(get_u64(buf, &mut pos)?),
+                data: get_blocks(buf, &mut pos)?,
+                parity: get_blocks(buf, &mut pos)?,
+            });
+        }
+        let next_block = get_u64(buf, &mut pos)?;
+        let next_stripe = get_u64(buf, &mut pos)?;
+        (pos == buf.len()).then_some(MetaSnapshot {
+            blocks,
+            unsealed,
+            pending,
+            encoded,
+            next_block,
+            next_stripe,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Frames one record at `lsn`: `len | crc32c(body) | body` with
+/// `body = lsn | record`.
+pub fn encode_frame(lsn: u64, rec: &MetaRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u64(&mut body, lsn);
+    rec.encode(&mut body);
+    let mut out = Vec::with_capacity(body.len() + 8);
+    put_u32(&mut out, body.len() as u32);
+    put_u32(&mut out, crc32c(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Byte form of a committed checkpoint at `last_lsn`.
+pub fn encode_checkpoint(snap: &MetaSnapshot, last_lsn: u64) -> Vec<u8> {
+    let payload = snap.encode();
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    put_u32(&mut out, CHECKPOINT_MAGIC);
+    put_u32(&mut out, CHECKPOINT_VERSION);
+    put_u64(&mut out, last_lsn);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32c(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_checkpoint(buf: &[u8]) -> Result<(MetaSnapshot, u64)> {
+    let mut pos = 0usize;
+    let magic = get_u32(buf, &mut pos).ok_or_else(|| corrupt("checkpoint header truncated"))?;
+    if magic != CHECKPOINT_MAGIC {
+        return Err(corrupt("checkpoint magic mismatch"));
+    }
+    let version = get_u32(buf, &mut pos).ok_or_else(|| corrupt("checkpoint header truncated"))?;
+    if version != CHECKPOINT_VERSION {
+        return Err(corrupt(format!("unknown checkpoint version {version}")));
+    }
+    let last_lsn = get_u64(buf, &mut pos).ok_or_else(|| corrupt("checkpoint header truncated"))?;
+    let len = get_u32(buf, &mut pos).ok_or_else(|| corrupt("checkpoint header truncated"))?;
+    let crc = get_u32(buf, &mut pos).ok_or_else(|| corrupt("checkpoint header truncated"))?;
+    let payload = take(buf, &mut pos, len as usize)
+        .ok_or_else(|| corrupt("checkpoint payload truncated"))?;
+    if pos != buf.len() {
+        return Err(corrupt("checkpoint has trailing bytes"));
+    }
+    if crc32c(payload) != crc {
+        return Err(corrupt("checkpoint payload crc mismatch"));
+    }
+    let snap =
+        MetaSnapshot::decode(payload).ok_or_else(|| corrupt("checkpoint payload undecodable"))?;
+    Ok((snap, last_lsn))
+}
+
+/// Outcome of scanning a log image: the decoded `(lsn, record)` prefix and
+/// the byte length of that valid prefix (everything past it is a torn
+/// tail).
+///
+/// # Errors
+///
+/// [`Error::WalCorrupt`] for a frame whose CRC verifies but whose body does
+/// not decode — real corruption, distinct from a torn append.
+pub fn scan_log(buf: &[u8]) -> Result<(Vec<(u64, MetaRecord)>, usize)> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut expected_lsn: Option<u64> = None;
+    loop {
+        let frame_start = pos;
+        let mut cursor = pos;
+        let Some(len) = get_u32(buf, &mut cursor) else {
+            return Ok((records, frame_start));
+        };
+        let Some(crc) = get_u32(buf, &mut cursor) else {
+            return Ok((records, frame_start));
+        };
+        if !(8..=MAX_RECORD).contains(&len) {
+            return Ok((records, frame_start));
+        }
+        let Some(body) = take(buf, &mut cursor, len as usize) else {
+            return Ok((records, frame_start));
+        };
+        if crc32c(body) != crc {
+            return Ok((records, frame_start));
+        }
+        let mut bpos = 0usize;
+        // The u64 take cannot fail: len >= 8 was checked above.
+        let Some(lsn) = get_u64(body, &mut bpos) else {
+            return Ok((records, frame_start));
+        };
+        if let Some(expected) = expected_lsn {
+            if lsn != expected {
+                return Ok((records, frame_start));
+            }
+        }
+        let rec = body
+            .get(8..)
+            .and_then(MetaRecord::decode)
+            .ok_or_else(|| corrupt(format!("record at lsn {lsn} has valid crc but no decoding")))?;
+        records.push((lsn, rec));
+        expected_lsn = Some(lsn + 1);
+        pos = cursor;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MetaWal
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    last_lsn: u64,
+    since_checkpoint: u64,
+}
+
+/// The open write-ahead log of one NameNode.
+///
+/// Lock order: `wal` is the finest class (DESIGN.md §11) — it is taken
+/// while a location shard or the stripe mutex is held (so log order equals
+/// apply order) and never takes another lock itself.
+#[derive(Debug)]
+pub struct MetaWal {
+    dir: PathBuf,
+    sync: bool,
+    checkpoint_every: u64,
+    wal: Mutex<WalInner>,
+}
+
+fn fsync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(io_err(format!("fsync dir {}", dir.display())))
+}
+
+impl MetaWal {
+    /// Opens (or creates) the log under `dir`, recovering the metadata
+    /// image: checkpoint (if any) plus the valid log suffix. A torn tail
+    /// is truncated in place; stale `.tmp` files from an interrupted
+    /// checkpoint are removed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] for host failures, [`Error::WalCorrupt`] for a
+    /// corrupt committed checkpoint or a CRC-valid-but-undecodable record.
+    pub fn open(dir: &Path, sync: bool, checkpoint_every: u64) -> Result<(MetaWal, MetaSnapshot)> {
+        fs::create_dir_all(dir).map_err(io_err(format!("create {}", dir.display())))?;
+        fn remove_stale(stale: &Path) -> Result<()> {
+            match fs::remove_file(stale) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(io_err(format!("remove {}", stale.display()))(e)),
+            }
+        }
+        remove_stale(&dir.join(format!("{CHECKPOINT_FILE}.tmp")))?;
+        remove_stale(&dir.join(format!("{WAL_FILE}.tmp")))?;
+
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let (mut snap, ckpt_lsn) = match fs::read(&ckpt_path) {
+            Ok(bytes) => decode_checkpoint(&bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (MetaSnapshot::default(), 0),
+            Err(e) => return Err(io_err(format!("read {}", ckpt_path.display()))(e)),
+        };
+
+        let wal_path = dir.join(WAL_FILE);
+        let image = match fs::read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(format!("read {}", wal_path.display()))(e)),
+        };
+        let (records, valid_len) = scan_log(&image)?;
+        let mut last_lsn = ckpt_lsn;
+        let mut replayed = 0u64;
+        for (lsn, rec) in &records {
+            if *lsn > ckpt_lsn {
+                snap.apply(rec);
+                replayed += 1;
+            }
+            last_lsn = last_lsn.max(*lsn);
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(io_err(format!("open {}", wal_path.display())))?;
+        if valid_len < image.len() {
+            // Torn tail from an interrupted append: cut it so the next
+            // append starts at a frame boundary.
+            file.set_len(valid_len as u64)
+                .map_err(io_err("truncate torn wal tail"))?;
+            if sync {
+                file.sync_all().map_err(io_err("fsync truncated wal"))?;
+            }
+        }
+
+        let wal = MetaWal {
+            dir: dir.to_path_buf(),
+            sync,
+            checkpoint_every: checkpoint_every.max(1),
+            wal: Mutex::new(WalInner {
+                file,
+                last_lsn,
+                since_checkpoint: replayed,
+            }),
+        };
+        Ok((wal, snap))
+    }
+
+    /// Appends one record, fsyncing before return when the log is in
+    /// synchronous mode, and returns its LSN. Once this returns, the
+    /// mutation is durable — callers acknowledge only after.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the write or fsync fails.
+    pub fn append(&self, rec: &MetaRecord) -> Result<u64> {
+        let mut wal = self.wal.lock();
+        let lsn = wal.last_lsn + 1;
+        let frame = encode_frame(lsn, rec);
+        wal.file
+            .write_all(&frame)
+            .map_err(io_err("append wal record"))?;
+        if self.sync {
+            wal.file.sync_data().map_err(io_err("fsync wal append"))?;
+        }
+        wal.last_lsn = lsn;
+        wal.since_checkpoint += 1;
+        Ok(lsn)
+    }
+
+    /// LSN of the most recent append (0 if none ever happened).
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.lock().last_lsn
+    }
+
+    /// Whether enough records accumulated since the last checkpoint to
+    /// warrant another one.
+    pub fn should_checkpoint(&self) -> bool {
+        self.wal.lock().since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Commits `snap` as the new checkpoint and compacts the log.
+    ///
+    /// `last_lsn` must be the log position read *before* `snap` was
+    /// gathered: any record that raced in between is in the snapshot
+    /// already *and* stays in the compacted log, which is safe because
+    /// records are re-apply-safe.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if any write, fsync, or rename fails.
+    pub fn checkpoint(&self, snap: &MetaSnapshot, last_lsn: u64) -> Result<()> {
+        let bytes = encode_checkpoint(snap, last_lsn);
+        let tmp = self.dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        let dst = self.dir.join(CHECKPOINT_FILE);
+        {
+            let mut f = File::create(&tmp).map_err(io_err(format!("create {}", tmp.display())))?;
+            f.write_all(&bytes).map_err(io_err("write checkpoint"))?;
+            if self.sync {
+                f.sync_all().map_err(io_err("fsync checkpoint"))?;
+            }
+        }
+        fs::rename(&tmp, &dst).map_err(io_err("commit checkpoint rename"))?;
+        if self.sync {
+            fsync_dir(&self.dir)?;
+        }
+
+        // The checkpoint is committed; now drop the log prefix it covers.
+        // A crash anywhere in here leaves either the old (uncompacted) log
+        // — replay just skips lsn ≤ last_lsn — or the new one.
+        let mut wal = self.wal.lock();
+        let wal_path = self.dir.join(WAL_FILE);
+        let image = fs::read(&wal_path).map_err(io_err("read wal for compaction"))?;
+        let (records, _) = scan_log(&image)?;
+        let mut kept = Vec::new();
+        for (lsn, rec) in &records {
+            if *lsn > last_lsn {
+                kept.extend_from_slice(&encode_frame(*lsn, rec));
+            }
+        }
+        let tmp = self.dir.join(format!("{WAL_FILE}.tmp"));
+        {
+            let mut f = File::create(&tmp).map_err(io_err(format!("create {}", tmp.display())))?;
+            f.write_all(&kept).map_err(io_err("write compacted wal"))?;
+            if self.sync {
+                f.sync_all().map_err(io_err("fsync compacted wal"))?;
+            }
+        }
+        fs::rename(&tmp, &wal_path).map_err(io_err("commit compacted wal rename"))?;
+        if self.sync {
+            fsync_dir(&self.dir)?;
+        }
+        wal.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(io_err("reopen compacted wal"))?;
+        wal.since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn tmp_dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ear-wal-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_records() -> Vec<MetaRecord> {
+        vec![
+            MetaRecord::Allocate {
+                block: BlockId(0),
+                locations: vec![NodeId(1), NodeId(2), NodeId(3)],
+                assigned: true,
+            },
+            MetaRecord::Allocate {
+                block: BlockId(1),
+                locations: vec![NodeId(4)],
+                assigned: false,
+            },
+            MetaRecord::AddLocation {
+                block: BlockId(0),
+                node: NodeId(9),
+            },
+            MetaRecord::DropLocation {
+                block: BlockId(0),
+                node: NodeId(1),
+            },
+            MetaRecord::SealStripe {
+                stripe: StripeId(0),
+                blocks: vec![BlockId(0)],
+                plan: PlanRecord {
+                    layouts: vec![vec![NodeId(1), NodeId(2), NodeId(3)]],
+                    core_rack: Some(RackId(1)),
+                    target_racks: Some(vec![RackId(0), RackId(2)]),
+                    retries: vec![2],
+                },
+            },
+            MetaRecord::SetLocations {
+                block: BlockId(0),
+                nodes: vec![NodeId(2)],
+            },
+            MetaRecord::EncodeCommit {
+                stripe: StripeId(0),
+                data: vec![BlockId(0)],
+                parity: vec![BlockId(1)],
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_bytes() {
+        for rec in sample_records() {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            assert_eq!(MetaRecord::decode(&buf), Some(rec.clone()), "{rec:?}");
+            // Truncations never decode.
+            for cut in 0..buf.len() {
+                assert_eq!(MetaRecord::decode(&buf[..cut]), None, "cut={cut} {rec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_apply_is_idempotent() {
+        let mut snap = MetaSnapshot::default();
+        for rec in sample_records() {
+            snap.apply(&rec);
+        }
+        let bytes = snap.encode();
+        assert_eq!(MetaSnapshot::decode(&bytes), Some(snap.clone()));
+
+        let mut twice = MetaSnapshot::default();
+        for rec in sample_records() {
+            twice.apply(&rec);
+            twice.apply(&rec);
+        }
+        assert_eq!(twice, snap, "double-apply must converge");
+    }
+
+    #[test]
+    fn append_and_reopen_recovers_everything() {
+        let dir = tmp_dir();
+        let (wal, snap) = MetaWal::open(&dir, true, 1000).unwrap();
+        assert_eq!(snap, MetaSnapshot::default());
+        let mut expected = MetaSnapshot::default();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+            expected.apply(&rec);
+        }
+        assert_eq!(wal.last_lsn(), sample_records().len() as u64);
+        drop(wal);
+
+        let (wal, recovered) = MetaWal::open(&dir, true, 1000).unwrap();
+        assert_eq!(recovered, expected);
+        assert_eq!(wal.last_lsn(), sample_records().len() as u64);
+        drop(wal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_surfaced() {
+        let dir = tmp_dir();
+        let (wal, _) = MetaWal::open(&dir, true, 1000).unwrap();
+        let recs = sample_records();
+        for rec in &recs {
+            wal.append(rec).unwrap();
+        }
+        drop(wal);
+        let wal_path = dir.join(WAL_FILE);
+        let image = fs::read(&wal_path).unwrap();
+        // Cut mid-way through the last frame.
+        fs::write(&wal_path, &image[..image.len() - 3]).unwrap();
+
+        let (wal, recovered) = MetaWal::open(&dir, true, 1000).unwrap();
+        let mut expected = MetaSnapshot::default();
+        for rec in &recs[..recs.len() - 1] {
+            expected.apply(rec);
+        }
+        assert_eq!(recovered, expected);
+        // The torn bytes were physically removed; a fresh append lands at
+        // a clean frame boundary and the log replays in full.
+        wal.append(recs.last().unwrap()).unwrap();
+        drop(wal);
+        let (_, again) = MetaWal::open(&dir, true, 1000).unwrap();
+        let mut full = MetaSnapshot::default();
+        for rec in &recs {
+            full.apply(rec);
+        }
+        assert_eq!(again, full);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovers() {
+        let dir = tmp_dir();
+        let (wal, _) = MetaWal::open(&dir, true, 4).unwrap();
+        let recs = sample_records();
+        let mut snap = MetaSnapshot::default();
+        for rec in &recs[..4] {
+            wal.append(rec).unwrap();
+            snap.apply(rec);
+        }
+        assert!(wal.should_checkpoint());
+        let l0 = wal.last_lsn();
+        wal.checkpoint(&snap, l0).unwrap();
+        assert!(!wal.should_checkpoint());
+        for rec in &recs[4..] {
+            wal.append(rec).unwrap();
+        }
+        drop(wal);
+
+        // The compacted log holds only the suffix.
+        let image = fs::read(dir.join(WAL_FILE)).unwrap();
+        let (records, valid) = scan_log(&image).unwrap();
+        assert_eq!(valid, image.len());
+        assert_eq!(records.len(), recs.len() - 4);
+        assert_eq!(records.first().unwrap().0, l0 + 1);
+
+        let (_, recovered) = MetaWal::open(&dir, true, 4).unwrap();
+        let mut expected = MetaSnapshot::default();
+        for rec in &recs {
+            expected.apply(rec);
+        }
+        assert_eq!(recovered, expected);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let dir = tmp_dir();
+        let (wal, _) = MetaWal::open(&dir, true, 1000).unwrap();
+        let mut snap = MetaSnapshot::default();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+            snap.apply(&rec);
+        }
+        wal.checkpoint(&snap, wal.last_lsn()).unwrap();
+        drop(wal);
+        let ckpt = dir.join(CHECKPOINT_FILE);
+        let mut bytes = fs::read(&ckpt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&ckpt, &bytes).unwrap();
+        match MetaWal::open(&dir, true, 1000) {
+            Err(Error::WalCorrupt { .. }) => {}
+            other => panic!("expected WalCorrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc_valid_but_undecodable_record_is_corruption() {
+        let dir = tmp_dir();
+        fs::create_dir_all(&dir).unwrap();
+        // A frame with a bogus tag but a correct CRC.
+        let mut body = Vec::new();
+        put_u64(&mut body, 1);
+        body.push(0xEE);
+        let mut frame = Vec::new();
+        put_u32(&mut frame, body.len() as u32);
+        put_u32(&mut frame, crc32c(&body));
+        frame.extend_from_slice(&body);
+        fs::write(dir.join(WAL_FILE), &frame).unwrap();
+        match MetaWal::open(&dir, true, 1000) {
+            Err(Error::WalCorrupt { .. }) => {}
+            other => panic!("expected WalCorrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plan_record_validates_on_rebuild() {
+        let good = PlanRecord {
+            layouts: vec![vec![NodeId(0), NodeId(1)]],
+            core_rack: None,
+            target_racks: None,
+            retries: vec![0],
+        };
+        let plan = good.to_plan().unwrap();
+        assert_eq!(PlanRecord::from_plan(&plan), good);
+
+        let dup = PlanRecord {
+            layouts: vec![vec![NodeId(0), NodeId(0)]],
+            ..good.clone()
+        };
+        assert!(matches!(dup.to_plan(), Err(Error::WalCorrupt { .. })));
+        let empty = PlanRecord {
+            layouts: vec![vec![]],
+            ..good.clone()
+        };
+        assert!(matches!(empty.to_plan(), Err(Error::WalCorrupt { .. })));
+        let skew = PlanRecord {
+            retries: vec![0, 1],
+            ..good
+        };
+        assert!(matches!(skew.to_plan(), Err(Error::WalCorrupt { .. })));
+    }
+}

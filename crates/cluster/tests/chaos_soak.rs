@@ -72,13 +72,16 @@ fn chaos_reports_are_bit_identical_across_backends() {
             }
         };
         let mem = run_plan(seed, &cfg(StoreBackend::Memory)).expect("memory run");
-        let file = run_plan(seed, &cfg(StoreBackend::File)).expect("file run");
         assert!(mem.passed(ClusterPolicy::Ear), "seed {seed}: {mem:?}");
-        assert_eq!(
-            format!("{mem:?}"),
-            format!("{file:?}"),
-            "seed {seed}: backends diverged"
-        );
+        for store in [StoreBackend::File, StoreBackend::Extent] {
+            let other = run_plan(seed, &cfg(store)).expect("durable-backend run");
+            assert_eq!(
+                format!("{mem:?}"),
+                format!("{other:?}"),
+                "seed {seed}: {} diverged from memory",
+                store.name()
+            );
+        }
     }
 }
 
@@ -115,6 +118,8 @@ fn chaos_reports_are_bit_identical_across_cache_configs() {
             (StoreBackend::Memory, small),
             (StoreBackend::File, small),
             (StoreBackend::File, CacheConfig::default()),
+            (StoreBackend::Extent, small),
+            (StoreBackend::Extent, CacheConfig::default()),
         ] {
             let on = run_plan(seed, &cfg(store, cache)).expect("cache-on");
             assert_eq!(
@@ -158,7 +163,7 @@ fn chaos_reports_are_identical_across_thread_counts_and_backends() {
             baseline.passed(ClusterPolicy::Ear),
             "seed {seed}: {baseline:?}"
         );
-        for store in [StoreBackend::Memory, StoreBackend::File] {
+        for store in [StoreBackend::Memory, StoreBackend::File, StoreBackend::Extent] {
             for map_tasks in [1usize, 4, 8] {
                 let report = run_plan(seed, &mk(store, map_tasks)).expect("run");
                 assert_eq!(

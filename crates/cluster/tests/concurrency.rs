@@ -69,6 +69,7 @@ fn boot(policy: ClusterPolicy) -> MiniCfs {
         seed: 5,
         store: StoreBackend::from_env(),
         cache: CacheConfig::from_env(),
+        durability: Default::default(),
     })
     .unwrap()
 }

@@ -63,13 +63,16 @@ fn heal_reports_are_bit_identical_across_backends() {
             ..HealSoakConfig::default()
         };
         let mem = run_heal_plan(seed, &mk(StoreBackend::Memory)).expect("memory run");
-        let file = run_heal_plan(seed, &mk(StoreBackend::File)).expect("file run");
         assert!(mem.passed(), "seed {seed}: {mem:?}");
-        assert_eq!(
-            heal_fingerprint(&mem),
-            heal_fingerprint(&file),
-            "seed {seed}: backends diverged"
-        );
+        for store in [StoreBackend::File, StoreBackend::Extent] {
+            let other = run_heal_plan(seed, &mk(store)).expect("durable-backend run");
+            assert_eq!(
+                heal_fingerprint(&mem),
+                heal_fingerprint(&other),
+                "seed {seed}: {} diverged from memory",
+                store.name()
+            );
+        }
     }
 }
 
@@ -101,6 +104,8 @@ fn heal_reports_are_bit_identical_across_cache_configs() {
             (StoreBackend::Memory, small),
             (StoreBackend::File, small),
             (StoreBackend::File, CacheConfig::default()),
+            (StoreBackend::Extent, small),
+            (StoreBackend::Extent, CacheConfig::default()),
         ] {
             let on = run_heal_plan(seed, &mk(store, cache)).expect("cache-on");
             assert_eq!(
@@ -141,7 +146,7 @@ fn heal_reports_are_identical_across_thread_counts_and_backends() {
         };
         let baseline = run_heal_plan(seed, &mk(StoreBackend::Memory, 1)).expect("baseline run");
         assert!(baseline.passed(), "seed {seed}: {baseline:?}");
-        for store in [StoreBackend::Memory, StoreBackend::File] {
+        for store in [StoreBackend::Memory, StoreBackend::File, StoreBackend::Extent] {
             for map_tasks in [1usize, 4, 8] {
                 let report = run_heal_plan(seed, &mk(store, map_tasks)).expect("run");
                 assert_eq!(

@@ -59,6 +59,7 @@ fn build(s: &Scenario) -> MiniCfs {
         seed: s.seed,
         store: ear_types::StoreBackend::from_env(),
         cache: ear_types::CacheConfig::from_env(),
+        durability: Default::default(),
     })
     .expect("hostable by construction")
 }

@@ -46,6 +46,9 @@ pub const DATA_PLANE_FILES: &[&str] = &[
     "recovery.rs",
     "raidnode.rs",
     "healer.rs",
+    "wal.rs",
+    "extent.rs",
+    "crashsim.rs",
 ];
 
 /// Runs every applicable rule on one source file. `path` is the

@@ -33,10 +33,11 @@ const ORDER: &[(&str, &[&str])] = &[
     ("rng", &["rng"]),
     ("stripes", &["stripes"]),
     ("shard", &["shard", "shards"]),
+    ("wal", &["wal"]),
 ];
 
 /// Human rendering of the declared order, used in messages.
-const ORDER_TEXT: &str = "policy \u{2192} rng \u{2192} stripes \u{2192} shard";
+const ORDER_TEXT: &str = "policy \u{2192} rng \u{2192} stripes \u{2192} shard \u{2192} wal";
 
 fn classify(recv: &str) -> Option<(usize, &'static str)> {
     ORDER
@@ -265,6 +266,27 @@ mod tests {
              }",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn wal_is_the_finest_class() {
+        // Appending to the log under a shard guard is the declared order…
+        let ok = run(
+            "fn f(&self) {\n\
+             let mut shard = self.shard(b).write();\n\
+             self.wal.lock().append(rec);\n\
+             }",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        // …but taking a shard while holding the log is a deadlock hazard.
+        let d = run(
+            "fn bad(&self) {\n\
+             let w = self.wal.lock();\n\
+             let shard = self.shard(b).write();\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, "lock-order");
     }
 
     #[test]

@@ -106,6 +106,19 @@ pub enum Error {
         /// Which lock was poisoned (e.g. `"failure detector"`).
         what: &'static str,
     },
+    /// A durable operation (reopen from disk, checkpoint) was requested on
+    /// a backend that cannot persist state across restarts.
+    NotDurable {
+        /// The non-durable backend (e.g. `"memory"`).
+        backend: &'static str,
+    },
+    /// Durable metadata (write-ahead log or checkpoint) is corrupt beyond
+    /// the torn-tail window that recovery tolerates: a record passed its
+    /// CRC but cannot be decoded, or a checkpoint body fails verification.
+    WalCorrupt {
+        /// Where the corruption was detected.
+        context: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -165,6 +178,12 @@ impl fmt::Display for Error {
             Error::LockPoisoned { what } => {
                 write!(f, "{what} lock poisoned by a panicked thread")
             }
+            Error::NotDurable { backend } => {
+                write!(f, "{backend} backend cannot persist state across restarts")
+            }
+            Error::WalCorrupt { context } => {
+                write!(f, "durable metadata corrupt: {context}")
+            }
         }
     }
 }
@@ -223,6 +242,10 @@ mod tests {
             },
             Error::Io {
                 context: "write /tmp/ear-store/0.blk".into(),
+            },
+            Error::NotDurable { backend: "memory" },
+            Error::WalCorrupt {
+                context: "checkpoint payload crc mismatch".into(),
             },
         ];
         for e in errs {

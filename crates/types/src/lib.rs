@@ -40,6 +40,9 @@ pub use block::Block;
 pub use error::{Error, Result};
 pub use health::{HealStats, NodeHealth};
 pub use ids::{BlockId, NodeId, RackId, StripeId};
-pub use params::{CacheConfig, EarConfig, ErasureParams, RackSpread, ReplicationConfig, StoreBackend};
+pub use params::{
+    CacheConfig, DurabilityConfig, EarConfig, ErasureParams, RackSpread, ReplicationConfig,
+    StoreBackend,
+};
 pub use topology::ClusterTopology;
 pub use units::{Bandwidth, ByteSize};

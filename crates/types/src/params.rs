@@ -329,11 +329,15 @@ pub enum StoreBackend {
     /// File-backed store: one file per block under a per-node temp root,
     /// removed when the node is dropped. Exercises real I/O syscalls.
     File,
+    /// Extent-based store: blocks packed into aligned segment files through
+    /// a free-list allocator, with header+payload CRC framing, explicit
+    /// fsync barriers, and torn-write detection on reopen (DESIGN.md §13).
+    Extent,
 }
 
 impl StoreBackend {
     /// Reads the backend from the `EAR_STORE` environment variable
-    /// (`memory` or `file`, case-insensitive). Unset defaults to
+    /// (`memory`, `file`, or `extent`, case-insensitive). Unset defaults to
     /// [`StoreBackend::Memory`].
     ///
     /// # Panics
@@ -344,18 +348,74 @@ impl StoreBackend {
         match std::env::var("EAR_STORE") {
             Ok(v) if v.eq_ignore_ascii_case("memory") => StoreBackend::Memory,
             Ok(v) if v.eq_ignore_ascii_case("file") => StoreBackend::File,
-            Ok(v) => panic!("EAR_STORE must be `memory` or `file`, got `{v}`"),
+            Ok(v) if v.eq_ignore_ascii_case("extent") => StoreBackend::Extent,
+            Ok(v) => panic!("EAR_STORE must be `memory`, `file`, or `extent`, got `{v}`"),
             Err(_) => StoreBackend::Memory,
         }
     }
 
-    /// Stable lowercase label (`"memory"` / `"file"`) for stats and bench
-    /// output.
+    /// Stable lowercase label (`"memory"` / `"file"` / `"extent"`) for
+    /// stats and bench output.
     pub fn name(self) -> &'static str {
         match self {
             StoreBackend::Memory => "memory",
             StoreBackend::File => "file",
+            StoreBackend::Extent => "extent",
         }
+    }
+
+    /// Whether stores of this backend can survive a process restart when
+    /// rooted in a persistent data directory. The memory backend cannot —
+    /// reopening it yields [`crate::Error::NotDurable`], never a silently
+    /// empty cluster.
+    pub fn is_durable(self) -> bool {
+        !matches!(self, StoreBackend::Memory)
+    }
+}
+
+/// Durability knobs of a cluster (DESIGN.md §13).
+///
+/// With `data_dir` unset (the default) the cluster is volatile, exactly as
+/// before the durability layer existed: NameNode metadata lives only in
+/// memory and DataNode stores use throwaway temp roots. With `data_dir`
+/// set, NameNode mutations are written ahead to a CRC32C-framed log under
+/// `<data_dir>/meta/` before they are acknowledged, checkpoints compact
+/// that log, and DataNode stores live under `<data_dir>/nodes/n<i>/` and
+/// survive a drop + reopen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Root directory of the persistent cluster state; `None` = volatile.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Whether WAL appends and store commits fsync before acknowledging.
+    /// Defaults to `true`; benchmarks may disable it to measure the
+    /// fsync cost itself.
+    pub sync_writes: bool,
+    /// Number of WAL records between automatic checkpoints.
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            data_dir: None,
+            sync_writes: true,
+            checkpoint_every: 256,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// A durable configuration rooted at `dir` with default knobs.
+    pub fn at(dir: impl Into<std::path::PathBuf>) -> Self {
+        DurabilityConfig {
+            data_dir: Some(dir.into()),
+            ..DurabilityConfig::default()
+        }
+    }
+
+    /// Whether the cluster persists state across restarts.
+    pub fn is_durable(&self) -> bool {
+        self.data_dir.is_some()
     }
 }
 
@@ -541,6 +601,24 @@ mod tests {
         assert_eq!(StoreBackend::default(), StoreBackend::Memory);
         assert_eq!(StoreBackend::Memory.name(), "memory");
         assert_eq!(StoreBackend::File.name(), "file");
+        assert_eq!(StoreBackend::Extent.name(), "extent");
+        assert!(!StoreBackend::Memory.is_durable());
+        assert!(StoreBackend::File.is_durable());
+        assert!(StoreBackend::Extent.is_durable());
+    }
+
+    #[test]
+    fn durability_config_defaults_to_volatile() {
+        let d = DurabilityConfig::default();
+        assert!(!d.is_durable());
+        assert!(d.sync_writes);
+        assert_eq!(d.checkpoint_every, 256);
+        let d = DurabilityConfig::at("/tmp/ear-data");
+        assert!(d.is_durable());
+        assert_eq!(
+            d.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ear-data"))
+        );
     }
 
     #[test]

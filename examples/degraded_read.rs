@@ -28,6 +28,7 @@ fn run_config(c: usize, target_racks: Option<usize>) -> Result<(), Box<dyn std::
         seed: 42,
         store: StoreBackend::from_env(),
         cache: CacheConfig::from_env(),
+        durability: Default::default(),
     };
     let cfs = MiniCfs::new(cfg)?;
 

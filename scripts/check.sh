@@ -22,13 +22,15 @@ cargo build --release --offline
 # panic-freedom (DESIGN.md §11). Fails fast with file:line diagnostics;
 # suppressions live in lint-allowlist.txt.
 cargo run -q --offline -p ear-lint -- check
-# Tests run under both storage backends (DESIGN.md §9) and both sides of
-# the block cache (DESIGN.md §12): caching fully off (every read CRC32C
-# re-verified) and a deliberately small cache that forces eviction and
-# clock rotation under the suite's working sets.
+# Tests run under all three storage backends (DESIGN.md §9, §13) and both
+# sides of the block cache (DESIGN.md §12): caching fully off (every read
+# CRC32C re-verified) and a deliberately small cache that forces eviction
+# and clock rotation under the suite's working sets.
 EAR_STORE=memory EAR_CACHE=off cargo test -q --offline
 EAR_STORE=memory EAR_CACHE=4m,16m cargo test -q --offline
 EAR_STORE=file EAR_CACHE=4m,16m cargo test -q --offline
+EAR_STORE=extent EAR_CACHE=off cargo test -q --offline
+EAR_STORE=extent EAR_CACHE=4m,16m cargo test -q --offline
 cargo clippy --workspace --offline -- -D warnings
 
 # Chaos smoke: a fixed-seed fault-injection sweep over both policies
@@ -36,3 +38,8 @@ cargo clippy --workspace --offline -- -D warnings
 # with `ear chaos --seed <s>`. scripts/chaos.sh runs the long soaks.
 cargo run -q --release --offline -p ear-cli -- chaos --plans 5 --seed 0 --profile mixed
 cargo run -q --release --offline -p ear-cli -- chaos --plans 2 --seed 0 --profile mixed --store file
+cargo run -q --release --offline -p ear-cli -- chaos --plans 2 --seed 0 --profile mixed --store extent
+# Crash-sim smoke: deterministic kill-point sweep over the durability
+# layer's three surfaces (DESIGN.md §13). Failures name (seed, kill) to
+# replay with `ear crashsim --surface <s> --seed <n> --kills 1`.
+cargo run -q --release --offline -p ear-cli -- crashsim --seeds 4 --kills 8

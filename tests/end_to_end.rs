@@ -94,6 +94,7 @@ fn full_pipeline_survives_node_failures() {
         seed: 2,
         store: StoreBackend::from_env(),
         cache: CacheConfig::from_env(),
+        durability: Default::default(),
     };
     let cfs = MiniCfs::new(cfg).unwrap();
     let mut originals = Vec::new();
@@ -154,6 +155,7 @@ fn storage_overhead_drops_from_replication_to_erasure_coding() {
         seed: 3,
         store: StoreBackend::from_env(),
         cache: CacheConfig::from_env(),
+        durability: Default::default(),
     };
     let cfs = MiniCfs::new(cfg).unwrap();
     for i in 0..8u64 {

@@ -50,6 +50,7 @@ pub fn measure(c: usize, target_racks: Option<usize>, scale: Scale) -> Result<Re
         store: ear_types::StoreBackend::from_env(),
         cache: ear_types::CacheConfig::from_env(),
         durability: ear_types::DurabilityConfig::default(),
+        reliability: Default::default(),
     };
     let cfs = MiniCfs::new(cfg)?;
     let stripes = scale.pick(4, 30);

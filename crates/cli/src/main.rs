@@ -38,6 +38,7 @@ USAGE:
   ear analyze theorem1 --racks R --c C --k K
   ear chaos    [--policy rr|ear|both] [--plans N] [--seed S]
                [--profile light|heavy|mixed] [--store memory|file|extent]
+               [--stragglers] [--no-hedge]
   ear heal     [--plans N] [--seed S] [--kills K] [--stripes S]
                [--max-rounds R] [--byte-budget B] [--store memory|file|extent]
   ear crashsim [--surface wal|checkpoint|extent|all] [--seeds N] [--kills K]
@@ -46,9 +47,12 @@ USAGE:
   ear list
 
 The chaos/heal storage backend defaults to the EAR_STORE environment
-variable (memory when unset); --store overrides it. `crashsim` sweeps the
-durability layer's deterministic kill-point simulators; `recover` replays
-a durable data directory's WAL + checkpoint and prints the image.
+variable (memory when unset); --store overrides it. `ear chaos
+--stragglers` runs the straggler-heavy (Pareto-delay) mix and prints the
+probe-read tail latencies; --no-hedge disables hedged reads for
+comparison. `crashsim` sweeps the durability layer's deterministic
+kill-point simulators; `recover` replays a durable data directory's WAL +
+checkpoint and prints the image.
 ";
 
 fn main() {
@@ -191,22 +195,34 @@ fn chaos(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         "both" => vec![ClusterPolicy::Ear, ClusterPolicy::Rr],
         other => return Err(Box::new(ArgError(format!("unknown policy: {other}")))),
     };
-    let profile = args.get("profile").unwrap_or("mixed");
+    let stragglers = args.flag("stragglers");
+    let hedging = !args.flag("no-hedge");
+    let profile = args
+        .get("profile")
+        .unwrap_or(if stragglers { "stragglers" } else { "mixed" });
     let store = store_backend(args)?;
     let config_for = |policy: ClusterPolicy, seed: u64| -> Result<ChaosConfig, ArgError> {
-        let base = match profile {
-            "light" => ChaosConfig::light(policy),
-            "heavy" => ChaosConfig::heavy(policy),
-            "mixed" => {
-                if seed.is_multiple_of(2) {
-                    ChaosConfig::light(policy)
-                } else {
-                    ChaosConfig::heavy(policy)
+        let base = if stragglers {
+            ChaosConfig::straggler_heavy(policy)
+        } else {
+            match profile {
+                "light" => ChaosConfig::light(policy),
+                "heavy" => ChaosConfig::heavy(policy),
+                "mixed" => {
+                    if seed.is_multiple_of(2) {
+                        ChaosConfig::light(policy)
+                    } else {
+                        ChaosConfig::heavy(policy)
+                    }
                 }
+                other => return Err(ArgError(format!("unknown profile: {other}"))),
             }
-            other => return Err(ArgError(format!("unknown profile: {other}"))),
         };
-        Ok(ChaosConfig { store, ..base })
+        Ok(ChaosConfig {
+            store,
+            hedging,
+            ..base
+        })
     };
 
     let mut out = String::new();
@@ -236,6 +252,19 @@ fn chaos(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
                 r.lost_blocks.len(),
                 if pass { "PASS" } else { "FAIL" },
             ));
+            if stragglers {
+                out.push_str(&format!(
+                    "     reads={} read-failures={} p50={} p99={} p999={} ticks \
+                     hedges-launched={} hedges-won={}\n",
+                    r.read_ops,
+                    r.read_failures,
+                    r.read_p50_ticks,
+                    r.read_p99_ticks,
+                    r.read_p999_ticks,
+                    r.hedges_launched,
+                    r.hedges_won,
+                ));
+            }
         }
     }
     out.push_str(&format!(
@@ -427,6 +456,7 @@ fn recover(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         store,
         cache: CacheConfig::from_env(),
         durability: DurabilityConfig::at(&dir),
+        reliability: Default::default(),
     };
     let cfs = MiniCfs::reopen(cfg)?;
     let snap = cfs.namenode().snapshot();
@@ -607,6 +637,24 @@ mod tests {
     }
 
     #[test]
+    fn chaos_stragglers_prints_tail_latencies() {
+        let out = run_words(&[
+            "chaos", "--plans", "2", "--policy", "ear", "--seed", "1", "--stragglers",
+        ])
+        .unwrap();
+        assert!(out.contains("p99="), "{out}");
+        assert!(out.contains("hedges-launched="), "{out}");
+        assert!(out.contains("all invariants held"), "{out}");
+        // Hedging off still passes (latency-only machinery).
+        let off = run_words(&[
+            "chaos", "--plans", "1", "--policy", "ear", "--seed", "1", "--stragglers",
+            "--no-hedge",
+        ])
+        .unwrap();
+        assert!(off.contains("hedges-launched=0"), "{off}");
+    }
+
+    #[test]
     fn chaos_accepts_extent_store() {
         let out = run_words(&[
             "chaos", "--plans", "1", "--policy", "ear", "--profile", "light", "--store", "extent",
@@ -647,6 +695,7 @@ mod tests {
             store: StoreBackend::File,
             cache: CacheConfig::default(),
             durability: DurabilityConfig::at(&dir),
+            reliability: Default::default(),
         };
         {
             let cfs = MiniCfs::new(cfg).unwrap();

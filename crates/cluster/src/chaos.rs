@@ -23,6 +23,7 @@ use crate::healer::{Healer, HealerConfig};
 use crate::monitor::{plan_repairs, scan};
 use crate::raidnode::RaidNode;
 use crate::recovery::recover_node;
+use crate::reliability::{OpClass, ReliabilityConfig};
 use ear_faults::{FaultConfig, FaultPlan};
 use ear_types::{
     Bandwidth, BlockId, ByteSize, CacheConfig, ClusterTopology, EarConfig, ErasureParams,
@@ -47,6 +48,10 @@ pub struct ChaosConfig {
     /// reports must be bit-identical whatever this is set to — the cache
     /// only elides redundant CRC work, never changes data-plane outcomes.
     pub cache: CacheConfig,
+    /// Whether hedged reads are enabled (DESIGN.md §14). Under a
+    /// straggler-free plan the report must be bit-identical either way:
+    /// hedges only launch after a straggler delay crosses the threshold.
+    pub hedging: bool,
 }
 
 impl ChaosConfig {
@@ -60,6 +65,7 @@ impl ChaosConfig {
             map_tasks: 4,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            hedging: true,
         }
     }
 
@@ -67,6 +73,31 @@ impl ChaosConfig {
     pub fn heavy(policy: ClusterPolicy) -> Self {
         ChaosConfig {
             faults: FaultConfig::heavy(),
+            ..ChaosConfig::light(policy)
+        }
+    }
+
+    /// A straggler-dominated mix: no crashes, several nodes with a
+    /// heavy-tailed (Pareto) per-attempt delay — the tail-latency scenario
+    /// hedged reads exist for. Compare the report's read percentiles with
+    /// [`ChaosConfig::hedging`] on and off.
+    pub fn straggler_heavy(policy: ClusterPolicy) -> Self {
+        ChaosConfig {
+            faults: FaultConfig {
+                straggler_delay: ear_faults::DelayModel::Pareto {
+                    scale_ticks: 400,
+                    shape: 1.2,
+                    cap_ticks: 200_000,
+                },
+                node_crashes: 0,
+                rack_outages: 0,
+                stragglers: 4,
+                straggler_factor: 3.0,
+                transient_error_rate: 0.01,
+                corruption_rate: 0.0,
+                heartbeat_loss_rate: 0.0,
+                crash_window: 1,
+            },
             ..ChaosConfig::light(policy)
         }
     }
@@ -111,6 +142,22 @@ pub struct ChaosReport {
     /// Typed error from the recovery exercise, if it could not complete
     /// (tolerated: recovery may legitimately fail beyond tolerance).
     pub recovery_error: Option<String>,
+    /// Acked blocks read back through the real client path in the
+    /// tail-latency probe.
+    pub read_ops: usize,
+    /// Probe reads that failed with a typed error.
+    pub read_failures: usize,
+    /// Median probe-read latency, virtual-clock ticks.
+    pub read_p50_ticks: u64,
+    /// 99th-percentile probe-read latency, virtual-clock ticks.
+    pub read_p99_ticks: u64,
+    /// 99.9th-percentile probe-read latency, virtual-clock ticks.
+    pub read_p999_ticks: u64,
+    /// Hedged reads launched across the whole run (encode downloads and
+    /// probe reads alike).
+    pub hedges_launched: u64,
+    /// Hedged reads whose hedge leg beat the straggling primary.
+    pub hedges_won: u64,
 }
 
 impl ChaosReport {
@@ -130,6 +177,7 @@ fn chaos_cluster(
     seed: u64,
     store: StoreBackend,
     cache: CacheConfig,
+    hedging: bool,
 ) -> Result<ClusterConfig> {
     let ear = EarConfig::new(
         ErasureParams::new(6, 4)?,
@@ -148,6 +196,10 @@ fn chaos_cluster(
         store,
         cache,
         durability: ear_types::DurabilityConfig::default(),
+        reliability: ReliabilityConfig {
+            hedge_reads: hedging,
+            ..ReliabilityConfig::default()
+        },
     })
 }
 
@@ -161,7 +213,7 @@ fn chaos_cluster(
 /// asserting on them is the caller's job, typically via
 /// [`ChaosReport::passed`].
 pub fn run_plan(seed: u64, cfg: &ChaosConfig) -> Result<ChaosReport> {
-    let cluster_cfg = chaos_cluster(cfg.policy, seed, cfg.store, cfg.cache)?;
+    let cluster_cfg = chaos_cluster(cfg.policy, seed, cfg.store, cfg.cache, cfg.hedging)?;
     let topo = ClusterTopology::uniform(cluster_cfg.racks, cluster_cfg.nodes_per_rack);
     let plan = FaultPlan::generate(seed, &topo, &cfg.faults);
     let mut report = ChaosReport {
@@ -241,6 +293,32 @@ pub fn run_plan(seed: u64, cfg: &ChaosConfig) -> Result<ChaosReport> {
 
     verify_blocks(&cfs, &acked, k, &mut report);
 
+    // Tail-latency probe: read every acked block back through the real
+    // client path — admission, breakers, hedging and all — on the virtual
+    // clock, and report the percentile profile. Sequential, so the
+    // latencies are a pure function of the plan seed.
+    if let Some(reader) = cfs.topology().nodes().find(|&n| !cfs.injector().node_down(n)) {
+        let mut lat: Vec<u64> = Vec::with_capacity(acked.len());
+        for &b in acked.keys() {
+            let read = cfs
+                .reliability()
+                .ctx(OpClass::ClientRead)
+                .and_then(|ctx| cfs.read_block_in(&ctx, reader, b).map(|_| ctx.elapsed_ticks()));
+            match read {
+                Ok(ticks) => lat.push(ticks),
+                Err(_) => report.read_failures += 1,
+            }
+        }
+        report.read_ops = lat.len();
+        lat.sort_unstable();
+        report.read_p50_ticks = percentile(&lat, 500);
+        report.read_p99_ticks = percentile(&lat, 990);
+        report.read_p999_ticks = percentile(&lat, 999);
+    }
+    let io = cfs.io().stats();
+    report.hedges_launched = io.hedges_launched;
+    report.hedges_won = io.hedges_won;
+
     // Exercise recovery against the plan's first crashed node. It must
     // complete or fail typed — beyond-tolerance failures are tolerated.
     if let Some(crash) = cfs.injector().plan().crashes().first() {
@@ -250,6 +328,16 @@ pub fn run_plan(seed: u64, cfg: &ChaosConfig) -> Result<ChaosReport> {
         }
     }
     Ok(report)
+}
+
+/// Value at permille `p` of an ascending latency vector (nearest-rank on
+/// the scaled index); 0 when the vector is empty.
+fn percentile(sorted: &[u64], permille: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() - 1) * permille / 1000;
+    sorted.get(idx).copied().unwrap_or(0)
 }
 
 /// Checks every acked block is still recoverable, filling the report's
@@ -364,6 +452,7 @@ impl Default for HealSoakConfig {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             faults: FaultConfig {
+                straggler_delay: ear_faults::DelayModel::Throttle,
                 node_crashes: 2,
                 rack_outages: 0,
                 stragglers: 0,
@@ -443,6 +532,7 @@ fn heal_cluster(seed: u64, store: StoreBackend, cache: CacheConfig) -> Result<Cl
         store,
         cache,
         durability: ear_types::DurabilityConfig::default(),
+        reliability: ReliabilityConfig::default(),
     })
 }
 
@@ -461,6 +551,7 @@ pub fn run_heal_plan(seed: u64, cfg: &HealSoakConfig) -> Result<HealSoakReport> 
     let k = cluster_cfg.ear.erasure().k();
     let n = cluster_cfg.ear.erasure().n();
     let faults = FaultConfig {
+        straggler_delay: ear_faults::DelayModel::Throttle,
         node_crashes: cfg.kills.min(n - k),
         ..cfg.faults.clone()
     };
@@ -577,6 +668,7 @@ mod tests {
         // must verify.
         let cfg = ChaosConfig {
             faults: FaultConfig {
+                straggler_delay: ear_faults::DelayModel::Throttle,
                 node_crashes: 0,
                 rack_outages: 0,
                 stragglers: 0,
@@ -605,6 +697,7 @@ mod tests {
                 1,
                 StoreBackend::from_env(),
                 CacheConfig::from_env(),
+                true,
             )
             .unwrap(),
         )
@@ -668,6 +761,7 @@ mod tests {
         let cfg = HealSoakConfig {
             kills: 0,
             faults: FaultConfig {
+                straggler_delay: ear_faults::DelayModel::Throttle,
                 node_crashes: 0,
                 rack_outages: 0,
                 stragglers: 0,

@@ -4,6 +4,7 @@ use crate::datanode::DataNode;
 use crate::health::{FailureDetector, HealthConfig, HealthTransition};
 use crate::io::{ClusterIo, IoStats};
 use crate::namenode::NameNode;
+use crate::reliability::{self, OpClass, OpContext, Reliability, ReliabilityConfig};
 use crate::wal::MetaWal;
 use ear_core::{EncodingAwareReplication, PlacementPolicy, RandomReplicationPolicy};
 use ear_erasure::ReedSolomon;
@@ -15,11 +16,9 @@ use ear_types::{
 };
 use std::fs;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::sync::locked;
-
-pub(crate) use crate::io::backoff;
 
 /// Which placement policy the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +57,9 @@ pub struct ClusterConfig {
     /// directory, no WAL, state dies with the process, exactly the
     /// pre-durability testbed.
     pub durability: DurabilityConfig,
+    /// The reliability substrate (DESIGN.md §14): deadlines, retry budgets,
+    /// circuit breakers, hedged reads, and admission control.
+    pub reliability: ReliabilityConfig,
 }
 
 impl ClusterConfig {
@@ -77,6 +79,7 @@ impl ClusterConfig {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             durability: DurabilityConfig::default(),
+            reliability: ReliabilityConfig::default(),
         }
     }
 }
@@ -137,6 +140,7 @@ pub struct MiniCfs {
     io: ClusterIo,
     codec: ReedSolomon,
     health: Mutex<FailureDetector>,
+    reliability: Arc<Reliability>,
 }
 
 impl MiniCfs {
@@ -247,7 +251,12 @@ impl MiniCfs {
             topo.num_nodes(),
             HealthConfig::default(),
         ));
-        let io = ClusterIo::new(topo.clone(), datanodes, net, injector);
+        let reliability = Arc::new(Reliability::new(
+            config.reliability,
+            config.seed,
+            topo.num_nodes(),
+        ));
+        let io = ClusterIo::new(topo.clone(), datanodes, net, injector, reliability.clone());
         Ok(MiniCfs {
             config,
             topo,
@@ -255,6 +264,7 @@ impl MiniCfs {
             io,
             codec,
             health,
+            reliability,
         })
     }
 
@@ -278,7 +288,13 @@ impl MiniCfs {
             .nodes()
             .map(|n| !injector.node_down(n) && !injector.drops_heartbeat(n, tick))
             .collect();
-        Ok(det.observe(&beats))
+        let transitions = det.observe(&beats);
+        // The breakers' only input: detector verdicts, never data-plane
+        // failures — breaker state stays a pure function of the heartbeat
+        // schedule. Half-open probes drain on the same control-plane tick.
+        self.reliability.on_transitions(&transitions);
+        self.reliability.drain_probes();
+        Ok(transitions)
     }
 
     /// The failure detector's current view of one node.
@@ -342,6 +358,12 @@ impl MiniCfs {
         &self.io
     }
 
+    /// The reliability substrate (DESIGN.md §14): admits operations, owns
+    /// the retry budgets and circuit breakers, and sets hedging policy.
+    pub fn reliability(&self) -> &Arc<Reliability> {
+        &self.reliability
+    }
+
     /// Snapshot of the cluster's per-op I/O accounting.
     pub fn io_stats(&self) -> IoStats {
         self.io.stats()
@@ -368,6 +390,7 @@ impl MiniCfs {
     /// # Errors
     ///
     /// * [`Error::Invariant`] if `data` does not match the block size.
+    /// * [`Error::Overloaded`] if the admission gate sheds the write.
     /// * Placement errors from the NameNode.
     pub fn write_block(&self, client: NodeId, data: Vec<u8>) -> Result<BlockId> {
         if data.len() as u64 != self.config.block_size.as_u64() {
@@ -377,9 +400,10 @@ impl MiniCfs {
                 data.len()
             )));
         }
+        let ctx = self.reliability.ctx(OpClass::ClientWrite)?;
         let (id, layout) = self.namenode.allocate_block()?;
         let data = Block::from(data);
-        let (stored, err) = self.io.write_replicated(client, id, &data, &layout);
+        let (stored, err) = self.io.write_replicated(&ctx, client, id, &data, &layout);
         if let Some(e) = err {
             // The write is not acknowledged; record honestly which replicas
             // actually landed so later repair can see them.
@@ -398,9 +422,30 @@ impl MiniCfs {
     ///
     /// * [`Error::Invariant`] if the block id was never allocated.
     /// * [`Error::BlockUnavailable`] if the block has no replicas at all.
+    /// * [`Error::Overloaded`] if the admission gate sheds the read.
     /// * The last per-replica error ([`Error::NodeDown`],
     ///   [`Error::CorruptBlock`], …) if every replica failed every attempt.
     pub fn read_block(&self, reader: NodeId, id: BlockId) -> Result<Block> {
+        let ctx = self.reliability.ctx(OpClass::ClientRead)?;
+        self.read_block_in(&ctx, reader, id)
+    }
+
+    /// [`read_block`](Self::read_block) under a caller-supplied op context
+    /// — the entry point for consumers that measure or bound the read on
+    /// the virtual clock (chaos latency probes, MapReduce map tasks).
+    ///
+    /// Beyond the replica-fallback hedging inside
+    /// [`ClusterIo::read_with_fallback`], this is where the last-resort
+    /// hedge lives: when exactly one replica remains and it straggles past
+    /// the hedging threshold, the read races a proactive degraded-EC
+    /// reconstruction from the block's stripe and completes at the
+    /// virtual-clock winner.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_block`](Self::read_block), minus admission (the caller
+    /// already holds a context).
+    pub fn read_block_in(&self, ctx: &OpContext<'_>, reader: NodeId, id: BlockId) -> Result<Block> {
         let locations = self
             .namenode
             .locations(id)
@@ -409,9 +454,71 @@ impl MiniCfs {
             return Err(Error::BlockUnavailable { block: id });
         }
         let ordered = self.by_proximity(reader, &locations);
+        if let [only] = ordered.as_slice() {
+            if self.reliability.hedging_enabled() {
+                let delay = self.io.injector().straggler_delay_ticks(
+                    *only,
+                    id,
+                    0,
+                    reliability::NOMINAL_SERVICE_TICKS,
+                );
+                if delay > self.reliability.hedge_threshold_ticks() {
+                    return self.hedged_degraded_read(ctx, reader, id, *only);
+                }
+            }
+        }
         self.io
-            .read_with_fallback(reader, id, &ordered, None, None)
+            .read_with_fallback(ctx, reader, id, &ordered, None, None)
             .map(|(data, _)| data)
+    }
+
+    /// Races the last straggling replica against a degraded-EC
+    /// reconstruction: the reconstruct leg launches at the hedging
+    /// threshold on the virtual clock (plus a fixed decode cost) under its
+    /// own admitted context, and the read completes at whichever leg
+    /// finishes first. Replicas are exhausted here, so losing the race to
+    /// the decoder is the difference between tail latency and a timeout.
+    fn hedged_degraded_read(
+        &self,
+        ctx: &OpContext<'_>,
+        reader: NodeId,
+        id: BlockId,
+        src: NodeId,
+    ) -> Result<Block> {
+        self.io.note_hedge_launched();
+        let (primary, primary_cost) = self.io.fetch_costed(src, reader, id, 0);
+        let hedge_ctx = self.reliability.ctx(ctx.class())?;
+        let hedge = crate::recovery::degraded_read(self, &hedge_ctx, reader, id);
+        let hedge_total = self
+            .reliability
+            .hedge_threshold_ticks()
+            .saturating_add(hedge_ctx.elapsed_ticks())
+            .saturating_add(reliability::DECODE_TICKS);
+        match (primary, hedge) {
+            (Ok(data), Ok(hdata)) => {
+                if hedge_total < primary_cost {
+                    self.io.note_hedge_won();
+                    ctx.charge(hedge_total)?;
+                    Ok(hdata)
+                } else {
+                    ctx.charge(primary_cost)?;
+                    Ok(data)
+                }
+            }
+            (Err(_), Ok(hdata)) => {
+                self.io.note_hedge_won();
+                ctx.charge(hedge_total)?;
+                Ok(hdata)
+            }
+            (Ok(data), Err(_)) => {
+                ctx.charge(primary_cost)?;
+                Ok(data)
+            }
+            (Err(e), Err(_)) => {
+                ctx.charge(primary_cost.max(hedge_total))?;
+                Err(e)
+            }
+        }
     }
 
     /// Reads `block` from the specific replica on `src`, shipping the bytes
@@ -426,6 +533,7 @@ impl MiniCfs {
     /// * [`Error::NodeDown`] / [`Error::TransientIo`] from the fault layer.
     /// * [`Error::BlockUnavailable`] if `src` does not hold the block.
     /// * [`Error::CorruptBlock`] if the received bytes fail verification.
+    /// * [`Error::Overloaded`] if the admission gate sheds the read.
     pub fn fetch_block_from(
         &self,
         src: NodeId,
@@ -433,7 +541,8 @@ impl MiniCfs {
         block: BlockId,
         attempt: u32,
     ) -> Result<Block> {
-        self.io.fetch_from(src, dst, block, attempt)
+        let ctx = self.reliability.ctx(OpClass::ClientRead)?;
+        self.io.fetch_from(&ctx, src, dst, block, attempt)
     }
 
     /// Writes `block`'s bytes from `src` onto `dst`'s store, through the
@@ -441,7 +550,8 @@ impl MiniCfs {
     ///
     /// # Errors
     ///
-    /// [`Error::NodeDown`] / [`Error::TransientIo`] from the fault layer.
+    /// [`Error::NodeDown`] / [`Error::TransientIo`] from the fault layer,
+    /// or [`Error::Overloaded`] if the admission gate sheds the write.
     pub fn store_block_at(
         &self,
         src: NodeId,
@@ -450,7 +560,8 @@ impl MiniCfs {
         data: Block,
         attempt: u32,
     ) -> Result<()> {
-        self.io.store_at(src, dst, block, data, attempt)
+        let ctx = self.reliability.ctx(OpClass::ClientWrite)?;
+        self.io.store_at(&ctx, src, dst, block, data, attempt)
     }
 
     /// Orders `locations` by proximity to `reader`: the reader itself,
@@ -521,6 +632,7 @@ mod tests {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             durability: DurabilityConfig::default(),
+            reliability: ReliabilityConfig::default(),
         }
     }
 

@@ -19,6 +19,7 @@
 use crate::cluster::MiniCfs;
 use crate::health::{DegradedTracker, HealthTransition, RepairKind, RepairTask};
 use crate::recovery::reconstruct_stripe_block;
+use crate::reliability::{OpClass, OpContext};
 use ear_faults::crc32c;
 use ear_types::{BlockId, Error, HealStats, NodeHealth, NodeId, RackId, Result, StripeId};
 use rand::seq::SliceRandom;
@@ -44,6 +45,12 @@ pub struct HealerConfig {
     /// Rounds after which [`Healer::run_to_convergence`] gives up with
     /// [`Error::HealerStalled`].
     pub max_rounds: usize,
+    /// Virtual-clock deadline (ticks) for each repair admitted in a round.
+    /// A repair that blows it fails typed ([`Error::DeadlineExceeded`]) and
+    /// is re-queued by the next round's scan; a cluster that can never make
+    /// the deadline surfaces as [`Error::HealerStalled`] once `max_rounds`
+    /// runs out, instead of one repair hanging a round forever.
+    pub round_deadline_ticks: u64,
 }
 
 impl Default for HealerConfig {
@@ -54,6 +61,7 @@ impl Default for HealerConfig {
             round_byte_budget: 16 << 20,
             scrub_per_round: 64,
             max_rounds: 64,
+            round_deadline_ticks: 5_000_000,
         }
     }
 }
@@ -102,6 +110,7 @@ struct RoundCtx<'a> {
     known_bad: &'a HashSet<(NodeId, BlockId)>,
     core_racks: &'a HashMap<BlockId, RackId>,
     members_of: &'a HashMap<StripeId, Vec<BlockId>>,
+    round_deadline_ticks: u64,
 }
 
 struct RepairOutcome {
@@ -238,6 +247,7 @@ impl<'a> Healer<'a> {
             known_bad: &self.known_bad,
             core_racks: &core_racks,
             members_of: &members_of,
+            round_deadline_ticks: self.cfg.round_deadline_ticks,
         };
         let cfs = self.cfs;
         let seed = cfs.config().seed;
@@ -359,6 +369,7 @@ impl<'a> Healer<'a> {
         self.stats.rounds = self.rounds;
         self.stats.converged = converged;
         self.stats.wall_seconds = self.started.elapsed().as_secs_f64();
+        self.stats.breaker_trips = self.cfs.reliability().stats().breaker_trips;
     }
 
     /// CRC32C-scrubs the next window of blocks. Scrubbing is local disk
@@ -437,8 +448,16 @@ fn execute_repair(
     seed: u64,
 ) -> Result<RepairOutcome> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ task.block.0.wrapping_mul(0x9E37) ^ 0x4EA1);
+    // Every repair runs as a Heal-class op under the round deadline: the
+    // admission gate may shed it under load, and a straggling repair fails
+    // typed instead of hanging the round.
+    let op = cfs
+        .reliability()
+        .ctx_with_deadline(OpClass::Heal, ctx.round_deadline_ticks)?;
     match task.kind {
-        RepairKind::ReReplicate { want, .. } => re_replicate(cfs, task.block, want, ctx, &mut rng),
+        RepairKind::ReReplicate { want, .. } => {
+            re_replicate(cfs, &op, task.block, want, ctx, &mut rng)
+        }
         RepairKind::Reconstruct { stripe } => {
             let members = ctx
                 .members_of
@@ -454,7 +473,8 @@ fn execute_repair(
                 ctx.known_bad.contains(&(nd, block))
                     || health_of(ctx.snapshot, nd) == NodeHealth::Suspect
             };
-            let repair = reconstruct_stripe_block(cfs, members, block, &live, &bad_dst, &mut rng)?;
+            let repair =
+                reconstruct_stripe_block(cfs, &op, members, block, &live, &bad_dst, &mut rng)?;
             let uploads = usize::from(repair.uploaded);
             Ok(RepairOutcome {
                 re_replicated: false,
@@ -472,6 +492,7 @@ fn execute_repair(
 /// block's rack spread (and its pending stripe's core-rack copy).
 fn re_replicate(
     cfs: &MiniCfs,
+    op: &OpContext<'_>,
     block: BlockId,
     want: usize,
     ctx: &RoundCtx<'_>,
@@ -545,7 +566,9 @@ fn re_replicate(
             .choose(rng)
             .copied()
             .ok_or(Error::NoRepairDestination { block })?;
-        let (data, src) = cfs.io().read_with_fallback(dst, block, &holders, None, None)?;
+        let (data, src) = cfs
+            .io()
+            .read_with_fallback(op, dst, block, &holders, None, None)?;
         cfs.datanode(dst).put(block, data)?;
         nn.add_location(block, dst)?;
         outcome.bytes += bs;
@@ -588,6 +611,7 @@ mod tests {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             durability: Default::default(),
+            reliability: Default::default(),
         }
     }
 
@@ -636,6 +660,7 @@ mod tests {
             9,
             &ear_types::ClusterTopology::uniform(cfg.racks, cfg.nodes_per_rack),
             &FaultConfig {
+                straggler_delay: ear_faults::DelayModel::Throttle,
                 node_crashes: 1,
                 rack_outages: 0,
                 stragglers: 0,
@@ -688,6 +713,7 @@ mod tests {
             41,
             &ear_types::ClusterTopology::uniform(cfg.racks, cfg.nodes_per_rack),
             &FaultConfig {
+                straggler_delay: ear_faults::DelayModel::Throttle,
                 node_crashes: 0,
                 rack_outages: 0,
                 stragglers: 0,
@@ -724,6 +750,7 @@ mod tests {
             9,
             &ear_types::ClusterTopology::uniform(cfg.racks, cfg.nodes_per_rack),
             &FaultConfig {
+                straggler_delay: ear_faults::DelayModel::Throttle,
                 node_crashes: 1,
                 rack_outages: 0,
                 stragglers: 0,
@@ -752,6 +779,7 @@ mod tests {
                 9,
                 &ear_types::ClusterTopology::uniform(cfg.racks, cfg.nodes_per_rack),
                 &FaultConfig {
+                    straggler_delay: ear_faults::DelayModel::Throttle,
                     node_crashes: 1,
                     rack_outages: 0,
                     stragglers: 0,

@@ -15,28 +15,43 @@
 //!
 //! On top of the single-attempt seams it provides the one retry/fallback
 //! policy all consumers share: [`ClusterIo::read_with_fallback`] walks an
-//! ordered replica list, retrying transient faults with backoff on the same
-//! node, skipping dead nodes (optionally notifying the caller's blacklist),
-//! and [`ClusterIo::write_replicated`] / [`ClusterIo::write_with_fallback`]
-//! do the same for pipeline and placement writes. Per-op byte and latency
-//! counters are aggregated into [`IoStats`].
+//! ordered replica list, retrying transient faults with seeded-jitter
+//! backoff on the same node, skipping dead nodes (optionally notifying the
+//! caller's blacklist), and [`ClusterIo::write_replicated`] /
+//! [`ClusterIo::write_with_fallback`] do the same for pipeline and
+//! placement writes. Per-op byte and latency counters are aggregated into
+//! [`IoStats`].
+//!
+//! Every call carries an [`OpContext`] from the reliability substrate
+//! (DESIGN.md §14): each attempt charges virtual-clock ticks against the
+//! op's deadline, retries draw from the op class's shared token bucket,
+//! fallback skips breaker-open replicas for one tick instead of paying a
+//! timeout, and reads whose seeded straggler delay crosses the hedging
+//! threshold race a second replica fetch and keep the virtual winner.
 
 use crate::cache::CacheStats;
 use crate::datanode::DataNode;
+use crate::reliability::{self, OpContext, Reliability};
 use ear_faults::{crc32c, FaultInjector, IoFault};
 use ear_netem::EmulatedNetwork;
 use ear_types::{Block, BlockId, ClusterTopology, Error, NodeId, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Attempts per replica before a read or write gives up on it.
 pub(crate) const IO_ATTEMPTS: u32 = 3;
 
-/// Exponential backoff between retry rounds. Kept in the hundreds of
-/// microseconds: the emulated network paces in milliseconds, so this is
-/// "immediately, but not a busy loop" at testbed scale.
-pub(crate) fn backoff(attempt: u32) {
-    std::thread::sleep(Duration::from_micros(200u64 << attempt.min(8)));
+/// Paces a virtual-tick backoff on the wall clock (1 tick = 1 µs). The
+/// duration and its jitter come from [`Reliability::backoff_ticks`] — this
+/// is only the physical "don't busy-loop" side of the same number.
+fn sleep_ticks(ticks: u64) {
+    std::thread::sleep(Duration::from_micros(ticks));
+}
+
+/// Seeded-backoff hash key of one (replica, block) retry stream.
+fn backoff_key(node: NodeId, block: BlockId) -> u64 {
+    ((node.index() as u64) << 40) ^ block.index() as u64
 }
 
 /// Monotonic I/O counters, updated relaxed — totals are exact once the
@@ -57,6 +72,10 @@ struct Counters {
     transfer_bytes: AtomicU64,
     crc_skipped: AtomicU64,
     crc_bytes_skipped: AtomicU64,
+    backoff_rounds: AtomicU64,
+    hedges_launched: AtomicU64,
+    hedges_won: AtomicU64,
+    breaker_skips: AtomicU64,
 }
 
 /// A snapshot of the cluster's data-plane I/O accounting.
@@ -93,6 +112,22 @@ pub struct IoStats {
     pub crc_skipped: u64,
     /// Payload bytes those skipped verifications covered.
     pub crc_bytes_skipped: u64,
+    /// Backoff rounds slept between retries (reads and writes).
+    pub backoff_rounds: u64,
+    /// Hedged second fetches launched past the straggler threshold.
+    pub hedges_launched: u64,
+    /// Hedges whose leg won the virtual-clock race.
+    pub hedges_won: u64,
+    /// Fallback sources skipped for one tick because their breaker was open.
+    pub breaker_skips: u64,
+    /// Circuit-breaker trips (detector-driven `Open` transitions).
+    pub breaker_trips: u64,
+    /// Operations shed by the admission gate.
+    pub shed_ops: u64,
+    /// Operations that blew their virtual-clock deadline.
+    pub deadline_misses: u64,
+    /// Retries denied by an exhausted class token bucket.
+    pub retry_denials: u64,
     /// Aggregated DataNode cache counters (hits/misses/bypasses/evictions
     /// and bytes served from cache instead of the store backend).
     pub cache: CacheStats,
@@ -107,24 +142,35 @@ pub struct ClusterIo {
     datanodes: Vec<DataNode>,
     net: EmulatedNetwork,
     injector: FaultInjector,
+    rel: Arc<Reliability>,
     counters: Counters,
 }
 
 impl ClusterIo {
-    /// Assembles the service from the cluster's already-built parts.
+    /// Assembles the service from the cluster's already-built parts. The
+    /// reliability substrate is shared with the cluster that admits ops:
+    /// the service reads its breaker/hedging policy and folds its counters
+    /// into [`IoStats`].
     pub fn new(
         topo: ClusterTopology,
         datanodes: Vec<DataNode>,
         net: EmulatedNetwork,
         injector: FaultInjector,
+        rel: Arc<Reliability>,
     ) -> Self {
         ClusterIo {
             topo,
             datanodes,
             net,
             injector,
+            rel,
             counters: Counters::default(),
         }
+    }
+
+    /// The reliability substrate in force (admission, budgets, breakers).
+    pub fn reliability(&self) -> &Arc<Reliability> {
+        &self.rel
     }
 
     /// The topology this service spans.
@@ -154,6 +200,7 @@ impl ClusterIo {
     /// Snapshot of the per-op byte and latency accounting.
     pub fn stats(&self) -> IoStats {
         let c = &self.counters;
+        let rel = self.rel.stats();
         IoStats {
             reads: c.reads.load(Ordering::Relaxed),
             writes: c.writes.load(Ordering::Relaxed),
@@ -168,6 +215,14 @@ impl ClusterIo {
             transfer_bytes: c.transfer_bytes.load(Ordering::Relaxed),
             crc_skipped: c.crc_skipped.load(Ordering::Relaxed),
             crc_bytes_skipped: c.crc_bytes_skipped.load(Ordering::Relaxed),
+            backoff_rounds: c.backoff_rounds.load(Ordering::Relaxed),
+            hedges_launched: c.hedges_launched.load(Ordering::Relaxed),
+            hedges_won: c.hedges_won.load(Ordering::Relaxed),
+            breaker_skips: c.breaker_skips.load(Ordering::Relaxed),
+            breaker_trips: rel.breaker_trips,
+            shed_ops: rel.shed_ops,
+            deadline_misses: rel.deadline_misses,
+            retry_denials: rel.retry_denials,
             cache: {
                 let mut agg = CacheStats::default();
                 for dn in &self.datanodes {
@@ -198,15 +253,47 @@ impl ClusterIo {
     /// * [`Error::NodeDown`] / [`Error::TransientIo`] from the fault layer.
     /// * [`Error::BlockUnavailable`] if `src` does not hold the block.
     /// * [`Error::CorruptBlock`] if the received bytes fail verification.
+    /// * [`Error::DeadlineExceeded`] if charging the attempt's virtual cost
+    ///   blows the op's deadline.
     pub fn fetch_from(
         &self,
+        ctx: &OpContext<'_>,
         src: NodeId,
         dst: NodeId,
         block: BlockId,
         attempt: u32,
     ) -> Result<Block> {
+        let (out, cost) = self.fetch_costed(src, dst, block, attempt);
+        ctx.charge(cost)?;
+        out
+    }
+
+    /// One fetch attempt plus its virtual-clock cost, *without* charging a
+    /// context — the building block [`fetch_from`](Self::fetch_from) and
+    /// the hedging race share. The cost is a pure function of the attempt's
+    /// identity and outcome: the seeded straggler delay, plus a per-size
+    /// transfer cost on success, a timeout penalty on a dead node, or a
+    /// flat fault penalty otherwise.
+    pub(crate) fn fetch_costed(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockId,
+        attempt: u32,
+    ) -> (Result<Block>, u64) {
         let start = Instant::now();
+        let delay = self.injector.straggler_delay_ticks(
+            src,
+            block,
+            attempt,
+            reliability::NOMINAL_SERVICE_TICKS,
+        );
         let out = self.fetch_inner(src, dst, block, attempt);
+        let cost = delay.saturating_add(match &out {
+            Ok(data) => reliability::xfer_cost_ticks(data.len()),
+            Err(Error::NodeDown { .. }) => reliability::TIMEOUT_PENALTY_TICKS,
+            Err(_) => reliability::FAULT_PENALTY_TICKS,
+        });
         match &out {
             Ok(data) => {
                 self.counters.reads.fetch_add(1, Ordering::Relaxed);
@@ -221,7 +308,7 @@ impl ClusterIo {
                 self.counters.failed_reads.fetch_add(1, Ordering::Relaxed);
             }
         }
-        out
+        (out, cost)
     }
 
     fn fetch_inner(
@@ -285,8 +372,11 @@ impl ClusterIo {
     ///
     /// * [`Error::NodeDown`] / [`Error::TransientIo`] from the fault layer.
     /// * [`Error::Io`] if the destination's storage backend fails.
+    /// * [`Error::DeadlineExceeded`] if charging the attempt's virtual cost
+    ///   blows the op's deadline.
     pub fn store_at(
         &self,
+        ctx: &OpContext<'_>,
         src: NodeId,
         dst: NodeId,
         block: BlockId,
@@ -295,7 +385,18 @@ impl ClusterIo {
     ) -> Result<()> {
         let start = Instant::now();
         let len = data.len() as u64;
+        let delay = self.injector.straggler_delay_ticks(
+            dst,
+            block,
+            attempt,
+            reliability::NOMINAL_SERVICE_TICKS,
+        );
         let out = self.store_inner(src, dst, block, data, attempt);
+        let cost = delay.saturating_add(match &out {
+            Ok(()) => reliability::xfer_cost_ticks(len as usize),
+            Err(Error::NodeDown { .. }) => reliability::TIMEOUT_PENALTY_TICKS,
+            Err(_) => reliability::FAULT_PENALTY_TICKS,
+        });
         match &out {
             Ok(()) => {
                 self.counters.writes.fetch_add(1, Ordering::Relaxed);
@@ -308,6 +409,7 @@ impl ClusterIo {
                 self.counters.failed_writes.fetch_add(1, Ordering::Relaxed);
             }
         }
+        ctx.charge(cost)?;
         out
     }
 
@@ -337,26 +439,38 @@ impl ClusterIo {
     /// serve it — the shared fallback policy of every resilient reader.
     ///
     /// Sources are tried in the given order. On each one, transient faults
-    /// are retried up to [`IO_ATTEMPTS`] times with backoff; a dead node is
-    /// reported to `on_dead` (a blacklist hook) and skipped; any other
-    /// failure (missing replica, checksum mismatch) falls through to the
-    /// next source. A source for which `skip` returns `true` is bypassed
-    /// without an attempt unless it is the last hope.
+    /// are retried up to [`IO_ATTEMPTS`] times, each retry drawing a token
+    /// from the op class's budget and charging seeded-jitter backoff; a
+    /// dead node is reported to `on_dead` (a blacklist hook) and skipped;
+    /// any other failure (missing replica, checksum mismatch) falls through
+    /// to the next source. A source for which `skip` returns `true`, or
+    /// whose circuit breaker is open, is bypassed without an attempt unless
+    /// it is the last hope — a breaker skip costs one virtual tick instead
+    /// of a timeout.
+    ///
+    /// When hedging is enabled and an attempt's seeded straggler delay
+    /// crosses the threshold, a second fetch races on the next viable
+    /// source and the op completes at the virtual-clock winner's time.
     ///
     /// Returns the bytes and the node that served them.
     ///
     /// # Errors
     ///
     /// * [`Error::BlockUnavailable`] if `sources` is empty.
+    /// * [`Error::DeadlineExceeded`] / [`Error::RetryBudgetExhausted`] as
+    ///   soon as the substrate stops the op — these do not fall through to
+    ///   the next source.
     /// * Otherwise the last per-source error once every source failed.
     pub fn read_with_fallback(
         &self,
+        ctx: &OpContext<'_>,
         dst: NodeId,
         block: BlockId,
         sources: &[NodeId],
         on_dead: Option<&dyn Fn(NodeId)>,
         skip: Option<&dyn Fn(NodeId) -> bool>,
     ) -> Result<(Block, NodeId)> {
+        let rel = ctx.reliability();
         let mut last = Error::BlockUnavailable { block };
         for (i, &src) in sources.iter().enumerate() {
             // Skip a known-bad source while other candidates remain; if it
@@ -366,14 +480,52 @@ impl ClusterIo {
                 last = Error::NodeDown { node: src };
                 continue;
             }
+            // A breaker-open source is the same decision made by the
+            // substrate: the detector already condemned this node, so pay
+            // one tick to move on instead of a timeout discovering it.
+            if i + 1 < sources.len() && rel.breaker_open(src) {
+                self.counters.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                ctx.charge(reliability::BREAKER_SKIP_TICKS)?;
+                last = Error::NodeDown { node: src };
+                continue;
+            }
             for attempt in 0..IO_ATTEMPTS {
-                match self.fetch_from(src, dst, block, attempt) {
-                    Ok(data) => return Ok((data, src)),
+                let delay = self.injector.straggler_delay_ticks(
+                    src,
+                    block,
+                    attempt,
+                    reliability::NOMINAL_SERVICE_TICKS,
+                );
+                let hedge_to = if rel.hedging_enabled() && delay > rel.hedge_threshold_ticks() {
+                    sources
+                        .iter()
+                        .skip(i + 1)
+                        .copied()
+                        .find(|&s| s != src && !rel.breaker_open(s))
+                } else {
+                    None
+                };
+                let outcome = if let Some(alt) = hedge_to {
+                    self.hedged_fetch(ctx, src, alt, dst, block, attempt)
+                } else {
+                    self.fetch_from(ctx, src, dst, block, attempt).map(|d| (d, src))
+                };
+                match outcome {
+                    Ok(won) => return Ok(won),
                     Err(e @ Error::TransientIo { .. }) => {
                         last = e;
                         self.counters.read_retries.fetch_add(1, Ordering::Relaxed);
-                        backoff(attempt);
+                        ctx.try_retry()?;
+                        let ticks = rel.backoff_ticks(backoff_key(src, block), attempt);
+                        self.counters.backoff_rounds.fetch_add(1, Ordering::Relaxed);
+                        ctx.charge(ticks)?;
+                        sleep_ticks(ticks);
                     }
+                    Err(
+                        e @ (Error::DeadlineExceeded { .. }
+                        | Error::RetryBudgetExhausted { .. }
+                        | Error::Overloaded { .. }),
+                    ) => return Err(e),
                     Err(e @ Error::NodeDown { .. }) => {
                         if let Some(f) = on_dead {
                             f(src);
@@ -391,15 +543,67 @@ impl ClusterIo {
         Err(last)
     }
 
-    /// Stores `block` on `dst`, retrying transient faults with backoff.
-    /// Any other fault is returned immediately — a crashed node or dark
-    /// rack stays that way.
+    /// Races a straggling primary fetch against a hedge on `alt`: the hedge
+    /// launches at the threshold on the virtual clock, and the op completes
+    /// at whichever leg finishes first. Physically both legs run to
+    /// completion in sequence (determinism over wall-parallelism); the
+    /// loser's virtual cost is discarded.
+    fn hedged_fetch(
+        &self,
+        ctx: &OpContext<'_>,
+        src: NodeId,
+        alt: NodeId,
+        dst: NodeId,
+        block: BlockId,
+        attempt: u32,
+    ) -> Result<(Block, NodeId)> {
+        let rel = ctx.reliability();
+        self.counters.hedges_launched.fetch_add(1, Ordering::Relaxed);
+        let (primary, primary_cost) = self.fetch_costed(src, dst, block, attempt);
+        let (hedge, hedge_cost) = self.fetch_costed(alt, dst, block, attempt);
+        // The hedge leg starts once the primary has straggled past the
+        // threshold, so its completion sits that far into the op.
+        let hedge_total = rel.hedge_threshold_ticks().saturating_add(hedge_cost);
+        match (primary, hedge) {
+            (Ok(data), Ok(hdata)) => {
+                if hedge_total < primary_cost {
+                    self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+                    ctx.charge(hedge_total)?;
+                    Ok((hdata, alt))
+                } else {
+                    ctx.charge(primary_cost)?;
+                    Ok((data, src))
+                }
+            }
+            (Err(_), Ok(hdata)) => {
+                self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+                ctx.charge(hedge_total)?;
+                Ok((hdata, alt))
+            }
+            (Ok(data), Err(_)) => {
+                ctx.charge(primary_cost)?;
+                Ok((data, src))
+            }
+            (Err(e), Err(_)) => {
+                // Both legs failed: the op observed both, completing at the
+                // later one; the primary's error drives the retry policy.
+                ctx.charge(primary_cost.max(hedge_total))?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Stores `block` on `dst`, retrying transient faults with budgeted
+    /// seeded-jitter backoff. Any other fault is returned immediately — a
+    /// crashed node or dark rack stays that way.
     ///
     /// # Errors
     ///
-    /// The last attempt's error.
+    /// The last attempt's error, or a substrate stop
+    /// ([`Error::DeadlineExceeded`] / [`Error::RetryBudgetExhausted`]).
     pub fn write_with_retry(
         &self,
+        ctx: &OpContext<'_>,
         src: NodeId,
         dst: NodeId,
         block: BlockId,
@@ -407,12 +611,18 @@ impl ClusterIo {
     ) -> Result<()> {
         let mut outcome = Ok(());
         for attempt in 0..IO_ATTEMPTS {
-            outcome = self.store_at(src, dst, block, data.clone(), attempt);
+            outcome = self.store_at(ctx, src, dst, block, data.clone(), attempt);
             match &outcome {
                 Ok(()) => break,
                 Err(Error::TransientIo { .. }) => {
                     self.counters.write_retries.fetch_add(1, Ordering::Relaxed);
-                    backoff(attempt);
+                    ctx.try_retry()?;
+                    let ticks = ctx
+                        .reliability()
+                        .backoff_ticks(backoff_key(dst, block), attempt);
+                    self.counters.backoff_rounds.fetch_add(1, Ordering::Relaxed);
+                    ctx.charge(ticks)?;
+                    sleep_ticks(ticks);
                 }
                 Err(_) => break,
             }
@@ -428,6 +638,7 @@ impl ClusterIo {
     /// list honestly either way.
     pub fn write_replicated(
         &self,
+        ctx: &OpContext<'_>,
         client: NodeId,
         block: BlockId,
         data: &Block,
@@ -436,7 +647,7 @@ impl ClusterIo {
         let mut src = client;
         let mut stored: Vec<NodeId> = Vec::with_capacity(layout.len());
         for &dst in layout {
-            if let Err(e) = self.write_with_retry(src, dst, block, data) {
+            if let Err(e) = self.write_with_retry(ctx, src, dst, block, data) {
                 return (stored, Some(e));
             }
             stored.push(dst);
@@ -448,34 +659,61 @@ impl ClusterIo {
     /// Stores `block` on the first workable destination in `candidates` —
     /// the shared fallback policy of placement writes (parity upload,
     /// re-replication). A destination the fault plan already marks down is
-    /// skipped without paying a transfer; on the rest, transient faults are
-    /// retried with backoff.
+    /// skipped without paying a transfer, as is one whose circuit breaker
+    /// is open (one virtual tick, unless it is the last candidate); on the
+    /// rest, transient faults are retried with budgeted backoff.
     ///
     /// Returns the node that took the bytes.
     ///
     /// # Errors
     ///
     /// * [`Error::NoRepairDestination`] if `candidates` is empty.
+    /// * [`Error::DeadlineExceeded`] / [`Error::RetryBudgetExhausted`] as
+    ///   soon as the substrate stops the op.
     /// * Otherwise the last per-candidate error once every candidate failed.
     pub fn write_with_fallback(
         &self,
+        ctx: &OpContext<'_>,
         src: NodeId,
         block: BlockId,
         data: &Block,
         candidates: &[NodeId],
     ) -> Result<NodeId> {
+        let rel = ctx.reliability();
         let mut last = Error::NoRepairDestination { block };
-        for &dst in candidates {
+        for (i, &dst) in candidates.iter().enumerate() {
             if self.injector.node_down(dst) {
                 last = Error::NodeDown { node: dst };
                 continue;
             }
-            match self.write_with_retry(src, dst, block, data) {
+            if i + 1 < candidates.len() && rel.breaker_open(dst) {
+                self.counters.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                ctx.charge(reliability::BREAKER_SKIP_TICKS)?;
+                last = Error::NodeDown { node: dst };
+                continue;
+            }
+            match self.write_with_retry(ctx, src, dst, block, data) {
                 Ok(()) => return Ok(dst),
+                Err(
+                    e @ (Error::DeadlineExceeded { .. }
+                    | Error::RetryBudgetExhausted { .. }
+                    | Error::Overloaded { .. }),
+                ) => return Err(e),
                 Err(e) => last = e,
             }
         }
         Err(last)
+    }
+
+    /// Counts a hedge launched outside the replica-fallback path (the
+    /// cluster-level degraded-EC hedge shares these counters).
+    pub(crate) fn note_hedge_launched(&self) {
+        self.counters.hedges_launched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a hedge leg that won the virtual-clock race.
+    pub(crate) fn note_hedge_won(&self) {
+        self.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Moves raw bytes through the emulated network with accounting — the
@@ -490,6 +728,7 @@ impl ClusterIo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reliability::OpClass;
     use ear_faults::FaultPlan;
 
     fn service() -> ClusterIo {
@@ -500,7 +739,13 @@ mod tests {
             ear_types::Bandwidth::bytes_per_sec(1e9),
             ear_types::Bandwidth::bytes_per_sec(1e9),
         );
-        ClusterIo::new(topo, datanodes, net, FaultInjector::disabled())
+        ClusterIo::new(
+            topo,
+            datanodes,
+            net,
+            FaultInjector::disabled(),
+            Arc::new(Reliability::unlimited(4)),
+        )
     }
 
     #[test]
@@ -509,17 +754,23 @@ mod tests {
         // or stale location entry) must surface as a typed error, not an
         // out-of-bounds panic in the data plane.
         let io = service();
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientRead).unwrap();
         let err = io
-            .fetch_from(NodeId(9999), NodeId(0), BlockId(0), 0)
+            .fetch_from(&ctx, NodeId(9999), NodeId(0), BlockId(0), 0)
             .unwrap_err();
         assert!(matches!(err, Error::NodeDown { node } if node == NodeId(9999)));
+        // A dead-node discovery costs the timeout penalty on the virtual clock.
+        assert_eq!(ctx.elapsed_ticks(), reliability::TIMEOUT_PENALTY_TICKS);
     }
 
     #[test]
     fn store_at_out_of_range_destination_is_node_down_not_panic() {
         let io = service();
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientWrite).unwrap();
         let err = io
-            .store_at(NodeId(0), NodeId(9999), BlockId(0), Block::from(vec![0u8; 8]), 0)
+            .store_at(&ctx, NodeId(0), NodeId(9999), BlockId(0), Block::from(vec![0u8; 8]), 0)
             .unwrap_err();
         assert!(matches!(err, Error::NodeDown { node } if node == NodeId(9999)));
     }
@@ -529,10 +780,12 @@ mod tests {
         // A stale location entry in the middle of the replica list must not
         // sink the read: fallback treats it like any dead node and moves on.
         let io = service();
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientRead).unwrap();
         let data = Block::from(vec![9u8; 128]);
         io.datanode(NodeId(1)).put(BlockId(3), data.clone()).unwrap();
         let (got, src) = io
-            .read_with_fallback(NodeId(0), BlockId(3), &[NodeId(9999), NodeId(1)], None, None)
+            .read_with_fallback(&ctx, NodeId(0), BlockId(3), &[NodeId(9999), NodeId(1)], None, None)
             .unwrap();
         assert_eq!(src, NodeId(1));
         assert_eq!(got.as_slice(), data.as_slice());
@@ -541,11 +794,13 @@ mod tests {
     #[test]
     fn fallback_read_serves_from_later_source_and_counts() {
         let io = service();
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientRead).unwrap();
         let data = Block::from(vec![5u8; 256]);
         io.datanode(NodeId(2)).put(BlockId(0), data.clone()).unwrap();
         // NodeId(1) holds nothing: the read falls through to NodeId(2).
         let (got, src) = io
-            .read_with_fallback(NodeId(0), BlockId(0), &[NodeId(1), NodeId(2)], None, None)
+            .read_with_fallback(&ctx, NodeId(0), BlockId(0), &[NodeId(1), NodeId(2)], None, None)
             .unwrap();
         assert_eq!(src, NodeId(2));
         assert_eq!(got.as_slice(), data.as_slice());
@@ -554,16 +809,24 @@ mod tests {
         assert_eq!(s.bytes_read, 256);
         assert_eq!(s.failed_reads, 1, "the miss on NodeId(1) is accounted");
         assert!(s.read_seconds > 0.0);
+        // Virtual cost: one fault penalty for the miss, one sized transfer.
+        assert_eq!(
+            ctx.elapsed_ticks(),
+            reliability::FAULT_PENALTY_TICKS + reliability::xfer_cost_ticks(256)
+        );
     }
 
     #[test]
     fn skip_hook_is_ignored_for_the_last_candidate() {
         let io = service();
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientRead).unwrap();
         let data = Block::from(vec![1u8; 64]);
         io.datanode(NodeId(3)).put(BlockId(9), data.clone()).unwrap();
         let skip_all = |_: NodeId| true;
         let (_, src) = io
             .read_with_fallback(
+                &ctx,
                 NodeId(0),
                 BlockId(9),
                 &[NodeId(1), NodeId(3)],
@@ -577,9 +840,11 @@ mod tests {
     #[test]
     fn write_replicated_pipelines_and_accounts() {
         let io = service();
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientWrite).unwrap();
         let data = Block::from(vec![7u8; 128]);
         let layout = [NodeId(0), NodeId(2)];
-        let (stored, err) = io.write_replicated(NodeId(1), BlockId(4), &data, &layout);
+        let (stored, err) = io.write_replicated(&ctx, NodeId(1), BlockId(4), &data, &layout);
         assert!(err.is_none());
         assert_eq!(stored, layout);
         assert!(io.datanode(NodeId(0)).contains(BlockId(4)));
@@ -602,6 +867,7 @@ mod tests {
         // A plan whose only fault is one node crashed from op 0
         // (crash_window 1 activates it immediately).
         let cfg = FaultConfig {
+            straggler_delay: ear_faults::DelayModel::Throttle,
             node_crashes: 1,
             rack_outages: 0,
             stragglers: 0,
@@ -617,13 +883,16 @@ mod tests {
             datanodes,
             net,
             FaultInjector::new(plan, topo.clone()),
+            Arc::new(Reliability::unlimited(4)),
         );
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientWrite).unwrap();
         let dead: Vec<NodeId> = topo.nodes().filter(|&n| io.injector().node_down(n)).collect();
         assert_eq!(dead.len(), 1);
         let alive = topo.nodes().find(|&n| !io.injector().node_down(n)).unwrap();
         let data = Block::from(vec![3u8; 32]);
         let dst = io
-            .write_with_fallback(NodeId(0), BlockId(2), &data, &[dead[0], alive])
+            .write_with_fallback(&ctx, NodeId(0), BlockId(2), &data, &[dead[0], alive])
             .unwrap();
         assert_eq!(dst, alive);
     }
@@ -631,8 +900,10 @@ mod tests {
     #[test]
     fn empty_sources_report_block_unavailable() {
         let io = service();
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientRead).unwrap();
         let err = io
-            .read_with_fallback(NodeId(0), BlockId(0), &[], None, None)
+            .read_with_fallback(&ctx, NodeId(0), BlockId(0), &[], None, None)
             .unwrap_err();
         assert!(matches!(err, Error::BlockUnavailable { .. }));
     }
@@ -650,7 +921,7 @@ mod tests {
             ear_types::Bandwidth::bytes_per_sec(1e9),
             ear_types::Bandwidth::bytes_per_sec(1e9),
         );
-        ClusterIo::new(topo, datanodes, net, injector)
+        ClusterIo::new(topo, datanodes, net, injector, Arc::new(Reliability::unlimited(4)))
     }
 
     #[test]
@@ -660,10 +931,12 @@ mod tests {
             cold_bytes: 1 << 20,
         };
         let io = cached_service(cache, FaultInjector::disabled());
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientRead).unwrap();
         let data = Block::from(vec![4u8; 512]);
         io.datanode(NodeId(1)).put(BlockId(8), data.clone()).unwrap();
         for _ in 0..3 {
-            let got = io.fetch_from(NodeId(1), NodeId(0), BlockId(8), 0).unwrap();
+            let got = io.fetch_from(&ctx, NodeId(1), NodeId(0), BlockId(8), 0).unwrap();
             assert_eq!(got, data);
         }
         let s = io.stats();
@@ -684,6 +957,7 @@ mod tests {
         use ear_faults::FaultConfig;
         let topo = ClusterTopology::uniform(2, 2);
         let cfg = FaultConfig {
+            straggler_delay: ear_faults::DelayModel::Throttle,
             node_crashes: 0,
             rack_outages: 0,
             stragglers: 0,
@@ -707,7 +981,11 @@ mod tests {
         dn.admit(BlockId(2), &data, crc32c(&data));
         // The injected corruption must override the verified-once fast
         // path: the corrupted copy is re-hashed and rejected.
-        let err = io.fetch_from(NodeId(1), NodeId(0), BlockId(2), 0).unwrap_err();
+        let rel = io.reliability().clone();
+        let ctx = rel.ctx(OpClass::ClientRead).unwrap();
+        let err = io
+            .fetch_from(&ctx, NodeId(1), NodeId(0), BlockId(2), 0)
+            .unwrap_err();
         assert!(matches!(err, Error::CorruptBlock { block, node }
             if block == BlockId(2) && node == NodeId(1)));
         assert_eq!(io.stats().crc_skipped, 0, "corrupt attempts never skip the hash");

@@ -28,6 +28,10 @@
 //! * [`health`] / [`healer`] — the self-healing control plane: seeded-clock
 //!   heartbeats into a phi-style failure detector, degraded-state priority
 //!   queues, and the budgeted background repair scheduler (DESIGN.md §8);
+//! * [`reliability`] — the deterministic reliability substrate under every
+//!   `ClusterIo` consumer (DESIGN.md §14): virtual-clock deadlines, per-class
+//!   retry budgets and admission/load-shed priorities, phi-fed per-node
+//!   circuit breakers, and seeded hedged reads with degraded-EC fallback;
 //! * [`wal`] / [`ExtentStore`] / [`crashsim`] — the durability layer
 //!   (DESIGN.md §13): a CRC-framed metadata write-ahead log with periodic
 //!   checkpoint compaction, the extent/allocator block engine with
@@ -75,6 +79,7 @@ mod monitor;
 mod namenode;
 mod raidnode;
 mod recovery;
+pub mod reliability;
 pub mod sync;
 pub mod wal;
 
@@ -96,4 +101,8 @@ pub use namenode::{EncodedStripe, NameNode, PendingStripe};
 pub use wal::{MetaRecord, MetaSnapshot, MetaWal, PlanRecord};
 pub use raidnode::{EncodeStats, RaidNode, Relocation};
 pub use recovery::{recover_node, RecoveryStats};
+pub use reliability::{
+    BreakerState, ClassPolicy, OpClass, OpContext, Reliability, ReliabilityConfig,
+    ReliabilityStats,
+};
 pub use sync::locked;

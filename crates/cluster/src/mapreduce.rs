@@ -3,6 +3,7 @@
 //! pre-encoding MapReduce performance.
 
 use crate::cluster::MiniCfs;
+use crate::reliability::OpClass;
 use crate::sync::{locked, wait_until};
 use ear_types::{BlockId, NodeId, Result};
 use ear_workloads::MapReduceJob;
@@ -177,8 +178,11 @@ fn run_one_job(
             let reducers = reducers.clone();
             handles.push(scope.spawn(move || -> Result<()> {
                 slots[map_node.index()].acquire()?;
-                // Data-local read: the map node holds a replica.
-                let _data = cfs.read_block(map_node, block)?;
+                // Data-local read: the map node holds a replica. Runs as a
+                // client-read op, so map tasks are admitted at the highest
+                // priority and hedge against stragglers like any client.
+                let ctx = cfs.reliability().ctx(OpClass::ClientRead)?;
+                let _data = cfs.read_block_in(&ctx, map_node, block)?;
                 // Shuffle: stream this map's partitions to every reducer
                 // through the accounted I/O path.
                 for &r in &reducers {
@@ -249,6 +253,7 @@ mod tests {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             durability: Default::default(),
+            reliability: Default::default(),
         };
         MiniCfs::new(cfg).unwrap()
     }

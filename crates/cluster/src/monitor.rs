@@ -168,6 +168,7 @@ mod tests {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             durability: Default::default(),
+            reliability: Default::default(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -249,6 +250,7 @@ mod tests {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             durability: Default::default(),
+            reliability: Default::default(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;
@@ -363,6 +365,7 @@ mod tests {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             durability: Default::default(),
+            reliability: Default::default(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;

@@ -1,13 +1,14 @@
 //! The RaidNode: coordinates asynchronous encoding jobs (Section IV of the
 //! paper) and the BlockMover that repairs fault-tolerance violations.
 
-use crate::cluster::{backoff, MiniCfs};
+use crate::cluster::MiniCfs;
 use crate::namenode::PendingStripe;
+use crate::reliability::OpClass;
 use ear_types::{Block, BlockId, Error, NodeId, Result, StripeId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Encode attempts per stripe before it is handed back to the NameNode's
 /// pending queue (its replicas stay intact, so nothing is lost).
@@ -124,7 +125,13 @@ impl RaidNode {
                             // until parity is durable), so restarting it is
                             // always safe.
                             Err(e) if tries + 1 < STRIPE_ATTEMPTS => {
-                                backoff(tries);
+                                // Seeded jittered backoff keyed by stripe, so
+                                // concurrent retries of different stripes
+                                // desynchronise deterministically.
+                                let ticks = cfs
+                                    .reliability()
+                                    .backoff_ticks(stripe.id.index() as u64, tries);
+                                std::thread::sleep(Duration::from_micros(ticks));
                                 queue.lock().push((stripe, tries + 1));
                                 let _ = e;
                             }
@@ -348,8 +355,12 @@ fn download_block(
         blacklist.lock().insert(n);
     };
     let skip = |n: NodeId| blacklist.lock().contains(&n);
+    // Encode-class admission: background encoding is the first traffic shed
+    // when the gate tightens, and its downloads run under the substrate's
+    // deadline/retry-budget bounds.
+    let ctx = cfs.reliability().ctx(OpClass::Encode)?;
     cfs.io()
-        .read_with_fallback(enc, block, &ordered, Some(&on_dead), Some(&skip))
+        .read_with_fallback(&ctx, enc, block, &ordered, Some(&on_dead), Some(&skip))
 }
 
 /// Stores one parity block, preferring the planned node and falling back to
@@ -392,7 +403,8 @@ fn store_parity(
     fallbacks.sort_by_key(|&n| (topo.rack_of(n) != topo.rack_of(planned), n.index()));
     candidates.extend(fallbacks);
 
-    cfs.io().write_with_fallback(enc, id, &data, &candidates)
+    let ctx = cfs.reliability().ctx(OpClass::Encode)?;
+    cfs.io().write_with_fallback(&ctx, enc, id, &data, &candidates)
 }
 
 #[cfg(test)]
@@ -423,6 +435,7 @@ mod tests {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             durability: Default::default(),
+            reliability: Default::default(),
         };
         MiniCfs::new(cfg).unwrap()
     }

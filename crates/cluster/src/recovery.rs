@@ -9,6 +9,7 @@
 //! `c - 1` of its `k` inputs intra-rack.
 
 use crate::cluster::MiniCfs;
+use crate::reliability::{OpClass, OpContext};
 use ear_types::{Block, BlockId, Error, NodeId, Result};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -45,8 +46,12 @@ pub(crate) struct ShardRepair {
 /// this block. Both sources and the recovery node are drawn from `live`.
 ///
 /// This is the shared core of [`recover_node`] and the background healer.
+/// The caller's `ctx` bounds the whole reconstruction on the virtual clock:
+/// every shard download charges it, and a blown deadline or dry retry
+/// budget stops the repair typed instead of letting it stall its round.
 pub(crate) fn reconstruct_stripe_block(
     cfs: &MiniCfs,
+    ctx: &OpContext<'_>,
     members: &[BlockId],
     block: BlockId,
     live: &dyn Fn(NodeId) -> bool,
@@ -139,13 +144,26 @@ pub(crate) fn reconstruct_stripe_block(
         let Some(slot) = shards.get_mut(idx) else {
             continue; // member index outside the stripe: skip, never panic
         };
-        if let Ok((data, _)) = cfs.io().read_with_fallback(recovery_node, m, &[h], None, None) {
-            if topo.rack_of(h) != topo.rack_of(recovery_node) {
-                repair.cross_rack_downloads += 1;
+        match cfs
+            .io()
+            .read_with_fallback(ctx, recovery_node, m, &[h], None, None)
+        {
+            Ok((data, _)) => {
+                if topo.rack_of(h) != topo.rack_of(recovery_node) {
+                    repair.cross_rack_downloads += 1;
+                }
+                repair.downloads += 1;
+                *slot = Some(data.to_vec());
+                got += 1;
             }
-            repair.downloads += 1;
-            *slot = Some(data.to_vec());
-            got += 1;
+            // A substrate stop ends the repair typed, within its deadline —
+            // it must not keep grinding through the remaining sources.
+            Err(
+                e @ (Error::DeadlineExceeded { .. }
+                | Error::RetryBudgetExhausted { .. }
+                | Error::Overloaded { .. }),
+            ) => return Err(e),
+            Err(_) => {}
         }
     }
     if got < k {
@@ -205,6 +223,85 @@ pub(crate) fn reconstruct_stripe_block(
     cfs.datanode(placement).put(block, Block::from(rebuilt))?;
     cfs.namenode().set_locations(block, vec![placement])?;
     Ok(repair)
+}
+
+/// Reconstructs `block`'s bytes at `reader` from any `k` surviving members
+/// of its stripe *without* re-placing the block or touching metadata — the
+/// proactive leg of a hedged read whose last replica is straggling. Shard
+/// downloads charge `ctx`; the caller adds the fixed decode cost when it
+/// scores the race.
+///
+/// # Errors
+///
+/// * [`Error::BlockUnavailable`] if the block belongs to no encoded stripe.
+/// * [`Error::NotEnoughShards`] if fewer than `k` members are readable.
+/// * [`Error::DeadlineExceeded`] / [`Error::RetryBudgetExhausted`] from the
+///   substrate.
+pub(crate) fn degraded_read(
+    cfs: &MiniCfs,
+    ctx: &OpContext<'_>,
+    reader: NodeId,
+    block: BlockId,
+) -> Result<Block> {
+    let k = cfs.codec().params().k();
+    let n = cfs.codec().params().n();
+    let encoded = cfs.namenode().encoded_stripes();
+    let es = encoded
+        .iter()
+        .find(|es| es.data.contains(&block) || es.parity.contains(&block))
+        .ok_or(Error::BlockUnavailable { block })?;
+    let members: Vec<BlockId> = es.data.iter().chain(es.parity.iter()).copied().collect();
+    let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+    let mut got = 0usize;
+    for (idx, &m) in members.iter().enumerate() {
+        if got == k {
+            break;
+        }
+        if m == block {
+            continue;
+        }
+        let holders: Vec<NodeId> = cfs
+            .namenode()
+            .locations(m)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&h| !cfs.injector().node_down(h))
+            .collect();
+        if holders.is_empty() {
+            continue;
+        }
+        let Some(slot) = shards.get_mut(idx) else {
+            continue;
+        };
+        match cfs.io().read_with_fallback(ctx, reader, m, &holders, None, None) {
+            Ok((data, _)) => {
+                *slot = Some(data.to_vec());
+                got += 1;
+            }
+            Err(
+                e @ (Error::DeadlineExceeded { .. }
+                | Error::RetryBudgetExhausted { .. }
+                | Error::Overloaded { .. }),
+            ) => return Err(e),
+            Err(_) => {}
+        }
+    }
+    if got < k {
+        return Err(Error::NotEnoughShards {
+            available: got,
+            required: k,
+        });
+    }
+    cfs.codec().reconstruct(&mut shards)?;
+    let lost_idx = members
+        .iter()
+        .position(|&m| m == block)
+        .ok_or_else(|| Error::Invariant(format!("{block} not a member of its stripe")))?;
+    let data = shards
+        .get_mut(lost_idx)
+        .and_then(Option::take)
+        .ok_or_else(|| Error::Invariant(format!("{block} not reconstructed")))?;
+    Ok(Block::from(data))
 }
 
 /// Statistics of one node-recovery operation.
@@ -304,7 +401,10 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
                 .copied()
                 .filter(|&s| !cfs.injector().node_down(s))
                 .collect();
-            let (data, src) = cfs.io().read_with_fallback(*dst, block, &reachable, None, None)?;
+            let ctx = cfs.reliability().ctx(OpClass::Heal)?;
+            let (data, src) =
+                cfs.io()
+                    .read_with_fallback(&ctx, *dst, block, &reachable, None, None)?;
             cfs.datanode(*dst).put(block, data)?;
             let mut locs = survivors;
             locs.push(*dst);
@@ -326,8 +426,9 @@ pub fn recover_node(cfs: &MiniCfs, failed: NodeId) -> Result<RecoveryStats> {
             .ok_or_else(|| Error::Invariant(format!("stripe index {si} out of range")))?;
         let members: Vec<BlockId> = es.data.iter().chain(es.parity.iter()).copied().collect();
         let live = |nd: NodeId| nd != failed && !cfs.injector().node_down(nd);
+        let ctx = cfs.reliability().ctx(OpClass::Heal)?;
         let repair =
-            reconstruct_stripe_block(cfs, &members, block, &live, &|_| false, &mut rng)?;
+            reconstruct_stripe_block(cfs, &ctx, &members, block, &live, &|_| false, &mut rng)?;
         stats.blocks_downloaded += repair.downloads;
         stats.cross_rack_downloads += repair.cross_rack_downloads;
         if repair.upload_cross_rack {
@@ -369,6 +470,7 @@ mod tests {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             durability: Default::default(),
+            reliability: Default::default(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -483,6 +585,7 @@ mod tests {
                 store: StoreBackend::from_env(),
                 cache: CacheConfig::from_env(),
                 durability: Default::default(),
+                reliability: Default::default(),
             };
             let cfs = MiniCfs::new(cfg).unwrap();
             write_and_encode(&cfs, 3);

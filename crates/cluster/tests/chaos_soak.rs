@@ -16,6 +16,7 @@ use ear_cluster::chaos::{run_plan, ChaosConfig};
 use ear_cluster::ClusterPolicy;
 use ear_faults::FaultConfig;
 use ear_types::{CacheConfig, StoreBackend};
+use proptest::prelude::*;
 
 fn soak(policy: ClusterPolicy, seeds: std::ops::Range<u64>) {
     let mut verified = 0usize;
@@ -141,6 +142,7 @@ fn chaos_reports_are_bit_identical_across_cache_configs() {
 #[test]
 fn chaos_reports_are_identical_across_thread_counts_and_backends() {
     let crash_only = FaultConfig {
+        straggler_delay: ear_faults::DelayModel::Throttle,
         node_crashes: 2,
         rack_outages: 0,
         stragglers: 0,
@@ -174,6 +176,73 @@ fn chaos_reports_are_identical_across_thread_counts_and_backends() {
                 );
             }
         }
+    }
+}
+
+/// The straggler-heavy soak (DESIGN.md §14): several nodes with a
+/// heavy-tailed Pareto delay, hedging on vs off over pinned seeds. Both
+/// runs must lose nothing and fail only typed; the hedged tail must be
+/// strictly shorter in aggregate, with real hedges launched and won.
+#[test]
+fn straggler_heavy_soak_hedging_cuts_tail_latency() {
+    let mut hedged_p99 = 0u64;
+    let mut unhedged_p99 = 0u64;
+    let mut hedges_launched = 0u64;
+    let mut hedges_won = 0u64;
+    for seed in 0..8u64 {
+        let mk = |hedging| ChaosConfig {
+            hedging,
+            ..ChaosConfig::straggler_heavy(ClusterPolicy::Ear)
+        };
+        let hedged = run_plan(seed, &mk(true)).expect("hedged run");
+        let unhedged = run_plan(seed, &mk(false)).expect("unhedged run");
+        for r in [&hedged, &unhedged] {
+            // Zero acked-block loss under pure straggler + lossy-I/O chaos;
+            // any probe-read failure is typed, never a hang or panic.
+            assert!(r.passed(ClusterPolicy::Ear), "seed {seed}: {r:?}");
+            assert!(r.read_ops > 0, "seed {seed}: probe never read");
+        }
+        assert_eq!(unhedged.hedges_launched, 0, "hedging off must not hedge");
+        hedged_p99 += hedged.read_p99_ticks;
+        unhedged_p99 += unhedged.read_p99_ticks;
+        hedges_launched += hedged.hedges_launched;
+        hedges_won += hedged.hedges_won;
+    }
+    assert!(hedges_launched > 0, "stragglers must trigger hedges");
+    assert!(hedges_won > 0, "some hedge legs must beat the straggler");
+    assert!(
+        hedged_p99 < unhedged_p99,
+        "hedged p99 sum {hedged_p99} must beat unhedged {unhedged_p99}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Hedging is latency-only machinery: under any straggler-free plan
+    /// (crashes and lossy I/O allowed, per-attempt delay always zero) the
+    /// soak report must be bit-identical with hedging on and off — no
+    /// hedge may launch, no outcome may shift.
+    #[test]
+    fn hedging_toggle_is_invisible_without_stragglers(seed in any::<u64>()) {
+        let mk = |hedging| {
+            let base = ChaosConfig::light(ClusterPolicy::Ear);
+            ChaosConfig {
+                hedging,
+                map_tasks: 1,
+                faults: FaultConfig {
+                    stragglers: 0,
+                    ..base.faults
+                },
+                ..base
+            }
+        };
+        let on = run_plan(seed, &mk(true))
+            .map_err(|e| TestCaseError::fail(format!("harness error: {e}")))?;
+        let off = run_plan(seed, &mk(false))
+            .map_err(|e| TestCaseError::fail(format!("harness error: {e}")))?;
+        prop_assert_eq!(on.hedges_launched, 0);
+        prop_assert_eq!(format!("{on:?}"), format!("{off:?}"));
     }
 }
 

@@ -26,7 +26,7 @@ fn heal_fingerprint(r: &HealSoakReport) -> String {
          violations={} under_redundant={} lost={:?} beyond=({},{}) \
          rounds={} dead={} re_replicated={} reconstructed={} scrubbed={} \
          scrub_hits={} repair_bytes={} cross_rack_bytes={} mttr_rounds={:?} \
-         converged={} fault_seed={:?}",
+         converged={} fault_seed={:?} breaker_trips={}",
         r.seed,
         r.plan,
         r.acked_blocks,
@@ -48,6 +48,7 @@ fn heal_fingerprint(r: &HealSoakReport) -> String {
         r.heal.mttr_rounds,
         r.heal.converged,
         r.heal.fault_seed,
+        r.heal.breaker_trips,
     )
 }
 
@@ -128,6 +129,7 @@ fn heal_reports_are_bit_identical_across_cache_configs() {
 #[test]
 fn heal_reports_are_identical_across_thread_counts_and_backends() {
     let faults = FaultConfig {
+        straggler_delay: ear_faults::DelayModel::Throttle,
         node_crashes: 2,
         rack_outages: 0,
         stragglers: 0,

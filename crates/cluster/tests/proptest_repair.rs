@@ -60,6 +60,7 @@ fn build(s: &Scenario) -> MiniCfs {
         store: ear_types::StoreBackend::from_env(),
         cache: ear_types::CacheConfig::from_env(),
         durability: Default::default(),
+        reliability: Default::default(),
     })
     .expect("hostable by construction")
 }

@@ -44,6 +44,7 @@ fn durable_cfg(store: StoreBackend, dir: &std::path::Path) -> ClusterConfig {
         store,
         cache: CacheConfig::from_env(),
         durability: DurabilityConfig::at(dir),
+        reliability: Default::default(),
     }
 }
 
@@ -53,6 +54,7 @@ fn durable_cfg(store: StoreBackend, dir: &std::path::Path) -> ClusterConfig {
 fn lossy_plan(cfg: &ClusterConfig) -> FaultPlan {
     let topo = ClusterTopology::uniform(cfg.racks, cfg.nodes_per_rack);
     let faults = FaultConfig {
+        straggler_delay: ear_faults::DelayModel::Throttle,
         node_crashes: 0,
         rack_outages: 0,
         stragglers: 1,

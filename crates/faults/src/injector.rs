@@ -51,6 +51,7 @@ const DOMAIN_READ: u64 = 0x5245_4144;
 const DOMAIN_WRITE: u64 = 0x5752_4954;
 const DOMAIN_CORRUPT: u64 = 0x434f_5252;
 const DOMAIN_HEARTBEAT: u64 = 0x4845_4152;
+const DOMAIN_STRAGGLER: u64 = 0x5354_5241;
 
 /// The runtime fault oracle for one cluster instance.
 #[derive(Debug)]
@@ -189,6 +190,33 @@ impl FaultInjector {
     /// Straggler nodes and bandwidth factors, for the network layer.
     pub fn stragglers(&self) -> &[(NodeId, f64)] {
         self.plan.stragglers()
+    }
+
+    /// Extra virtual-clock ticks one read/write attempt on `node` pays
+    /// because the node straggles. Zero for non-stragglers. Pure in
+    /// `(seed, node, block, attempt)`: the same attempt always straggles
+    /// by the same amount regardless of interleaving, so hedging decisions
+    /// replay exactly. Does not advance the operation counter.
+    pub fn straggler_delay_ticks(
+        &self,
+        node: NodeId,
+        block: BlockId,
+        attempt: u32,
+        service_ticks: u64,
+    ) -> u64 {
+        let Some(&(_, factor)) = self
+            .plan
+            .stragglers()
+            .iter()
+            .find(|&&(s, _)| s == node)
+        else {
+            return 0;
+        };
+        let unit = (self.hash(DOMAIN_STRAGGLER, node, block, attempt) >> 11) as f64
+            * (1.0 / (1u64 << 53) as f64);
+        self.plan
+            .straggler_delay()
+            .sample(unit, service_ticks, factor)
     }
 
     fn down_fault(&self, node: NodeId, op: u64) -> Option<IoFault> {
@@ -398,6 +426,45 @@ mod tests {
         // A zero-rate plan never loses heartbeats.
         let quiet = FaultInjector::disabled();
         assert!((0..100).all(|t| !quiet.drops_heartbeat(NodeId(0), t)));
+    }
+
+    #[test]
+    fn straggler_delay_is_pure_and_zero_off_the_straggler_set() {
+        use crate::plan::DelayModel;
+        let cfg = FaultConfig {
+            node_crashes: 0,
+            stragglers: 2,
+            straggler_delay: DelayModel::Pareto {
+                scale_ticks: 400,
+                shape: 1.2,
+                cap_ticks: 200_000,
+            },
+            transient_error_rate: 0.0,
+            corruption_rate: 0.0,
+            ..FaultConfig::default()
+        };
+        let a = injector(17, &cfg);
+        let b = injector(17, &cfg);
+        let straggler = a.plan().stragglers()[0].0;
+        for i in 0..200u64 {
+            let da = a.straggler_delay_ticks(straggler, BlockId(i), 0, 192);
+            let db = b.straggler_delay_ticks(straggler, BlockId(i), 0, 192);
+            assert_eq!(da, db, "same attempt must straggle identically");
+            assert!((400..=200_000).contains(&da));
+        }
+        // A fresh attempt number redraws from the distribution.
+        assert!((0..100u64).any(|i| {
+            a.straggler_delay_ticks(straggler, BlockId(i), 0, 192)
+                != a.straggler_delay_ticks(straggler, BlockId(i), 1, 192)
+        }));
+        // Non-stragglers never pay.
+        let clean = (0..24u32)
+            .map(NodeId)
+            .find(|n| a.plan().stragglers().iter().all(|&(s, _)| s != *n))
+            .unwrap();
+        assert_eq!(a.straggler_delay_ticks(clean, BlockId(0), 0, 192), 0);
+        // The counter-based fault stream is untouched.
+        assert_eq!(a.ops.load(std::sync::atomic::Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -41,5 +41,5 @@ mod rng;
 
 pub use crc::crc32c;
 pub use injector::{FaultInjector, IoFault};
-pub use plan::{FaultConfig, FaultPlan, NodeCrash, RackOutage};
+pub use plan::{DelayModel, FaultConfig, FaultPlan, NodeCrash, RackOutage};
 pub use rng::{mix64, ChaCha8};

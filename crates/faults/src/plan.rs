@@ -17,6 +17,72 @@ use crate::rng::ChaCha8;
 use ear_types::{ClusterTopology, NodeId, RackId};
 use std::fmt;
 
+/// How much extra virtual-clock delay a straggler adds to one I/O attempt.
+///
+/// The legacy straggler model was a binary slow flag (a netem bandwidth
+/// throttle); hedged reads need a *distribution* with a real tail to beat,
+/// so the delay model is explicit and every sample is a pure function of
+/// the attempt's identity hash — the same attempt always straggles by the
+/// same amount, on every backend and thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Legacy behaviour: no explicit per-attempt delay distribution; the
+    /// straggler's slowdown is its bandwidth factor, so the virtual delay
+    /// is the extra service time that factor implies.
+    Throttle,
+    /// Every attempt on a straggler pays a fixed extra delay.
+    Fixed {
+        /// Extra virtual-clock ticks per attempt.
+        ticks: u64,
+    },
+    /// Heavy-tailed (Pareto) extra delay: most attempts pay around
+    /// `scale_ticks`, a small fraction pay orders of magnitude more — the
+    /// tail profile real straggler studies observe.
+    Pareto {
+        /// Minimum (and typical) extra delay, in virtual-clock ticks.
+        scale_ticks: u64,
+        /// Tail index; smaller = heavier tail. Values `<= 0` clamp to 1.
+        shape: f64,
+        /// Hard cap on one sample, in virtual-clock ticks.
+        cap_ticks: u64,
+    },
+}
+
+impl DelayModel {
+    /// Extra virtual-clock ticks one attempt on a straggler pays.
+    ///
+    /// Pure: `u` is a uniform sample in `[0, 1)` derived from the attempt's
+    /// identity hash, `service_ticks` is the attempt's fault-free virtual
+    /// service time, and `factor` is the straggler's bandwidth multiplier
+    /// (consulted only by [`DelayModel::Throttle`]).
+    pub fn sample(&self, u: f64, service_ticks: u64, factor: f64) -> u64 {
+        match *self {
+            DelayModel::Throttle => {
+                if factor > 0.0 && factor < 1.0 {
+                    (service_ticks as f64 * (1.0 / factor - 1.0)) as u64
+                } else {
+                    0
+                }
+            }
+            DelayModel::Fixed { ticks } => ticks,
+            DelayModel::Pareto {
+                scale_ticks,
+                shape,
+                cap_ticks,
+            } => {
+                let shape = if shape > 0.0 { shape } else { 1.0 };
+                let tail = (1.0 - u).max(f64::MIN_POSITIVE);
+                let x = scale_ticks as f64 / tail.powf(1.0 / shape);
+                if x >= cap_ticks as f64 {
+                    cap_ticks
+                } else {
+                    x as u64
+                }
+            }
+        }
+    }
+}
+
 /// Knobs controlling how much chaos a generated [`FaultPlan`] contains.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultConfig {
@@ -28,6 +94,9 @@ pub struct FaultConfig {
     pub stragglers: usize,
     /// Bandwidth multiplier for stragglers (e.g. `0.1` = 10% of base).
     pub straggler_factor: f64,
+    /// Per-attempt extra-delay distribution for stragglers, on the virtual
+    /// clock (the tail the hedging policy races against).
+    pub straggler_delay: DelayModel,
     /// Probability that any single I/O attempt fails transiently.
     pub transient_error_rate: f64,
     /// Probability that a given (node, block) copy reads back corrupted.
@@ -48,6 +117,7 @@ impl Default for FaultConfig {
             rack_outages: 0,
             stragglers: 1,
             straggler_factor: 0.25,
+            straggler_delay: DelayModel::Throttle,
             transient_error_rate: 0.02,
             corruption_rate: 0.02,
             heartbeat_loss_rate: 0.0,
@@ -70,6 +140,7 @@ impl FaultConfig {
             rack_outages: 1,
             stragglers: 2,
             straggler_factor: 0.1,
+            straggler_delay: DelayModel::Throttle,
             transient_error_rate: 0.05,
             corruption_rate: 0.05,
             heartbeat_loss_rate: 0.05,
@@ -103,6 +174,7 @@ pub struct FaultPlan {
     crashes: Vec<NodeCrash>,
     outages: Vec<RackOutage>,
     stragglers: Vec<(NodeId, f64)>,
+    straggler_delay: DelayModel,
     transient_error_rate: f64,
     corruption_rate: f64,
     heartbeat_loss_rate: f64,
@@ -117,6 +189,7 @@ impl FaultPlan {
             crashes: Vec::new(),
             outages: Vec::new(),
             stragglers: Vec::new(),
+            straggler_delay: DelayModel::Throttle,
             transient_error_rate: 0.0,
             corruption_rate: 0.0,
             heartbeat_loss_rate: 0.0,
@@ -163,6 +236,7 @@ impl FaultPlan {
             crashes,
             outages,
             stragglers,
+            straggler_delay: config.straggler_delay,
             transient_error_rate: config.transient_error_rate,
             corruption_rate: config.corruption_rate,
             heartbeat_loss_rate: config.heartbeat_loss_rate,
@@ -197,6 +271,11 @@ impl FaultPlan {
     /// Straggler nodes and their bandwidth factors.
     pub fn stragglers(&self) -> &[(NodeId, f64)] {
         &self.stragglers
+    }
+
+    /// The per-attempt straggler delay distribution.
+    pub fn straggler_delay(&self) -> DelayModel {
+        self.straggler_delay
     }
 
     /// Per-attempt transient I/O error probability.
@@ -244,7 +323,16 @@ impl fmt::Display for FaultPlan {
             self.transient_error_rate * 100.0,
             self.corruption_rate * 100.0,
             self.heartbeat_loss_rate * 100.0,
-        )
+        )?;
+        match self.straggler_delay {
+            DelayModel::Throttle => Ok(()),
+            DelayModel::Fixed { ticks } => write!(f, ", delay=fixed({ticks})"),
+            DelayModel::Pareto {
+                scale_ticks,
+                shape,
+                cap_ticks,
+            } => write!(f, ", delay=pareto({scale_ticks},{shape},{cap_ticks})"),
+        }
     }
 }
 
@@ -296,6 +384,58 @@ mod tests {
         let p = FaultPlan::generate(1, &topo(), &FaultConfig::default());
         assert!(!p.is_empty());
         assert!(p.to_string().contains("seed=1"));
+    }
+
+    #[test]
+    fn delay_models_sample_purely_and_respect_caps() {
+        // Throttle: the delay is the extra service time the factor implies.
+        let t = DelayModel::Throttle;
+        assert_eq!(t.sample(0.5, 1000, 0.25), 3000);
+        assert_eq!(t.sample(0.9, 1000, 1.0), 0);
+        assert_eq!(t.sample(0.9, 1000, 0.0), 0);
+        // Fixed ignores both the sample and the service time.
+        let fx = DelayModel::Fixed { ticks: 42 };
+        assert_eq!(fx.sample(0.0, 1, 0.1), 42);
+        assert_eq!(fx.sample(0.999, 1_000_000, 0.1), 42);
+        // Pareto: monotone in u, floored at scale, capped hard.
+        let p = DelayModel::Pareto {
+            scale_ticks: 400,
+            shape: 1.2,
+            cap_ticks: 200_000,
+        };
+        let lo = p.sample(0.0, 0, 0.1);
+        let mid = p.sample(0.9, 0, 0.1);
+        let hi = p.sample(0.999999, 0, 0.1);
+        assert_eq!(lo, 400);
+        assert!(mid > lo, "p90 {mid} must exceed the scale floor");
+        assert!(hi <= 200_000, "samples must respect the cap, got {hi}");
+        assert!(mid < hi);
+        // Pure: same inputs, same sample.
+        assert_eq!(p.sample(0.9, 0, 0.1), mid);
+        // A non-positive shape clamps instead of dividing by zero.
+        let bad = DelayModel::Pareto {
+            scale_ticks: 10,
+            shape: 0.0,
+            cap_ticks: 100,
+        };
+        assert!(bad.sample(0.5, 0, 0.1) >= 10);
+    }
+
+    #[test]
+    fn plan_display_names_non_default_delay_models() {
+        let t = topo();
+        let cfg = FaultConfig {
+            straggler_delay: DelayModel::Pareto {
+                scale_ticks: 400,
+                shape: 1.2,
+                cap_ticks: 200_000,
+            },
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::generate(3, &t, &cfg);
+        assert!(p.to_string().contains("delay=pareto(400,1.2,200000)"));
+        let legacy = FaultPlan::generate(3, &t, &FaultConfig::default());
+        assert!(!legacy.to_string().contains("delay="));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub const DATA_PLANE_FILES: &[&str] = &[
     "recovery.rs",
     "raidnode.rs",
     "healer.rs",
+    "reliability.rs",
     "wal.rs",
     "extent.rs",
     "crashsim.rs",

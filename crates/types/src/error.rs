@@ -119,6 +119,27 @@ pub enum Error {
         /// Where the corruption was detected.
         context: String,
     },
+    /// The admission gate shed this operation: the cluster is over its
+    /// concurrency limit for the op's class and everything below it in
+    /// priority (client read > client write > heal > encode).
+    Overloaded {
+        /// The op class that was shed (e.g. `"heal"`).
+        class: &'static str,
+    },
+    /// The operation's virtual-clock deadline expired before it completed.
+    DeadlineExceeded {
+        /// What was being attempted (e.g. `"read"`).
+        what: &'static str,
+        /// The deadline, in virtual-clock ticks.
+        deadline_ticks: u64,
+    },
+    /// The op class's retry token bucket ran dry: retries across the whole
+    /// class — not just this call — have exceeded their budget, so backing
+    /// off is pointless until the bucket refills.
+    RetryBudgetExhausted {
+        /// The op class whose bucket ran dry (e.g. `"encode"`).
+        class: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -184,6 +205,18 @@ impl fmt::Display for Error {
             Error::WalCorrupt { context } => {
                 write!(f, "durable metadata corrupt: {context}")
             }
+            Error::Overloaded { class } => {
+                write!(f, "overloaded: {class} operation shed by admission control")
+            }
+            Error::DeadlineExceeded {
+                what,
+                deadline_ticks,
+            } => {
+                write!(f, "{what} missed its {deadline_ticks}-tick deadline")
+            }
+            Error::RetryBudgetExhausted { class } => {
+                write!(f, "retry budget exhausted for {class} operations")
+            }
         }
     }
 }
@@ -247,6 +280,12 @@ mod tests {
             Error::WalCorrupt {
                 context: "checkpoint payload crc mismatch".into(),
             },
+            Error::Overloaded { class: "heal" },
+            Error::DeadlineExceeded {
+                what: "read",
+                deadline_ticks: 50_000,
+            },
+            Error::RetryBudgetExhausted { class: "encode" },
         ];
         for e in errs {
             let msg = e.to_string();

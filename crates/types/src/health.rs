@@ -81,6 +81,9 @@ pub struct HealStats {
     pub converged: bool,
     /// The fault-plan seed active during the run (`None` = fault-free).
     pub fault_seed: Option<u64>,
+    /// Circuit-breaker trips (node declared Suspect/Dead while its breaker
+    /// was closed) observed by the reliability substrate during the run.
+    pub breaker_trips: u64,
 }
 
 impl HealStats {
@@ -89,7 +92,8 @@ impl HealStats {
     pub fn summary(&self) -> String {
         format!(
             "rounds={} dead={} re-replicated={} reconstructed={} scrubbed={} \
-             scrub-hits={} repair-bytes={} cross-rack-repair-bytes={} mttr-rounds={} {}",
+             scrub-hits={} repair-bytes={} cross-rack-repair-bytes={} breaker-trips={} \
+             mttr-rounds={} {}",
             self.rounds,
             self.nodes_declared_dead,
             self.blocks_re_replicated,
@@ -98,6 +102,7 @@ impl HealStats {
             self.scrub_hits,
             self.repair_bytes,
             self.cross_rack_repair_bytes,
+            self.breaker_trips,
             self.mttr_rounds
                 .map_or_else(|| "-".to_string(), |r| r.to_string()),
             if self.converged {
@@ -133,12 +138,14 @@ mod tests {
             shards_reconstructed: 1,
             scrub_hits: 4,
             cross_rack_repair_bytes: 65536,
+            breaker_trips: 5,
             mttr_rounds: Some(2),
             converged: true,
             ..HealStats::default()
         };
         let s = st.summary();
         assert!(s.contains("re-replicated=2"));
+        assert!(s.contains("breaker-trips=5"));
         assert!(s.contains("reconstructed=1"));
         assert!(s.contains("scrub-hits=4"));
         assert!(s.contains("cross-rack-repair-bytes=65536"));

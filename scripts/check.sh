@@ -39,6 +39,10 @@ cargo clippy --workspace --offline -- -D warnings
 cargo run -q --release --offline -p ear-cli -- chaos --plans 5 --seed 0 --profile mixed
 cargo run -q --release --offline -p ear-cli -- chaos --plans 2 --seed 0 --profile mixed --store file
 cargo run -q --release --offline -p ear-cli -- chaos --plans 2 --seed 0 --profile mixed --store extent
+# Straggler-heavy hedged-read smoke (DESIGN.md §14): Pareto per-attempt
+# delays with hedging on — prints the probe-read tail percentiles and the
+# hedges launched/won; any lost block or untyped failure fails the run.
+cargo run -q --release --offline -p ear-cli -- chaos --plans 3 --seed 0 --stragglers
 # Crash-sim smoke: deterministic kill-point sweep over the durability
 # layer's three surfaces (DESIGN.md §13). Failures name (seed, kill) to
 # replay with `ear crashsim --surface <s> --seed <n> --kills 1`.

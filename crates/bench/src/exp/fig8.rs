@@ -10,18 +10,26 @@
 
 use crate::{Scale, Table};
 use ear_cluster::{ClusterConfig, ClusterPolicy, MiniCfs, RaidNode};
-use ear_types::{ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig, Result};
+use ear_netem::TrafficSnapshot;
+use ear_types::{ByteSize, EarConfig, EncodePath, ErasureParams, NodeId, ReplicationConfig, Result};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Builds the testbed cluster for a policy and erasure code.
-fn testbed(policy: ClusterPolicy, n: usize, k: usize, scale: Scale) -> Result<MiniCfs> {
+/// Builds the testbed cluster for a policy, erasure code, and encode path.
+fn testbed(
+    policy: ClusterPolicy,
+    n: usize,
+    k: usize,
+    scale: Scale,
+    path: EncodePath,
+) -> Result<MiniCfs> {
     let ear = EarConfig::new(ErasureParams::new(n, k)?, ReplicationConfig::two_way(), 1)?;
     let mut cfg = ClusterConfig::testbed(policy, ear);
     cfg.block_size = scale.pick(ByteSize::mib(1), ByteSize::mib(4));
     let bw = scale.pick(32e6, 128e6);
     cfg.node_bandwidth = ear_types::Bandwidth::bytes_per_sec(bw);
     cfg.rack_bandwidth = ear_types::Bandwidth::bytes_per_sec(bw);
+    cfg.encode_path = path;
     MiniCfs::new(cfg)
 }
 
@@ -45,7 +53,10 @@ fn fill(cfs: &MiniCfs, stripes: usize, k: usize) -> Result<usize> {
 }
 
 /// One measurement: the full encode statistics (throughput, cross-rack
-/// downloads, fault seed) for a policy and code.
+/// downloads, fault seed) for a policy, code, and encode path, plus the
+/// encode-phase traffic reading (bytes moved by the encode job alone —
+/// snapshotted after the fill phase so write replication doesn't pollute
+/// the column).
 fn encode_throughput(
     policy: ClusterPolicy,
     n: usize,
@@ -53,9 +64,11 @@ fn encode_throughput(
     stripes: usize,
     scale: Scale,
     background_mbps: f64,
-) -> Result<ear_cluster::EncodeStats> {
-    let cfs = testbed(policy, n, k, scale)?;
+    path: EncodePath,
+) -> Result<(ear_cluster::EncodeStats, TrafficSnapshot)> {
+    let cfs = testbed(policy, n, k, scale, path)?;
     fill(&cfs, stripes, k)?;
+    let before = cfs.network().snapshot();
 
     // Background "UDP" senders: six node pairs stream continuously, like
     // the paper's Iperf setup (Experiment A.1, Fig. 8(b)).
@@ -83,11 +96,14 @@ fn encode_throughput(
         let (stats, _relocations) = RaidNode::encode_all(&cfs, 12)?;
         stop.store(true, Ordering::Relaxed);
         Ok(stats)
-    });
-    stats
+    })?;
+    let traffic = cfs.network().snapshot().delta(&before);
+    Ok((stats, traffic))
 }
 
-/// Figure 8(a): throughput vs `(n, k)`.
+/// Figure 8(a): throughput vs `(n, k)`, plus the DESIGN.md §15 encode-path
+/// matrix — cross-rack bytes the encode phase moved under the legacy
+/// gather path and the pipelined chain, per policy.
 pub fn run_a(scale: Scale) -> String {
     let stripes = scale.pick(12, 96);
     let kernel = ear_erasure::Kernel::active().name();
@@ -99,12 +115,42 @@ pub fn run_a(scale: Scale) -> String {
         "RR xrack",
         "EAR xrack",
     ]);
+    let mut paths = Table::new(&[
+        "(n,k)",
+        "RR gather KiB",
+        "RR pipelined KiB",
+        "RR delta",
+        "EAR gather KiB",
+        "EAR pipelined KiB",
+    ]);
     let mut fault_seed = None;
     for (n, k) in [(6usize, 4usize), (8, 6), (10, 8), (12, 10)] {
-        let rr_stats =
-            encode_throughput(ClusterPolicy::Rr, n, k, stripes, scale, 0.0).expect("rr run");
-        let ear_stats =
-            encode_throughput(ClusterPolicy::Ear, n, k, stripes, scale, 0.0).expect("ear run");
+        let (rr_stats, rr_gather) =
+            encode_throughput(ClusterPolicy::Rr, n, k, stripes, scale, 0.0, EncodePath::Gather)
+                .expect("rr run");
+        let (ear_stats, ear_gather) =
+            encode_throughput(ClusterPolicy::Ear, n, k, stripes, scale, 0.0, EncodePath::Gather)
+                .expect("ear run");
+        let (_, rr_piped) = encode_throughput(
+            ClusterPolicy::Rr,
+            n,
+            k,
+            stripes,
+            scale,
+            0.0,
+            EncodePath::Pipelined,
+        )
+        .expect("rr pipelined run");
+        let (_, ear_piped) = encode_throughput(
+            ClusterPolicy::Ear,
+            n,
+            k,
+            stripes,
+            scale,
+            0.0,
+            EncodePath::Pipelined,
+        )
+        .expect("ear pipelined run");
         fault_seed = fault_seed.or(rr_stats.fault_seed).or(ear_stats.fault_seed);
         let (rr, ear) = (rr_stats.throughput_mibps(), ear_stats.throughput_mibps());
         t.row_owned(vec![
@@ -115,12 +161,36 @@ pub fn run_a(scale: Scale) -> String {
             rr_stats.cross_rack_downloads.to_string(),
             ear_stats.cross_rack_downloads.to_string(),
         ]);
+        let delta = if rr_gather.cross_rack_bytes == 0 {
+            "0.0%".to_string()
+        } else {
+            format!(
+                "{:+.1}%",
+                (rr_piped.cross_rack_bytes as f64 / rr_gather.cross_rack_bytes as f64 - 1.0)
+                    * 100.0
+            )
+        };
+        paths.row_owned(vec![
+            format!("({n},{k})"),
+            (rr_gather.cross_rack_bytes / 1024).to_string(),
+            (rr_piped.cross_rack_bytes / 1024).to_string(),
+            delta,
+            (ear_gather.cross_rack_bytes / 1024).to_string(),
+            (ear_piped.cross_rack_bytes / 1024).to_string(),
+        ]);
     }
     let seed = crate::fault_seed_label(fault_seed);
     let mut out = format!(
         "Figure 8(a): raw encoding throughput vs (n,k) — {stripes} stripes, 12 racks, gf kernel {kernel}, fault seed {seed}\n\n"
     );
     out.push_str(&t.render());
+    out.push_str(
+        "\nEncode-phase cross-rack bytes by data path (DESIGN.md 15). The pipelined\n\
+         chain folds racks holding more sources than parity rows, so it never ships\n\
+         more than gather; EAR sits at the floor (parity uploads only) under both\n\
+         paths, which is why its columns match.\n\n",
+    );
+    out.push_str(&paths.render());
     out
 }
 
@@ -135,10 +205,19 @@ pub fn run_b(scale: Scale) -> String {
     let mut t = Table::new(&["rate Mb/s", "RR MiB/s", "EAR MiB/s", "gain"]);
     let mut fault_seed = None;
     for rate in rates {
-        let rr_stats =
-            encode_throughput(ClusterPolicy::Rr, 10, 8, stripes, scale, rate).expect("rr run");
-        let ear_stats =
-            encode_throughput(ClusterPolicy::Ear, 10, 8, stripes, scale, rate).expect("ear run");
+        let (rr_stats, _) =
+            encode_throughput(ClusterPolicy::Rr, 10, 8, stripes, scale, rate, EncodePath::Gather)
+                .expect("rr run");
+        let (ear_stats, _) = encode_throughput(
+            ClusterPolicy::Ear,
+            10,
+            8,
+            stripes,
+            scale,
+            rate,
+            EncodePath::Gather,
+        )
+        .expect("ear run");
         fault_seed = fault_seed.or(rr_stats.fault_seed).or(ear_stats.fault_seed);
         let (rr, ear) = (rr_stats.throughput_mibps(), ear_stats.throughput_mibps());
         t.row_owned(vec![
@@ -168,6 +247,58 @@ mod tests {
         for nk in ["(6,4)", "(8,6)", "(10,8)", "(12,10)"] {
             let line = s.lines().find(|l| l.starts_with(nk)).expect("row");
             assert!(line.contains('+'), "no gain in row: {line}");
+        }
+        // The encode-path matrix rides along.
+        assert!(s.contains("RR pipelined KiB"), "{s}");
+        assert!(s.contains("cross-rack bytes by data path"), "{s}");
+    }
+
+    #[test]
+    fn pipelined_path_never_ships_more_cross_rack_bytes() {
+        for (n, k) in [(6usize, 4usize), (12, 10)] {
+            let (_, rr_g) =
+                encode_throughput(ClusterPolicy::Rr, n, k, 6, Scale::Quick, 0.0, EncodePath::Gather)
+                    .unwrap();
+            let (_, rr_p) = encode_throughput(
+                ClusterPolicy::Rr,
+                n,
+                k,
+                6,
+                Scale::Quick,
+                0.0,
+                EncodePath::Pipelined,
+            )
+            .unwrap();
+            assert!(
+                rr_p.cross_rack_bytes <= rr_g.cross_rack_bytes,
+                "({n},{k}): RR pipelined {} cross bytes vs gather {}",
+                rr_p.cross_rack_bytes,
+                rr_g.cross_rack_bytes
+            );
+            let (_, ear_g) = encode_throughput(
+                ClusterPolicy::Ear,
+                n,
+                k,
+                6,
+                Scale::Quick,
+                0.0,
+                EncodePath::Gather,
+            )
+            .unwrap();
+            let (_, ear_p) = encode_throughput(
+                ClusterPolicy::Ear,
+                n,
+                k,
+                6,
+                Scale::Quick,
+                0.0,
+                EncodePath::Pipelined,
+            )
+            .unwrap();
+            assert_eq!(
+                ear_p.cross_rack_bytes, ear_g.cross_rack_bytes,
+                "({n},{k}): EAR is at the parity-upload floor under both paths"
+            );
         }
     }
 }

@@ -52,6 +52,13 @@ pub struct ChaosConfig {
     /// straggler-free plan the report must be bit-identical either way:
     /// hedges only launch after a straggler delay crosses the threshold.
     pub hedging: bool,
+    /// Which encode data path the run uses (DESIGN.md §15). The soak
+    /// reports must be bit-identical under either path: the pipeline
+    /// changes traffic shape, never parity bytes or metadata.
+    pub encode_path: ear_types::EncodePath,
+    /// Which repair data path the run uses (DESIGN.md §15). Same
+    /// bit-identity requirement as [`ChaosConfig::encode_path`].
+    pub repair_path: ear_types::RepairPath,
 }
 
 impl ChaosConfig {
@@ -66,6 +73,8 @@ impl ChaosConfig {
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
             hedging: true,
+            encode_path: ear_types::EncodePath::from_env(),
+            repair_path: ear_types::RepairPath::from_env(),
         }
     }
 
@@ -172,13 +181,7 @@ impl ChaosReport {
 /// The cluster shape chaos runs use: 8 racks × 2 nodes, (6,4) RS, 2-way
 /// replication, 64 KiB blocks over fast links so a full run takes tens of
 /// milliseconds.
-fn chaos_cluster(
-    policy: ClusterPolicy,
-    seed: u64,
-    store: StoreBackend,
-    cache: CacheConfig,
-    hedging: bool,
-) -> Result<ClusterConfig> {
+fn chaos_cluster(cfg: &ChaosConfig, seed: u64) -> Result<ClusterConfig> {
     let ear = EarConfig::new(
         ErasureParams::new(6, 4)?,
         ReplicationConfig::two_way(),
@@ -191,15 +194,17 @@ fn chaos_cluster(
         node_bandwidth: Bandwidth::bytes_per_sec(512e6),
         rack_bandwidth: Bandwidth::bytes_per_sec(512e6),
         ear,
-        policy,
+        policy: cfg.policy,
         seed: seed ^ 0xA11CE,
-        store,
-        cache,
+        store: cfg.store,
+        cache: cfg.cache,
         durability: ear_types::DurabilityConfig::default(),
         reliability: ReliabilityConfig {
-            hedge_reads: hedging,
+            hedge_reads: cfg.hedging,
             ..ReliabilityConfig::default()
         },
+        encode_path: cfg.encode_path,
+        repair_path: cfg.repair_path,
     })
 }
 
@@ -213,7 +218,7 @@ fn chaos_cluster(
 /// asserting on them is the caller's job, typically via
 /// [`ChaosReport::passed`].
 pub fn run_plan(seed: u64, cfg: &ChaosConfig) -> Result<ChaosReport> {
-    let cluster_cfg = chaos_cluster(cfg.policy, seed, cfg.store, cfg.cache, cfg.hedging)?;
+    let cluster_cfg = chaos_cluster(cfg, seed)?;
     let topo = ClusterTopology::uniform(cluster_cfg.racks, cluster_cfg.nodes_per_rack);
     let plan = FaultPlan::generate(seed, &topo, &cfg.faults);
     let mut report = ChaosReport {
@@ -442,6 +447,12 @@ pub struct HealSoakConfig {
     pub cache: CacheConfig,
     /// Encode-job parallelism.
     pub map_tasks: usize,
+    /// Which encode data path the run uses (bit-identity required — see
+    /// [`ChaosConfig::encode_path`]).
+    pub encode_path: ear_types::EncodePath,
+    /// Which repair data path the healer uses (bit-identity required — see
+    /// [`ChaosConfig::repair_path`]).
+    pub repair_path: ear_types::RepairPath,
 }
 
 impl Default for HealSoakConfig {
@@ -451,6 +462,8 @@ impl Default for HealSoakConfig {
             kills: 2,
             store: StoreBackend::from_env(),
             cache: CacheConfig::from_env(),
+            encode_path: ear_types::EncodePath::from_env(),
+            repair_path: ear_types::RepairPath::from_env(),
             faults: FaultConfig {
                 straggler_delay: ear_faults::DelayModel::Throttle,
                 node_crashes: 2,
@@ -514,7 +527,7 @@ impl HealSoakReport {
 /// The cluster shape heal soaks use: 8 racks × 3 nodes so two kills still
 /// leave every rack usable, 3-way replication (HDFS default) so replicated
 /// blocks survive two simultaneous failures, (6,4) RS for `n - k = 2`.
-fn heal_cluster(seed: u64, store: StoreBackend, cache: CacheConfig) -> Result<ClusterConfig> {
+fn heal_cluster(cfg: &HealSoakConfig, seed: u64) -> Result<ClusterConfig> {
     let ear = EarConfig::new(
         ErasureParams::new(6, 4)?,
         ReplicationConfig::hdfs_default(),
@@ -529,10 +542,12 @@ fn heal_cluster(seed: u64, store: StoreBackend, cache: CacheConfig) -> Result<Cl
         ear,
         policy: ClusterPolicy::Ear,
         seed: seed ^ 0x4EA1,
-        store,
-        cache,
+        store: cfg.store,
+        cache: cfg.cache,
         durability: ear_types::DurabilityConfig::default(),
         reliability: ReliabilityConfig::default(),
+        encode_path: cfg.encode_path,
+        repair_path: cfg.repair_path,
     })
 }
 
@@ -546,7 +561,7 @@ fn heal_cluster(seed: u64, store: StoreBackend, cache: CacheConfig) -> Result<Cl
 /// boot). A stalled healer is *data*: `heal.converged` stays `false` and
 /// [`HealSoakReport::passed`] fails.
 pub fn run_heal_plan(seed: u64, cfg: &HealSoakConfig) -> Result<HealSoakReport> {
-    let cluster_cfg = heal_cluster(seed, cfg.store, cfg.cache)?;
+    let cluster_cfg = heal_cluster(cfg, seed)?;
     let topo = ClusterTopology::uniform(cluster_cfg.racks, cluster_cfg.nodes_per_rack);
     let k = cluster_cfg.ear.erasure().k();
     let n = cluster_cfg.ear.erasure().n();
@@ -691,17 +706,9 @@ mod tests {
         // any insertion order must yield a bit-identical verification
         // report. Some entries carry deliberately wrong tags so the
         // order-sensitive fields (lost_blocks) are actually exercised.
-        let cfs = MiniCfs::new(
-            chaos_cluster(
-                ClusterPolicy::Rr,
-                1,
-                StoreBackend::from_env(),
-                CacheConfig::from_env(),
-                true,
-            )
-            .unwrap(),
-        )
-        .unwrap();
+        let cfs =
+            MiniCfs::new(chaos_cluster(&ChaosConfig::light(ClusterPolicy::Rr), 1).unwrap())
+                .unwrap();
         let mut entries: Vec<(BlockId, u64)> = Vec::new();
         for tag in 0..12u64 {
             let id = cfs.write_block(NodeId(0), cfs.make_block(tag)).unwrap();

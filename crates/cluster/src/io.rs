@@ -35,9 +35,44 @@ use crate::reliability::{self, OpContext, Reliability};
 use ear_faults::{crc32c, FaultInjector, IoFault};
 use ear_netem::EmulatedNetwork;
 use ear_types::{Block, BlockId, ClusterTopology, Error, NodeId, Result};
+use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Nodes one multi-block job (a stripe encode, a pipelined chain) has found
+/// fail-stop dead, shared across the job's reads so each discovery is paid
+/// at most once. This used to be a bespoke `Mutex<HashSet<_>>` + closure
+/// pair re-built by every caller of
+/// [`read_with_fallback`](ClusterIo::read_with_fallback); it now lives here
+/// so the ordering/blacklist policy has exactly one implementation.
+#[derive(Debug, Default)]
+pub struct DeadNodeSet {
+    inner: Mutex<HashSet<NodeId>>,
+}
+
+impl DeadNodeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DeadNodeSet::default()
+    }
+
+    /// Records `node` as discovered dead.
+    pub fn insert(&self, node: NodeId) {
+        self.inner.lock().insert(node);
+    }
+
+    /// Whether `node` has been discovered dead.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.inner.lock().contains(&node)
+    }
+
+    /// A point-in-time copy, for sort keys that must not hold the lock.
+    fn snapshot(&self) -> HashSet<NodeId> {
+        self.inner.lock().clone()
+    }
+}
 
 /// Attempts per replica before a read or write gives up on it.
 pub(crate) const IO_ATTEMPTS: u32 = 3;
@@ -591,6 +626,77 @@ impl ClusterIo {
                 Err(e)
             }
         }
+    }
+
+    /// Reads `block` into `dst` from the nearest workable replica: the
+    /// shared preference order every bulk reader (stripe gather, pipelined
+    /// chain hops) used to build by hand. `replicas` is sorted so that
+    /// known-dead nodes go last, then `dst` itself (a local copy pays no
+    /// wire cost), then `dst`'s rack, ties broken by node index for
+    /// determinism — and the sorted list is walked by
+    /// [`read_with_fallback`](Self::read_with_fallback) with `dead` wired
+    /// in as both the blacklist hook and the skip predicate.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_with_fallback`](Self::read_with_fallback).
+    pub fn read_nearest(
+        &self,
+        ctx: &OpContext<'_>,
+        dst: NodeId,
+        block: BlockId,
+        replicas: &[NodeId],
+        dead: &DeadNodeSet,
+    ) -> Result<(Block, NodeId)> {
+        let dst_rack = self.topo.rack_of(dst);
+        let known_dead = dead.snapshot();
+        let mut ordered = replicas.to_vec();
+        ordered.sort_by_key(|&n| {
+            (
+                known_dead.contains(&n),
+                n != dst,
+                self.topo.rack_of(n) != dst_rack,
+                n.index(),
+            )
+        });
+        let on_dead = |n: NodeId| dead.insert(n);
+        let skip = |n: NodeId| dead.contains(n);
+        self.read_with_fallback(ctx, dst, block, &ordered, Some(&on_dead), Some(&skip))
+    }
+
+    /// Ships `bytes` of in-flight partial-parity state from `src` to `dst` —
+    /// one hop of a pipelined encode or a rack-aggregated repair. The bytes
+    /// are not a stored block (no DataNode, no checksum boundary: the state
+    /// lives in the sending task), but the wire cost is real and the hop is
+    /// bounded by the substrate: a dead or breaker-open endpoint is a typed
+    /// error the caller turns into a legacy-path fallback, and the transfer
+    /// charges `ctx` like any fetch of the same size.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NodeDown`] if either endpoint is down per the fault plan,
+    ///   or `dst`'s circuit breaker is open.
+    /// * [`Error::DeadlineExceeded`] if charging the hop blows the deadline.
+    pub fn stream_partial(
+        &self,
+        ctx: &OpContext<'_>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<()> {
+        if self.injector.node_down(src) {
+            return Err(Error::NodeDown { node: src });
+        }
+        if self.injector.node_down(dst) {
+            return Err(Error::NodeDown { node: dst });
+        }
+        if ctx.reliability().breaker_open(dst) {
+            self.counters.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::NodeDown { node: dst });
+        }
+        self.counters.transfer_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.net.transfer(src, dst, bytes);
+        ctx.charge(reliability::xfer_cost_ticks(bytes as usize))
     }
 
     /// Stores `block` on `dst`, retrying transient faults with budgeted

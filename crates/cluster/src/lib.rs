@@ -77,6 +77,7 @@ mod io;
 pub mod mapreduce;
 mod monitor;
 mod namenode;
+mod pipeline;
 mod raidnode;
 mod recovery;
 pub mod reliability;
@@ -91,7 +92,7 @@ pub use chaos::{
 };
 pub use cluster::{ClusterConfig, ClusterPolicy, MiniCfs};
 pub use datanode::{CachedRead, DataNode};
-pub use io::{ClusterIo, IoStats};
+pub use io::{ClusterIo, DeadNodeSet, IoStats};
 pub use healer::{Healer, HealerConfig, RoundReport};
 pub use health::{
     DegradedTracker, FailureDetector, HealthConfig, HealthTransition, RepairKind, RepairTask,

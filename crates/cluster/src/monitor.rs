@@ -169,6 +169,8 @@ mod tests {
             cache: CacheConfig::from_env(),
             durability: Default::default(),
             reliability: Default::default(),
+            encode_path: ear_types::EncodePath::from_env(),
+            repair_path: ear_types::RepairPath::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -251,6 +253,8 @@ mod tests {
             cache: CacheConfig::from_env(),
             durability: Default::default(),
             reliability: Default::default(),
+            encode_path: ear_types::EncodePath::from_env(),
+            repair_path: ear_types::RepairPath::from_env(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;
@@ -366,6 +370,8 @@ mod tests {
             cache: CacheConfig::from_env(),
             durability: Default::default(),
             reliability: Default::default(),
+            encode_path: ear_types::EncodePath::from_env(),
+            repair_path: ear_types::RepairPath::from_env(),
         };
         let cfs = MiniCfs::new(cfg).unwrap();
         let nodes = cfs.topology().num_nodes() as u64;

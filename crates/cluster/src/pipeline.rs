@@ -1,0 +1,208 @@
+//! Pipelined stripe encoding: the RapidRAID-style streaming alternative to
+//! the RaidNode's gather-then-encode (DESIGN.md §15).
+//!
+//! The legacy gather path downloads all `k` source blocks to the encoding
+//! node and encodes in one shot, so the encoding node ingests `k · B` bytes
+//! and every source rack ships one block per co-located source. The
+//! pipelined plan exploits GF(2⁸) linearity instead: parity rows are
+//! running partial sums ([`StripeEncoder`]), so each *source rack* can fold
+//! its blocks locally at an aggregator and ship the `m = n − k` partial
+//! parity rows once, and the encoding node only ever holds one source block
+//! plus the `m` running rows.
+//!
+//! The chain visits source racks in rack-major order (ascending rack id,
+//! encoding rack last) and each hop ships the running partial exactly once.
+//! A rack joins the chain as a folding hop only when it holds *more* source
+//! blocks than there are parity rows (`s > m`) — folding a sparser rack
+//! would ship `m · B` partial bytes where gather ships `s · B ≤ m · B` raw
+//! bytes, so those racks ship raw blocks straight to the encoding node
+//! exactly as gather does. Cross-rack bytes are therefore
+//! `Σ min(sᵣ, m) · B` over non-core source racks: never above the gather
+//! path, strictly below it whenever any rack co-locates more than `m`
+//! source blocks. Under EAR every source has a core-rack replica, so both
+//! paths are already at the information-theoretic floor (parity uploads
+//! only) and the pipeline's win is the streaming memory/ingest profile.
+//!
+//! Every read goes through [`ClusterIo::read_nearest`] and every partial
+//! hop through [`ClusterIo::stream_partial`], each under an encode-class
+//! [`OpContext`] — a dead or breaker-open hop surfaces as a typed error
+//! that the RaidNode turns into a legacy-gather fallback for the stripe.
+//! The fold itself is the same generator arithmetic as the one-shot encode,
+//! so the finished parity bytes are bit-identical to gather's.
+
+use crate::cluster::MiniCfs;
+use crate::io::DeadNodeSet;
+use crate::namenode::PendingStripe;
+use crate::reliability::OpClass;
+use ear_erasure::StripeEncoder;
+use ear_types::{BlockId, Error, NodeId, RackId, Result};
+use std::collections::BTreeMap;
+
+/// What a successful pipelined encode hands back to the RaidNode: parity
+/// bytes bit-identical to the gather path's, plus the traffic accounting
+/// the stripe's [`EncodeStats`](crate::EncodeStats) entry needs.
+pub(crate) struct PipelineOutcome {
+    /// The `n − k` parity shards, in generator row order.
+    pub parity: Vec<Vec<u8>>,
+    /// Source-block reads that were served from outside the reading node's
+    /// rack (the same counter the gather path reports).
+    pub cross_rack_downloads: usize,
+}
+
+/// One planned hop of the encode chain: the rack's aggregator node and the
+/// `(source index, block)` pairs it folds locally.
+struct ChainHop {
+    aggregator: NodeId,
+    sources: Vec<(usize, BlockId)>,
+}
+
+/// Encodes one stripe's parity by streaming partial folds along a
+/// rack-major chain instead of gathering all `k` blocks at `enc`.
+///
+/// Nothing here mutates cluster metadata or stores any block: like the
+/// gather download phase it is read-only, so the RaidNode's
+/// transactionality argument (no metadata change until parity is durable)
+/// is untouched, and any error return lets the caller retry via the legacy
+/// gather path with the stripe fully intact.
+///
+/// # Errors
+///
+/// * [`Error::NodeDown`] when a chain hop or read finds a dead or
+///   breaker-open node (the caller's cue to fall back to gather).
+/// * [`Error::BlockUnavailable`] / [`Error::Invariant`] on missing
+///   replicas or metadata inconsistencies.
+/// * [`Error::DeadlineExceeded`] / [`Error::RetryBudgetExhausted`] /
+///   [`Error::Overloaded`] from the reliability substrate — the caller
+///   propagates these instead of retrying on the gather path.
+pub(crate) fn encode_pipelined(
+    cfs: &MiniCfs,
+    stripe: &PendingStripe,
+    enc: NodeId,
+    dead: &DeadNodeSet,
+) -> Result<PipelineOutcome> {
+    let topo = cfs.topology();
+    let enc_rack = topo.rack_of(enc);
+    let m = cfs.codec().params().parity();
+
+    // Plan: pick each source's preferred holder (the replica the gather
+    // path would read: encoding rack first, then lowest rack, ties by node
+    // index) and group sources by that holder's rack.
+    let mut locations: Vec<Vec<NodeId>> = Vec::with_capacity(stripe.blocks.len());
+    let mut by_rack: BTreeMap<RackId, Vec<(usize, BlockId, NodeId)>> = BTreeMap::new();
+    for (idx, &block) in stripe.blocks.iter().enumerate() {
+        let locs = cfs
+            .namenode()
+            .locations(block)
+            .ok_or_else(|| Error::Invariant(format!("unknown {block}")))?;
+        let holder = locs
+            .iter()
+            .copied()
+            .filter(|&h| !dead.contains(h))
+            .min_by_key(|&h| (topo.rack_of(h) != enc_rack, topo.rack_of(h).index(), h.index()))
+            .or_else(|| locs.first().copied())
+            .ok_or(Error::BlockUnavailable { block })?;
+        by_rack
+            .entry(topo.rack_of(holder))
+            .or_default()
+            .push((idx, block, holder));
+        locations.push(locs);
+    }
+
+    // Racks worth folding locally (`s > m`, outside the encoding rack)
+    // become chain hops at their lowest-indexed holder; everything else —
+    // the encoding rack's sources and sparse racks' — is read straight to
+    // `enc`, exactly as gather would.
+    let mut chain: Vec<ChainHop> = Vec::new();
+    let mut at_enc: Vec<(usize, BlockId)> = Vec::new();
+    for (rack, group) in &by_rack {
+        let fold_here = *rack != enc_rack && group.len() > m;
+        if fold_here {
+            let aggregator = group
+                .iter()
+                .map(|&(_, _, h)| h)
+                .min_by_key(|h: &NodeId| h.index())
+                .ok_or_else(|| Error::Invariant("empty pipeline rack group".into()))?;
+            chain.push(ChainHop {
+                aggregator,
+                sources: group.iter().map(|&(idx, b, _)| (idx, b)).collect(),
+            });
+        } else {
+            at_enc.extend(group.iter().map(|&(idx, b, _)| (idx, b)));
+        }
+    }
+
+    // Walk the chain. The encoder *is* the travelling state: each hop folds
+    // its rack's sources in, then the `m` partial rows ship once to the
+    // next hop (the next aggregator, or finally `enc`).
+    let mut encoder: Option<StripeEncoder> = None;
+    let mut cross_rack_downloads = 0usize;
+    let mut prev_hop: Option<NodeId> = None;
+    for hop in &chain {
+        if let Some(prev) = prev_hop {
+            ship_partials(cfs, prev, hop.aggregator, &encoder)?;
+        }
+        for &(idx, block) in &hop.sources {
+            cross_rack_downloads +=
+                absorb_at(cfs, &mut encoder, hop.aggregator, idx, block, &locations, dead)?;
+        }
+        prev_hop = Some(hop.aggregator);
+    }
+    if let Some(prev) = prev_hop {
+        ship_partials(cfs, prev, enc, &encoder)?;
+    }
+    for &(idx, block) in &at_enc {
+        cross_rack_downloads += absorb_at(cfs, &mut encoder, enc, idx, block, &locations, dead)?;
+    }
+
+    let parity = encoder
+        .ok_or_else(|| Error::Invariant("pipelined encode of an empty stripe".into()))?
+        .finish()?;
+    Ok(PipelineOutcome {
+        parity,
+        cross_rack_downloads,
+    })
+}
+
+/// Reads source `block` to `node` through the shared nearest-replica policy
+/// and folds it into the running encoder (created lazily at the first read,
+/// sized to the observed shard length). Returns 1 if the serving replica
+/// was outside `node`'s rack, 0 otherwise.
+fn absorb_at(
+    cfs: &MiniCfs,
+    encoder: &mut Option<StripeEncoder>,
+    node: NodeId,
+    idx: usize,
+    block: BlockId,
+    locations: &[Vec<NodeId>],
+    dead: &DeadNodeSet,
+) -> Result<usize> {
+    let replicas = locations
+        .get(idx)
+        .ok_or_else(|| Error::Invariant(format!("no planned replicas for source {idx}")))?;
+    let ctx = cfs.reliability().ctx(OpClass::Encode)?;
+    let (data, served_by) = cfs.io().read_nearest(&ctx, node, block, replicas, dead)?;
+    let enc = encoder.get_or_insert_with(|| StripeEncoder::new(cfs.codec(), data.len()));
+    enc.absorb_source(idx, &data)?;
+    let topo = cfs.topology();
+    Ok(usize::from(topo.rack_of(served_by) != topo.rack_of(node)))
+}
+
+/// Ships the encoder's `m` running partial rows from `src` to `dst` — one
+/// chain hop, paying `m · shard_len` wire bytes under an encode-class
+/// context.
+fn ship_partials(
+    cfs: &MiniCfs,
+    src: NodeId,
+    dst: NodeId,
+    encoder: &Option<StripeEncoder>,
+) -> Result<()> {
+    let bytes: u64 = encoder
+        .as_ref()
+        .map(|e| e.partial_rows().map(|r| r.len() as u64).sum())
+        .unwrap_or(0);
+    if bytes == 0 {
+        return Ok(());
+    }
+    let ctx = cfs.reliability().ctx(OpClass::Encode)?;
+    cfs.io().stream_partial(&ctx, src, dst, bytes)
+}

@@ -2,11 +2,13 @@
 //! paper) and the BlockMover that repairs fault-tolerance violations.
 
 use crate::cluster::MiniCfs;
+use crate::io::DeadNodeSet;
 use crate::namenode::PendingStripe;
+use crate::pipeline;
 use crate::reliability::OpClass;
-use ear_types::{Block, BlockId, Error, NodeId, Result, StripeId};
+use ear_types::{Block, BlockId, EncodePath, Error, NodeId, Result, StripeId};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,6 +30,12 @@ pub struct EncodeStats {
     /// Stripes left violating rack-level fault tolerance (they need the
     /// BlockMover; always 0 under EAR).
     pub stripes_with_relocation: usize,
+    /// Stripes whose parity came off the streaming pipeline chain
+    /// (DESIGN.md §15); 0 when the job ran with `EncodePath::Gather`.
+    pub pipelined_stripes: usize,
+    /// Pipelined stripes that hit a mid-chain failure and fell back to the
+    /// legacy gather path (their parity still landed, via gather).
+    pub pipeline_fallbacks: usize,
     /// Per-stripe completion offsets from job start, seconds (Fig. 12).
     pub completion_times: Vec<f64>,
     /// Name of the GF(2⁸) kernel tier the codec dispatched to (`scalar`,
@@ -109,12 +117,18 @@ impl RaidNode {
                             }
                         };
                         match encode_stripe(cfs, &stripe, &relocations) {
-                            Ok((cross, violated)) => {
+                            Ok(outcome) => {
                                 let mut st = stats.lock();
                                 st.stripes += 1;
-                                st.cross_rack_downloads += cross;
-                                if violated {
+                                st.cross_rack_downloads += outcome.cross_rack_downloads;
+                                if outcome.violated {
                                     st.stripes_with_relocation += 1;
+                                }
+                                if outcome.pipelined {
+                                    st.pipelined_stripes += 1;
+                                }
+                                if outcome.fell_back {
+                                    st.pipeline_fallbacks += 1;
                                 }
                                 st.encoded_bytes += stripe.blocks.len() as u64
                                     * cfs.config().block_size.as_u64();
@@ -189,68 +203,74 @@ impl RaidNode {
     }
 }
 
-/// Encodes one stripe: download `k` blocks to the encoding node, compute
-/// parity, upload it, and delete redundant replicas. Returns the number of
-/// cross-rack downloads and whether the stripe needs relocation.
+/// What one stripe's encode reports back to the job's statistics.
+struct StripeOutcome {
+    /// Source-block reads served from outside the reading node's rack.
+    cross_rack_downloads: usize,
+    /// Whether the stripe still violates rack-level fault tolerance.
+    violated: bool,
+    /// Whether the parity came off the streaming pipeline chain.
+    pipelined: bool,
+    /// Whether a pipelined attempt failed mid-chain and the parity was
+    /// recomputed via the legacy gather path.
+    fell_back: bool,
+}
+
+/// Encodes one stripe: compute parity (by gather or by the streaming
+/// pipeline, per [`ClusterConfig::encode_path`](crate::ClusterConfig)),
+/// upload it, and delete redundant replicas.
 ///
 /// # Transactionality
 ///
-/// Under fault injection any download or upload can fail. This function
-/// mutates no cluster metadata and deletes no replica until *every* parity
-/// block is durably stored: an error return (at any point) leaves the
-/// stripe exactly as replicated as it was, so the caller can retry or
-/// requeue it with no risk of a half-encoded stripe.
+/// Under fault injection any download, chain hop, or upload can fail. This
+/// function mutates no cluster metadata and deletes no replica until
+/// *every* parity block is durably stored: an error return (at any point)
+/// leaves the stripe exactly as replicated as it was, so the caller can
+/// retry or requeue it with no risk of a half-encoded stripe. Both parity
+/// paths are read-only, which is also what makes the pipelined→gather
+/// fallback safe mid-stripe.
 fn encode_stripe(
     cfs: &MiniCfs,
     stripe: &PendingStripe,
     relocations: &Mutex<Vec<Relocation>>,
-) -> Result<(usize, bool)> {
+) -> Result<StripeOutcome> {
     let plan = cfs.namenode().plan_encoding(stripe)?;
     let enc = plan.encoding_node;
-    let topo = cfs.topology();
-    let enc_rack = topo.rack_of(enc);
     // A dead encoding node can serve no map task; fail fast so the retry
     // (or a later job) can be replanned.
     if cfs.injector().node_down(enc) {
         return Err(Error::NodeDown { node: enc });
     }
 
-    // Nodes this stripe's downloads found fail-stop dead: shared across the
+    // Nodes this stripe's reads found fail-stop dead: shared across the
     // stripe's blocks so each pays the discovery cost at most once.
-    let blacklist: Mutex<HashSet<NodeId>> = Mutex::new(HashSet::new());
+    let blacklist = DeadNodeSet::new();
 
-    // Download the k data blocks in parallel (HDFS-RAID issues parallel
-    // reads), each download falling back across replicas on failure.
-    let downloads: Vec<Result<(Block, NodeId)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = stripe
-            .blocks
-            .iter()
-            .map(|&b| {
-                let blacklist = &blacklist;
-                scope.spawn(move || download_block(cfs, b, enc, blacklist))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(Error::Invariant("download task panicked".into())))
-            })
-            .collect()
-    });
-    let mut data: Vec<Block> = Vec::with_capacity(downloads.len());
-    let mut cross = 0usize;
-    for d in downloads {
-        let (bytes, src) = d?;
-        if topo.rack_of(src) != enc_rack {
-            cross += 1;
-        }
-        data.push(bytes);
-    }
-
-    // Real Reed-Solomon encoding of the downloaded bytes.
-    let data_refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-    let parity = cfs.codec().encode(&data_refs)?;
+    // Compute the parity bytes. The pipelined path streams partial folds
+    // along a rack-major chain; a mid-chain failure (dead hop, unreadable
+    // source) falls back to the legacy gather, which retries with per-block
+    // replica fallback. Substrate stops (deadline, retry budget, load shed)
+    // propagate — gather would be stopped by the same gate.
+    let mut pipelined = false;
+    let mut fell_back = false;
+    let (parity, cross) = match cfs.config().encode_path {
+        EncodePath::Pipelined => match pipeline::encode_pipelined(cfs, stripe, enc, &blacklist) {
+            Ok(out) => {
+                pipelined = true;
+                (out.parity, out.cross_rack_downloads)
+            }
+            Err(
+                e @ (Error::DeadlineExceeded { .. }
+                | Error::RetryBudgetExhausted { .. }
+                | Error::Overloaded { .. }),
+            ) => return Err(e),
+            Err(_) => {
+                fell_back = true;
+                gather_parity(cfs, stripe, enc, &blacklist)?
+            }
+        },
+        EncodePath::Gather => gather_parity(cfs, stripe, enc, &blacklist)?,
+    };
 
     // Store every parity block before touching any metadata. Ids are
     // allocated with an empty location set so a failure below leaves only
@@ -318,21 +338,63 @@ fn encode_stripe(
             }
         }
     }
-    Ok((cross, violated))
+    Ok(StripeOutcome {
+        cross_rack_downloads: cross,
+        violated,
+        pipelined,
+        fell_back,
+    })
 }
 
-/// Downloads one block to the encoding node, trying replicas in preference
-/// order (intra-rack first, known-dead nodes last) via the shared
-/// [`ClusterIo::read_with_fallback`](crate::ClusterIo::read_with_fallback)
-/// policy. Returns the bytes and the replica that served them.
+/// The legacy gather path: download all `k` blocks to the encoding node in
+/// parallel (HDFS-RAID issues parallel reads) and Reed–Solomon-encode in
+/// one shot. Returns the parity shards and the cross-rack download count.
+fn gather_parity(
+    cfs: &MiniCfs,
+    stripe: &PendingStripe,
+    enc: NodeId,
+    blacklist: &DeadNodeSet,
+) -> Result<(Vec<Vec<u8>>, usize)> {
+    let topo = cfs.topology();
+    let enc_rack = topo.rack_of(enc);
+    let downloads: Vec<Result<(Block, NodeId)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stripe
+            .blocks
+            .iter()
+            .map(|&b| scope.spawn(move || download_block(cfs, b, enc, blacklist)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::Invariant("download task panicked".into())))
+            })
+            .collect()
+    });
+    let mut data: Vec<Block> = Vec::with_capacity(downloads.len());
+    let mut cross = 0usize;
+    for d in downloads {
+        let (bytes, src) = d?;
+        if topo.rack_of(src) != enc_rack {
+            cross += 1;
+        }
+        data.push(bytes);
+    }
+    let data_refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = cfs.codec().encode(&data_refs)?;
+    Ok((parity, cross))
+}
+
+/// Downloads one block to the encoding node via the shared
+/// [`ClusterIo::read_nearest`](crate::ClusterIo::read_nearest) policy
+/// (known-dead replicas last, then local, then intra-rack). Returns the
+/// bytes and the replica that served them.
 fn download_block(
     cfs: &MiniCfs,
     block: BlockId,
     enc: NodeId,
-    blacklist: &Mutex<HashSet<NodeId>>,
+    blacklist: &DeadNodeSet,
 ) -> Result<(Block, NodeId)> {
-    let topo = cfs.topology();
-    let enc_rack = topo.rack_of(enc);
     let locs = cfs
         .namenode()
         .locations(block)
@@ -340,27 +402,11 @@ fn download_block(
     if locs.is_empty() {
         return Err(Error::BlockUnavailable { block });
     }
-    let known_dead = blacklist.lock().clone();
-    let mut ordered = locs;
-    ordered.sort_by_key(|&n| {
-        (
-            known_dead.contains(&n),
-            topo.rack_of(n) != enc_rack,
-            n.index(),
-        )
-    });
-    // A sibling download may find a node dead mid-job: share the discovery
-    // through the blacklist so each stripe pays it at most once.
-    let on_dead = |n: NodeId| {
-        blacklist.lock().insert(n);
-    };
-    let skip = |n: NodeId| blacklist.lock().contains(&n);
     // Encode-class admission: background encoding is the first traffic shed
     // when the gate tightens, and its downloads run under the substrate's
     // deadline/retry-budget bounds.
     let ctx = cfs.reliability().ctx(OpClass::Encode)?;
-    cfs.io()
-        .read_with_fallback(&ctx, enc, block, &ordered, Some(&on_dead), Some(&skip))
+    cfs.io().read_nearest(&ctx, enc, block, &locs, blacklist)
 }
 
 /// Stores one parity block, preferring the planned node and falling back to
@@ -416,7 +462,12 @@ mod tests {
         StoreBackend,
     };
 
-    fn boot(policy: ClusterPolicy, racks: usize) -> MiniCfs {
+    fn boot_cfg(
+        policy: ClusterPolicy,
+        racks: usize,
+        nodes_per_rack: usize,
+        encode_path: EncodePath,
+    ) -> MiniCfs {
         let ear = EarConfig::new(
             ErasureParams::new(6, 4).unwrap(),
             ReplicationConfig::two_way(),
@@ -425,7 +476,7 @@ mod tests {
         .unwrap();
         let cfg = ClusterConfig {
             racks,
-            nodes_per_rack: 1,
+            nodes_per_rack,
             block_size: ByteSize::kib(256),
             node_bandwidth: Bandwidth::bytes_per_sec(256e6),
             rack_bandwidth: Bandwidth::bytes_per_sec(256e6),
@@ -436,8 +487,14 @@ mod tests {
             cache: CacheConfig::from_env(),
             durability: Default::default(),
             reliability: Default::default(),
+            encode_path,
+            repair_path: ear_types::RepairPath::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
+    }
+
+    fn boot(policy: ClusterPolicy, racks: usize) -> MiniCfs {
+        boot_cfg(policy, racks, 1, ear_types::EncodePath::from_env())
     }
 
     fn write_stripes(cfs: &MiniCfs, blocks: usize) {
@@ -541,6 +598,79 @@ mod tests {
         assert_eq!(stats.stripes, 0);
         assert!(relocations.is_empty());
         assert_eq!(stats.throughput_mibps(), 0.0);
+    }
+
+    #[test]
+    fn pipelined_encode_is_bit_identical_to_gather() {
+        // The streaming chain must change only how bytes travel, never what
+        // lands: same stripes, same parity ids and placements, same parity
+        // bytes. One map task keeps block-id allocation order deterministic
+        // so the comparison can be exact.
+        for policy in [ClusterPolicy::Rr, ClusterPolicy::Ear] {
+            let gather = boot_cfg(policy, 6, 2, EncodePath::Gather);
+            let piped = boot_cfg(policy, 6, 2, EncodePath::Pipelined);
+            write_stripes(&gather, 40);
+            write_stripes(&piped, 40);
+            let (gs, _) = RaidNode::encode_all(&gather, 1).unwrap();
+            let (ps, _) = RaidNode::encode_all(&piped, 1).unwrap();
+            assert_eq!(gs.stripes, ps.stripes, "{policy:?}");
+            assert!(ps.stripes > 0);
+            assert_eq!(
+                ps.pipelined_stripes, ps.stripes,
+                "fault-free pipelined job must never fall back ({policy:?})"
+            );
+            assert_eq!(ps.pipeline_fallbacks, 0);
+            assert_eq!(gs.pipelined_stripes, 0);
+
+            let ges = gather.namenode().encoded_stripes();
+            let pes = piped.namenode().encoded_stripes();
+            assert_eq!(ges.len(), pes.len());
+            for (g, p) in ges.iter().zip(pes.iter()) {
+                assert_eq!(g.id, p.id);
+                assert_eq!(g.data, p.data);
+                assert_eq!(g.parity, p.parity);
+                for (&gb, &pb) in g.parity.iter().zip(p.parity.iter()) {
+                    let gl = gather.namenode().locations(gb).unwrap();
+                    let pl = piped.namenode().locations(pb).unwrap();
+                    assert_eq!(gl, pl, "parity placement must match ({policy:?})");
+                    let gbytes = gather.datanode(gl[0]).get(gb).unwrap();
+                    let pbytes = piped.datanode(pl[0]).get(pb).unwrap();
+                    assert_eq!(
+                        gbytes.as_slice(),
+                        pbytes.as_slice(),
+                        "parity bytes must be bit-identical ({policy:?})"
+                    );
+                }
+            }
+            // The chain never ships more across racks than gather: folded
+            // racks replace s > m raw blocks with m partial rows.
+            let g_cross = gather.network().cross_rack_bytes();
+            let p_cross = piped.network().cross_rack_bytes();
+            assert!(
+                p_cross <= g_cross,
+                "{policy:?}: pipelined {p_cross} cross bytes vs gather {g_cross}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_ear_keeps_the_cross_rack_floor() {
+        // Under EAR every source has a core-rack replica, so the pipelined
+        // chain degenerates to intra-rack streaming: zero cross-rack
+        // downloads, cross traffic = parity uploads only — the same floor
+        // the gather path sits on.
+        let cfs = boot_cfg(ClusterPolicy::Ear, 8, 1, EncodePath::Pipelined);
+        write_stripes(&cfs, 64);
+        let before = cfs.network().cross_rack_bytes();
+        let (stats, relocations) = RaidNode::encode_all(&cfs, 4).unwrap();
+        assert!(stats.stripes >= 2);
+        assert_eq!(stats.pipelined_stripes, stats.stripes);
+        assert_eq!(stats.cross_rack_downloads, 0, "EAR folds intra-rack");
+        assert!(relocations.is_empty());
+        let cross = cfs.network().cross_rack_bytes() - before;
+        let block = ByteSize::kib(256).as_u64();
+        assert!(cross <= stats.stripes as u64 * 2 * block);
+        assert!(cross >= stats.stripes as u64 * block);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use crate::cluster::MiniCfs;
 use crate::reliability::{OpClass, OpContext};
-use ear_types::{Block, BlockId, Error, NodeId, Result};
+use ear_erasure::ParityAccum;
+use ear_types::{Block, BlockId, Error, NodeId, RackId, RepairPath, Result};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -23,9 +24,11 @@ use std::collections::{BTreeMap, HashMap};
 pub(crate) struct ShardRepair {
     /// Where the rebuilt block now lives.
     pub placement: NodeId,
-    /// Surviving blocks downloaded (normally exactly `k`).
+    /// Block-sized transfers the rebuild paid: whole shards downloaded
+    /// plus, under the rack-aware plan, the folded partials shipped
+    /// (exactly `k` under the direct plan).
     pub downloads: usize,
-    /// Downloads that crossed racks.
+    /// Transfers that crossed racks (shards or folded partials).
     pub cross_rack_downloads: usize,
     /// Whether the rebuilt block was shipped from the recovery node to a
     /// different node (`false` when it stayed where it was decoded).
@@ -49,6 +52,14 @@ pub(crate) struct ShardRepair {
 /// The caller's `ctx` bounds the whole reconstruction on the virtual clock:
 /// every shard download charges it, and a blown deadline or dry retry
 /// budget stops the repair typed instead of letting it stall its round.
+///
+/// Which download plan runs is the cluster's
+/// [`RepairPath`](ear_types::RepairPath): `Direct` pulls `k` whole shards
+/// to the recovery node; `RackAware` first GF-folds each source rack's
+/// shards at a local aggregator so only one partial crosses each rack
+/// boundary (DESIGN.md §15), falling back to `Direct` if the two-phase
+/// plan trips on a fault. Both rebuild byte-identical block contents (any
+/// `k` shards decode to the same bytes under an MDS code).
 pub(crate) fn reconstruct_stripe_block(
     cfs: &MiniCfs,
     ctx: &OpContext<'_>,
@@ -58,16 +69,54 @@ pub(crate) fn reconstruct_stripe_block(
     bad_dst: &dyn Fn(NodeId) -> bool,
     rng: &mut ChaCha8Rng,
 ) -> Result<ShardRepair> {
-    let topo = cfs.topology();
-    let k = cfs.codec().params().k();
-    let n = cfs.codec().params().n();
-    debug_assert_eq!(members.len(), n);
+    match cfs.config().repair_path {
+        RepairPath::Direct => reconstruct_direct(cfs, ctx, members, block, live, bad_dst, rng),
+        RepairPath::RackAware => {
+            // Attempt the two-phase plan with a cloned RNG: if it trips on
+            // a fault, the direct fallback replays from the original state
+            // and makes exactly the choices a direct-only run would have.
+            let mut attempt_rng = rng.clone();
+            match reconstruct_rack_aware(cfs, ctx, members, block, live, bad_dst, &mut attempt_rng)
+            {
+                Ok(repair) => {
+                    *rng = attempt_rng;
+                    Ok(repair)
+                }
+                Err(
+                    e @ (Error::DeadlineExceeded { .. }
+                    | Error::RetryBudgetExhausted { .. }
+                    | Error::Overloaded { .. }),
+                ) => Err(e),
+                Err(_) => reconstruct_direct(cfs, ctx, members, block, live, bad_dst, rng),
+            }
+        }
+    }
+}
 
-    // Choose the recovery node: a live node in the rack holding the most
-    // *reachable* surviving stripe blocks (the best case Section III-D
-    // argues about), that does not already hold a block of the stripe. A
-    // holder that is down is unreachable as a source, but still counts as
-    // "used" for placement purposes.
+/// The repair's cast: where to decode, which nodes already hold stripe
+/// shards, who is alive, and the surviving sources in preference order.
+struct RepairSite {
+    recovery_node: NodeId,
+    /// Nodes already holding a shard of this stripe (down or not — they
+    /// stay "used" for placement purposes).
+    used: Vec<NodeId>,
+    all_live: Vec<NodeId>,
+    /// `(member index, block, live holder)`, intra-rack sources first.
+    sources: Vec<(usize, BlockId, NodeId)>,
+}
+
+/// Chooses the recovery node (a live non-holder in the rack with the most
+/// reachable surviving shards — the best case Section III-D argues about)
+/// and lists the reachable sources, intra-rack first. Shared by both repair
+/// paths so they agree on the plan and differ only in how shards travel.
+fn plan_repair_site(
+    cfs: &MiniCfs,
+    members: &[BlockId],
+    block: BlockId,
+    live: &dyn Fn(NodeId) -> bool,
+    rng: &mut ChaCha8Rng,
+) -> Result<RepairSite> {
+    let topo = cfs.topology();
     let holder_any = |b: BlockId| -> Option<NodeId> {
         cfs.namenode().locations(b).and_then(|l| l.first().copied())
     };
@@ -108,20 +157,116 @@ pub(crate) fn reconstruct_stripe_block(
             .choose(rng)
             .ok_or_else(|| Error::Invariant("no live node to run recovery".into()))?,
     };
-
-    // Download any k reachable surviving blocks, preferring intra-rack
-    // sources; a source that keeps failing is skipped in favour of the next
-    // until k shards are in hand.
     let mut sources: Vec<(usize, BlockId, NodeId)> = members
         .iter()
         .enumerate()
         .filter(|&(_, &m)| m != block)
         .filter_map(|(idx, &m)| holder_live(m).map(|h| (idx, m, h)))
         .collect();
-    sources.sort_by_key(|&(_, _, h)| topo.rack_of(h) != topo.rack_of(recovery_node));
-    if sources.len() < k {
+    // Intra-rack sources first; remote sources grouped densest-rack-first.
+    // The direct plan's cross-rack count only depends on how many remote
+    // shards it needs, but keeping each remote rack's shards adjacent means
+    // a prefix of this list hands the rack-aware plan whole racks to fold —
+    // the denser the rack, the more shards one partial replaces.
+    let mut rack_sources: BTreeMap<u32, usize> = BTreeMap::new();
+    for &(_, _, h) in &sources {
+        *rack_sources.entry(topo.rack_of(h).0).or_insert(0) += 1;
+    }
+    let recovery_rack = topo.rack_of(recovery_node);
+    sources.sort_by_key(|&(idx, _, h)| {
+        let r = topo.rack_of(h);
+        (
+            r != recovery_rack,
+            std::cmp::Reverse(rack_sources.get(&r.0).copied().unwrap_or(0)),
+            r.0,
+            idx,
+        )
+    });
+    Ok(RepairSite {
+        recovery_node,
+        used,
+        all_live,
+        sources,
+    })
+}
+
+/// Places the rebuilt bytes where the stripe's rack constraint still holds
+/// (a rack with fewer than `c` surviving stripe blocks, on a node not
+/// already holding one and not known to corrupt this block), pays the
+/// shipment if the block moves, and publishes store + location. Shared tail
+/// of both repair paths.
+fn place_rebuilt(
+    cfs: &MiniCfs,
+    block: BlockId,
+    rebuilt: Vec<u8>,
+    site: &RepairSite,
+    bad_dst: &dyn Fn(NodeId) -> bool,
+    rng: &mut ChaCha8Rng,
+    repair: &mut ShardRepair,
+) -> Result<()> {
+    let topo = cfs.topology();
+    let recovery_node = site.recovery_node;
+    let c = cfs.config().ear.c();
+    let mut per_rack: HashMap<u32, usize> = HashMap::new();
+    for &h in &site.used {
+        *per_rack.entry(topo.rack_of(h).0).or_insert(0) += 1;
+    }
+    let placement = if per_rack
+        .get(&topo.rack_of(recovery_node).0)
+        .copied()
+        .unwrap_or(0)
+        < c
+        && !site.used.contains(&recovery_node)
+        && !bad_dst(recovery_node)
+    {
+        recovery_node
+    } else {
+        site.all_live
+            .iter()
+            .copied()
+            .filter(|&nd| {
+                !site.used.contains(&nd)
+                    && !bad_dst(nd)
+                    && per_rack.get(&topo.rack_of(nd).0).copied().unwrap_or(0) < c
+            })
+            .collect::<Vec<_>>()
+            .choose(rng)
+            .copied()
+            .unwrap_or(recovery_node)
+    };
+    if placement != recovery_node {
+        cfs.io()
+            .transfer(recovery_node, placement, rebuilt.len() as u64);
+        repair.uploaded = true;
+        repair.upload_cross_rack = topo.rack_of(placement) != topo.rack_of(recovery_node);
+    }
+    repair.placement = placement;
+    cfs.datanode(placement).put(block, Block::from(rebuilt))?;
+    cfs.namenode().set_locations(block, vec![placement])?;
+    Ok(())
+}
+
+/// The direct plan: download any `k` reachable surviving blocks to the
+/// recovery node (intra-rack sources first, skipping past sources that
+/// keep failing) and decode.
+fn reconstruct_direct(
+    cfs: &MiniCfs,
+    ctx: &OpContext<'_>,
+    members: &[BlockId],
+    block: BlockId,
+    live: &dyn Fn(NodeId) -> bool,
+    bad_dst: &dyn Fn(NodeId) -> bool,
+    rng: &mut ChaCha8Rng,
+) -> Result<ShardRepair> {
+    let topo = cfs.topology();
+    let k = cfs.codec().params().k();
+    let n = cfs.codec().params().n();
+    debug_assert_eq!(members.len(), n);
+    let site = plan_repair_site(cfs, members, block, live, rng)?;
+    let recovery_node = site.recovery_node;
+    if site.sources.len() < k {
         return Err(Error::NotEnoughShards {
-            available: sources.len(),
+            available: site.sources.len(),
             required: k,
         });
     }
@@ -134,7 +279,7 @@ pub(crate) fn reconstruct_stripe_block(
     };
     let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
     let mut got = 0usize;
-    for &(idx, m, h) in &sources {
+    for &(idx, m, h) in &site.sources {
         if got == k {
             break;
         }
@@ -181,47 +326,136 @@ pub(crate) fn reconstruct_stripe_block(
         .get_mut(lost_idx)
         .and_then(Option::take)
         .ok_or_else(|| Error::Invariant(format!("{block} not reconstructed")))?;
+    place_rebuilt(cfs, block, rebuilt, &site, bad_dst, rng, &mut repair)?;
+    Ok(repair)
+}
 
-    // Store the rebuilt block where the stripe's rack constraint still
-    // holds: a rack with fewer than c surviving stripe blocks, on a node not
-    // already holding one (and not one known to corrupt this block).
-    let c = cfs.config().ear.c();
-    let mut per_rack: HashMap<u32, usize> = HashMap::new();
-    for &h in &used {
-        *per_rack.entry(topo.rack_of(h).0).or_insert(0) += 1;
+/// The two-phase rack-aware plan (DESIGN.md §15): commit to the first `k`
+/// sources in preference order, express the lost shard as their GF(2⁸)
+/// linear combination
+/// ([`recovery_coefficients`](ear_erasure::ReedSolomon::recovery_coefficients)),
+/// and fold each source rack's contribution locally before it crosses a
+/// rack boundary:
+///
+/// * **Phase 1 (intra-rack):** every remote rack holding ≥ 2 of the chosen
+///   sources reads them at a local aggregator (its lowest-indexed holder)
+///   and folds them into one weighted partial.
+/// * **Phase 2 (cross-rack):** each such rack ships exactly one
+///   block-sized partial to the recovery node; sparse racks (one source)
+///   and the recovery node's own rack ship/read their shards directly, as
+///   the direct plan would.
+///
+/// The partials XOR-merge at the recovery node into the rebuilt bytes —
+/// identical to the direct decode, with cross-rack traffic of
+/// `Σ min(sᵣ, 1)` instead of `Σ sᵣ` blocks over remote racks. Any failure
+/// surfaces as a typed error; the dispatcher retries on the direct plan.
+fn reconstruct_rack_aware(
+    cfs: &MiniCfs,
+    ctx: &OpContext<'_>,
+    members: &[BlockId],
+    block: BlockId,
+    live: &dyn Fn(NodeId) -> bool,
+    bad_dst: &dyn Fn(NodeId) -> bool,
+    rng: &mut ChaCha8Rng,
+) -> Result<ShardRepair> {
+    let topo = cfs.topology();
+    let k = cfs.codec().params().k();
+    let n = cfs.codec().params().n();
+    debug_assert_eq!(members.len(), n);
+    let site = plan_repair_site(cfs, members, block, live, rng)?;
+    let recovery_node = site.recovery_node;
+    let recovery_rack = topo.rack_of(recovery_node);
+    if site.sources.len() < k {
+        return Err(Error::NotEnoughShards {
+            available: site.sources.len(),
+            required: k,
+        });
     }
-    let placement = if per_rack
-        .get(&topo.rack_of(recovery_node).0)
-        .copied()
-        .unwrap_or(0)
-        < c
-        && !used.contains(&recovery_node)
-        && !bad_dst(recovery_node)
-    {
-        recovery_node
-    } else {
-        all_live
-            .iter()
-            .copied()
-            .filter(|&nd| {
-                !used.contains(&nd)
-                    && !bad_dst(nd)
-                    && per_rack.get(&topo.rack_of(nd).0).copied().unwrap_or(0) < c
-            })
-            .collect::<Vec<_>>()
-            .choose(rng)
-            .copied()
-            .unwrap_or(recovery_node)
+    let selected = site.sources.get(..k).ok_or(Error::NotEnoughShards {
+        available: site.sources.len(),
+        required: k,
+    })?;
+    let lost_idx = members
+        .iter()
+        .position(|&m| m == block)
+        .ok_or_else(|| Error::Invariant(format!("{block} not a member of its stripe")))?;
+    let rows: Vec<usize> = selected.iter().map(|&(idx, _, _)| idx).collect();
+    let coeffs = cfs.codec().recovery_coefficients(&rows, lost_idx)?;
+
+    let mut repair = ShardRepair {
+        placement: recovery_node,
+        downloads: 0,
+        cross_rack_downloads: 0,
+        uploaded: false,
+        upload_cross_rack: false,
     };
-    if placement != recovery_node {
-        cfs.io()
-            .transfer(recovery_node, placement, rebuilt.len() as u64);
-        repair.uploaded = true;
-        repair.upload_cross_rack = topo.rack_of(placement) != topo.rack_of(recovery_node);
+
+    // Group the chosen sources by holder rack, keeping each one's
+    // recovery coefficient alongside.
+    let mut by_rack: BTreeMap<RackId, Vec<(BlockId, NodeId, u8)>> = BTreeMap::new();
+    for (&(_, m, h), &w) in selected.iter().zip(coeffs.iter()) {
+        by_rack.entry(topo.rack_of(h)).or_default().push((m, h, w));
     }
-    repair.placement = placement;
-    cfs.datanode(placement).put(block, Block::from(rebuilt))?;
-    cfs.namenode().set_locations(block, vec![placement])?;
+
+    // The running weighted sum at the recovery node, sized lazily to the
+    // first shard observed.
+    let mut total: Option<ParityAccum> = None;
+    let kernel = cfs.codec().kernel();
+    for (rack, group) in &by_rack {
+        if *rack != recovery_rack && group.len() >= 2 {
+            // Phase 1: fold this rack's shards at a local aggregator...
+            let aggregator = group
+                .iter()
+                .map(|&(_, h, _)| h)
+                .min_by_key(|h: &NodeId| h.index())
+                .ok_or_else(|| Error::Invariant("empty repair rack group".into()))?;
+            let mut partial: Option<ParityAccum> = None;
+            for &(m, h, w) in group {
+                let (data, _) = cfs
+                    .io()
+                    .read_with_fallback(ctx, aggregator, m, &[h], None, None)?;
+                repair.downloads += 1;
+                partial
+                    .get_or_insert_with(|| ParityAccum::new(kernel, data.len()))
+                    .absorb(w, &data)?;
+            }
+            let partial = partial
+                .ok_or_else(|| Error::Invariant("empty repair rack group".into()))?;
+            // ...phase 2: exactly one block-sized partial crosses the rack
+            // boundary.
+            cfs.io().stream_partial(
+                ctx,
+                aggregator,
+                recovery_node,
+                partial.as_slice().len() as u64,
+            )?;
+            repair.downloads += 1;
+            repair.cross_rack_downloads += 1;
+            match total.as_mut() {
+                Some(t) => t.merge(&partial)?,
+                None => total = Some(partial),
+            }
+        } else {
+            // A sparse rack or the recovery node's own: shards travel
+            // whole, exactly as the direct plan moves them.
+            for &(m, h, w) in group {
+                let (data, _) = cfs
+                    .io()
+                    .read_with_fallback(ctx, recovery_node, m, &[h], None, None)?;
+                repair.downloads += 1;
+                if topo.rack_of(h) != recovery_rack {
+                    repair.cross_rack_downloads += 1;
+                }
+                total
+                    .get_or_insert_with(|| ParityAccum::new(kernel, data.len()))
+                    .absorb(w, &data)?;
+            }
+        }
+    }
+    let rebuilt = total
+        .ok_or_else(|| Error::Invariant("rack-aware repair folded no sources".into()))?
+        .finish(k)?;
+    place_rebuilt(cfs, block, rebuilt, &site, bad_dst, rng, &mut repair)?;
     Ok(repair)
 }
 
@@ -471,6 +705,8 @@ mod tests {
             cache: CacheConfig::from_env(),
             durability: Default::default(),
             reliability: Default::default(),
+            encode_path: ear_types::EncodePath::from_env(),
+            repair_path: ear_types::RepairPath::from_env(),
         };
         MiniCfs::new(cfg).unwrap()
     }
@@ -586,6 +822,8 @@ mod tests {
                 cache: CacheConfig::from_env(),
                 durability: Default::default(),
                 reliability: Default::default(),
+                encode_path: ear_types::EncodePath::from_env(),
+                repair_path: ear_types::RepairPath::from_env(),
             };
             let cfs = MiniCfs::new(cfg).unwrap();
             write_and_encode(&cfs, 3);
@@ -602,6 +840,83 @@ mod tests {
             frac_c3 < frac_c1,
             "c=3 cross-rack fraction {frac_c3} should beat c=1's {frac_c1}"
         );
+    }
+
+    /// An EAR cluster with `c = 2` over 3 target racks (each stripe spans 3
+    /// racks, 2 blocks per rack) and an explicit repair path — the shape
+    /// where two-phase repair has remote racks worth folding.
+    fn boot_repair(path: RepairPath) -> MiniCfs {
+        let ear = EarConfig::new(
+            ErasureParams::new(6, 4).unwrap(),
+            ReplicationConfig::two_way(),
+            2,
+        )
+        .unwrap()
+        .with_target_racks(3)
+        .unwrap();
+        let cfg = ClusterConfig {
+            racks: 8,
+            nodes_per_rack: 4,
+            block_size: ByteSize::kib(64),
+            node_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            rack_bandwidth: Bandwidth::bytes_per_sec(512e6),
+            ear,
+            policy: ClusterPolicy::Ear,
+            seed: 11,
+            store: StoreBackend::from_env(),
+            cache: CacheConfig::from_env(),
+            durability: Default::default(),
+            reliability: Default::default(),
+            encode_path: ear_types::EncodePath::from_env(),
+            repair_path: path,
+        };
+        MiniCfs::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn rack_aware_repair_is_byte_identical_and_cuts_cross_rack_traffic() {
+        // Two identical clusters, one per repair path; recover the same
+        // victims and compare. Rack-aware must rebuild the exact same bytes
+        // (MDS decoding is unique) while strictly fewer block-sized
+        // transfers cross racks: a remote rack with two chosen sources
+        // ships one folded partial instead of two whole shards.
+        let mut cross = [0usize; 2];
+        let mut downs = [0usize; 2];
+        for (i, path) in [RepairPath::Direct, RepairPath::RackAware]
+            .into_iter()
+            .enumerate()
+        {
+            let cfs = boot_repair(path);
+            write_and_encode(&cfs, 3);
+            let stripes = cfs.namenode().encoded_stripes();
+            assert!(!stripes.is_empty());
+            for es in &stripes {
+                let victim = cfs.namenode().locations(es.data[0]).unwrap()[0];
+                let stats = recover_node(&cfs, victim).unwrap();
+                cross[i] += stats.cross_rack_downloads;
+                downs[i] += stats.blocks_downloaded;
+            }
+            // Every data block of every stripe must decode back to its
+            // original bytes, whatever path rebuilt it.
+            for es in &stripes {
+                for &b in &es.data {
+                    let loc = cfs.namenode().locations(b).unwrap()[0];
+                    let got = cfs.datanode(loc).get(b).unwrap();
+                    assert_eq!(
+                        got.as_slice(),
+                        cfs.make_block(b.0).as_slice(),
+                        "{path:?}: block {b} corrupted"
+                    );
+                }
+            }
+        }
+        assert!(
+            cross[1] < cross[0],
+            "rack-aware cross-rack transfers {} must beat direct's {}",
+            cross[1],
+            cross[0]
+        );
+        assert!(downs[0] > 0 && downs[1] > 0);
     }
 
     #[test]

@@ -71,6 +71,8 @@ fn boot(policy: ClusterPolicy) -> MiniCfs {
         cache: CacheConfig::from_env(),
         durability: Default::default(),
         reliability: Default::default(),
+        encode_path: ear_types::EncodePath::from_env(),
+        repair_path: ear_types::RepairPath::from_env(),
     })
     .unwrap()
 }

@@ -4,9 +4,14 @@
 //! violations — and EAR needs zero iterations (Section II-B vs Section III).
 
 use ear_cluster::{
-    plan_repairs, run_plan, scan, ChaosConfig, ClusterConfig, ClusterPolicy, MiniCfs, RaidNode,
+    plan_repairs, recover_node, run_plan, scan, ChaosConfig, ClusterConfig, ClusterPolicy,
+    MiniCfs, RaidNode,
 };
-use ear_types::{Bandwidth, ByteSize, EarConfig, ErasureParams, NodeId, ReplicationConfig};
+use ear_faults::{FaultConfig, FaultPlan};
+use ear_types::{
+    Bandwidth, ByteSize, ClusterTopology, EarConfig, EncodePath, ErasureParams, NodeId,
+    RepairPath, ReplicationConfig,
+};
 use proptest::prelude::*;
 
 /// A cluster + workload EAR can host with c = 1.
@@ -41,14 +46,14 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
         })
 }
 
-fn build(s: &Scenario) -> MiniCfs {
+fn config(s: &Scenario, c: usize, encode_path: EncodePath, repair_path: RepairPath) -> ClusterConfig {
     let ear = EarConfig::new(
         ErasureParams::new(s.n, s.k).expect("valid by construction"),
         ReplicationConfig::two_way(),
-        1,
+        c,
     )
     .expect("valid");
-    MiniCfs::new(ClusterConfig {
+    ClusterConfig {
         racks: s.racks,
         nodes_per_rack: s.nodes_per_rack,
         block_size: ByteSize::kib(16),
@@ -61,8 +66,14 @@ fn build(s: &Scenario) -> MiniCfs {
         cache: ear_types::CacheConfig::from_env(),
         durability: Default::default(),
         reliability: Default::default(),
-    })
-    .expect("hostable by construction")
+        encode_path,
+        repair_path,
+    }
+}
+
+fn build(s: &Scenario) -> MiniCfs {
+    MiniCfs::new(config(s, 1, EncodePath::from_env(), RepairPath::from_env()))
+        .expect("hostable by construction")
 }
 
 proptest! {
@@ -122,5 +133,178 @@ proptest! {
         let report = run_plan(seed, &ChaosConfig::light(policy))
             .map_err(|e| TestCaseError::fail(format!("harness error: {e}")))?;
         prop_assert!(report.passed(policy), "seed {seed}: {report:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DESIGN.md §15: the pipelined encode chain is a pure traffic-shape
+    /// change. For any policy, code shape, rack-fault tolerance `c`,
+    /// topology, and write order, `EncodePath::Pipelined` seals the same
+    /// stripes with the same parity block ids, the same placements, and
+    /// bit-identical parity bytes as `EncodePath::Gather` — while never
+    /// shipping more bytes across rack boundaries.
+    #[test]
+    fn pipelined_encode_matches_gather_bit_for_bit(
+        s in scenario_strategy(),
+        c in 1usize..=2,
+    ) {
+        let gather = MiniCfs::new(config(&s, c, EncodePath::Gather, RepairPath::Direct))
+            .map_err(|e| TestCaseError::fail(format!("gather boot: {e}")))?;
+        let piped = MiniCfs::new(config(&s, c, EncodePath::Pipelined, RepairPath::Direct))
+            .map_err(|e| TestCaseError::fail(format!("pipelined boot: {e}")))?;
+        let nodes = gather.topology().num_nodes() as u64;
+        let mut i = 0u64;
+        while gather.namenode().pending_stripe_count() < s.stripes {
+            let w = NodeId((i % nodes) as u32);
+            gather
+                .write_block(w, gather.make_block(i))
+                .map_err(|e| TestCaseError::fail(format!("gather write failed: {e}")))?;
+            piped
+                .write_block(w, piped.make_block(i))
+                .map_err(|e| TestCaseError::fail(format!("pipelined write failed: {e}")))?;
+            i += 1;
+            prop_assert!(i < (s.stripes * s.k * 40) as u64, "failed to seal stripes");
+        }
+        // One map task each: block-id allocation order is deterministic, so
+        // the comparison below can demand exact metadata equality.
+        let (gs, _) = RaidNode::encode_all(&gather, 1)
+            .map_err(|e| TestCaseError::fail(format!("gather encode failed: {e}")))?;
+        let (ps, _) = RaidNode::encode_all(&piped, 1)
+            .map_err(|e| TestCaseError::fail(format!("pipelined encode failed: {e}")))?;
+        prop_assert_eq!(gs.stripes, ps.stripes);
+        prop_assert_eq!(ps.pipeline_fallbacks, 0, "fault-free run must not fall back");
+        prop_assert_eq!(ps.pipelined_stripes, ps.stripes);
+
+        let ges = gather.namenode().encoded_stripes();
+        let pes = piped.namenode().encoded_stripes();
+        prop_assert_eq!(ges.len(), pes.len());
+        for (g, p) in ges.iter().zip(pes.iter()) {
+            prop_assert_eq!(g.id, p.id);
+            prop_assert_eq!(&g.data, &p.data);
+            prop_assert_eq!(&g.parity, &p.parity);
+            for &pb in &g.parity {
+                let gl = gather.namenode().locations(pb).expect("gather parity located");
+                let pl = piped.namenode().locations(pb).expect("pipelined parity located");
+                prop_assert_eq!(&gl, &pl, "parity placement diverged");
+                let gb = gather.datanode(gl[0]).get(pb).expect("gather parity stored");
+                let pbts = piped.datanode(pl[0]).get(pb).expect("pipelined parity stored");
+                prop_assert_eq!(gb.as_slice(), pbts.as_slice(), "parity bytes diverged");
+            }
+        }
+        let g_cross = gather.network().cross_rack_bytes();
+        let p_cross = piped.network().cross_rack_bytes();
+        prop_assert!(
+            p_cross <= g_cross,
+            "pipelined shipped {} cross-rack bytes vs gather's {}", p_cross, g_cross
+        );
+    }
+
+    /// DESIGN.md §15 two-phase repair: with a node crash plus a whole-rack
+    /// outage injected from the first operation, `RepairPath::RackAware`
+    /// must agree with `RepairPath::Direct` outcome-for-outcome — the same
+    /// recovery result, identical post-repair placements, every reachable
+    /// rebuilt block byte-for-byte equal to its original contents — while
+    /// never paying more cross-rack transfers.
+    #[test]
+    fn rack_aware_repair_matches_direct_under_node_and_rack_faults(seed in any::<u64>()) {
+        let faults = FaultConfig {
+            straggler_delay: ear_faults::DelayModel::Throttle,
+            node_crashes: 1,
+            rack_outages: 1,
+            stragglers: 0,
+            straggler_factor: 1.0,
+            transient_error_rate: 0.0,
+            corruption_rate: 0.0,
+            heartbeat_loss_rate: 0.0,
+            // Crash and outage both active before the first operation, so
+            // fault decisions cannot depend on the two paths' op streams.
+            crash_window: 1,
+        };
+        let mk = |path| {
+            let ear = EarConfig::new(
+                ErasureParams::new(6, 4).expect("valid"),
+                ReplicationConfig::two_way(),
+                2,
+            )
+            .expect("valid")
+            .with_target_racks(3)
+            .expect("3 racks host (6,4) at c = 2");
+            let cfg = ClusterConfig {
+                racks: 8,
+                nodes_per_rack: 4,
+                block_size: ByteSize::kib(16),
+                node_bandwidth: Bandwidth::bytes_per_sec(1e9),
+                rack_bandwidth: Bandwidth::bytes_per_sec(1e9),
+                ear,
+                policy: ClusterPolicy::Ear,
+                seed: 11,
+                store: ear_types::StoreBackend::from_env(),
+                cache: ear_types::CacheConfig::from_env(),
+                durability: Default::default(),
+                reliability: Default::default(),
+                encode_path: EncodePath::Gather,
+                repair_path: path,
+            };
+            let topo = ClusterTopology::uniform(cfg.racks, cfg.nodes_per_rack);
+            let plan = FaultPlan::generate(seed, &topo, &faults);
+            MiniCfs::with_faults(cfg, plan).expect("hostable by construction")
+        };
+        let direct = mk(RepairPath::Direct);
+        let aware = mk(RepairPath::RackAware);
+        let nodes = direct.topology().num_nodes() as u64;
+        let mut i = 0u64;
+        while direct.namenode().pending_stripe_count() < 2 && i < 600 {
+            let w = NodeId((i % nodes) as u32);
+            let rd = direct.write_block(w, direct.make_block(i));
+            let ra = aware.write_block(w, aware.make_block(i));
+            prop_assert_eq!(rd.is_ok(), ra.is_ok(), "write outcomes diverged at block {}", i);
+            i += 1;
+        }
+        let _ = RaidNode::encode_all(&direct, 1)
+            .map_err(|e| TestCaseError::fail(format!("direct encode failed: {e}")))?;
+        let _ = RaidNode::encode_all(&aware, 1)
+            .map_err(|e| TestCaseError::fail(format!("rack-aware encode failed: {e}")))?;
+
+        let victim = direct.injector().plan().crashes()[0].node;
+        let rd = recover_node(&direct, victim);
+        let ra = recover_node(&aware, victim);
+        match (rd, ra) {
+            (Ok(sd), Ok(sa)) => {
+                prop_assert_eq!(sd.blocks_recovered, sa.blocks_recovered);
+                prop_assert!(
+                    sa.cross_rack_downloads <= sd.cross_rack_downloads,
+                    "rack-aware paid {} cross-rack transfers vs direct's {}",
+                    sa.cross_rack_downloads, sd.cross_rack_downloads
+                );
+                for es in direct.namenode().encoded_stripes() {
+                    for &blk in &es.data {
+                        let ld = direct.namenode().locations(blk).expect("located");
+                        let la = aware.namenode().locations(blk).expect("located");
+                        prop_assert_eq!(&ld, &la, "post-repair placement diverged");
+                        let Some(&holder) = ld.first() else { continue };
+                        if direct.injector().node_down(holder) {
+                            continue;
+                        }
+                        let want = direct.make_block(blk.0);
+                        let got_d = direct.datanode(holder).get(blk).expect("direct copy");
+                        let got_a = aware.datanode(holder).get(blk).expect("rack-aware copy");
+                        prop_assert_eq!(got_d.as_slice(), want.as_slice());
+                        prop_assert_eq!(got_a.as_slice(), want.as_slice());
+                    }
+                }
+            }
+            (Err(ed), Err(ea)) => {
+                // Beyond-tolerance loss must surface as the same typed error
+                // on both paths (rack-aware falls back to direct's plan).
+                prop_assert_eq!(format!("{ed}"), format!("{ea}"));
+            }
+            (rd, ra) => {
+                return Err(TestCaseError::fail(format!(
+                    "repair paths diverged: direct {rd:?} vs rack-aware {ra:?}"
+                )));
+            }
+        }
     }
 }

@@ -32,7 +32,9 @@ pub mod gf256;
 pub mod kernels;
 mod matrix;
 mod rs;
+mod stream;
 
 pub use kernels::{Kernel, KernelTier};
 pub use matrix::Matrix;
 pub use rs::{Construction, ReedSolomon};
+pub use stream::{ParityAccum, StripeEncoder};

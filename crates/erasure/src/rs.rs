@@ -4,6 +4,7 @@
 //! that any `k` of the `n` shards reconstruct the originals — the erasure
 //! model of Section II-A of the paper.
 
+use crate::gf256;
 use crate::kernels::Kernel;
 use crate::matrix::Matrix;
 use ear_types::{ErasureParams, Error, Result};
@@ -260,6 +261,72 @@ impl ReedSolomon {
             }
         }
         Ok(())
+    }
+
+    /// The per-source GF(2⁸) weights of a single-shard repair: with `rows`
+    /// naming the `k` surviving shard indices that will feed the rebuild,
+    /// returns `w` such that
+    ///
+    /// ```text
+    /// shard[lost] = Σⱼ w[j] · shard[rows[j]]
+    /// ```
+    ///
+    /// Because the fold is a plain linear combination, it can be computed
+    /// incrementally — e.g. each source rack folds its local survivors into
+    /// one partial with a [`ParityAccum`](crate::ParityAccum) and only that
+    /// partial crosses the rack boundary (two-phase rack-aware repair).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] if `rows` is not `k` distinct in-range indices,
+    /// if `lost` is out of range or listed in `rows`, or if the selected
+    /// generator rows are singular.
+    pub fn recovery_coefficients(&self, rows: &[usize], lost: usize) -> Result<Vec<u8>> {
+        let n = self.params.n();
+        let k = self.params.k();
+        if rows.len() != k {
+            return Err(Error::Invariant(format!(
+                "repair needs {k} source rows, got {}",
+                rows.len()
+            )));
+        }
+        if lost >= n {
+            return Err(Error::Invariant(format!(
+                "lost shard index {lost} out of range for n = {n}"
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &r in rows {
+            let slot = seen
+                .get_mut(r)
+                .ok_or_else(|| Error::Invariant(format!("source row {r} out of range")))?;
+            if *slot {
+                return Err(Error::Invariant(format!("source row {r} listed twice")));
+            }
+            *slot = true;
+        }
+        if seen.get(lost).copied().unwrap_or(false) {
+            return Err(Error::Invariant(format!(
+                "lost shard {lost} cannot be its own repair source"
+            )));
+        }
+        let sub = self.generator.select_rows(rows);
+        let dec = sub.inverted().map_err(|_| {
+            Error::Invariant("selected generator rows are singular (non-MDS generator?)".into())
+        })?;
+        if lost < k {
+            // A data shard is row `lost` of the decode matrix directly.
+            return Ok((0..k).map(|j| dec.get(lost, j)).collect());
+        }
+        // A parity shard is generator row `lost` applied to the decoded
+        // data: w[j] = Σᵢ g[lost][i] · dec[i][j].
+        Ok((0..k)
+            .map(|j| {
+                (0..k).fold(0u8, |acc, i| {
+                    acc ^ gf256::mul(self.generator.get(lost, i), dec.get(i, j))
+                })
+            })
+            .collect())
     }
 
     /// Convenience wrapper: reconstructs and returns only the `k` data

@@ -1,0 +1,439 @@
+//! Streaming shard interface: incremental GF(2⁸) partial folding.
+//!
+//! Reed–Solomon parity rows are linear combinations of the data shards, so
+//! they can be folded in one source at a time instead of requiring all `k`
+//! shards resident at one node. [`ParityAccum`] is the single-output fold
+//! (`Σ coeffᵢ · chunkᵢ`, the primitive of RapidRAID-style pipelined
+//! encoding and two-phase rack-aware repair); [`StripeEncoder`] stacks
+//! `n − k` of them with the generator's parity coefficients so a full
+//! stripe encode can stream source-by-source, hop-by-hop.
+//!
+//! Because GF(2⁸) addition is XOR (commutative and associative), partials
+//! absorbed in any order — or folded independently and then merged with
+//! [`StripeEncoder::merge`] — finish to bytes identical to the one-shot
+//! [`ReedSolomon::encode`](crate::ReedSolomon::encode) pass. The tests at
+//! the bottom of this module pin that bit-identity across kernel tiers.
+
+use crate::{Kernel, Matrix, ReedSolomon};
+use ear_types::{Error, Result};
+
+/// A running single-output GF(2⁸) linear combination `Σ coeffᵢ · chunkᵢ`.
+///
+/// Init with [`ParityAccum::new`], fold sources in with
+/// [`ParityAccum::absorb`], and close with [`ParityAccum::finish`] once the
+/// expected number of sources has been absorbed. The partial state is plain
+/// bytes ([`ParityAccum::as_slice`] / [`ParityAccum::into_partial`]), so an
+/// accumulator can travel node-to-node mid-fold and resume with
+/// [`ParityAccum::from_partial`].
+#[derive(Debug, Clone)]
+pub struct ParityAccum {
+    acc: Vec<u8>,
+    absorbed: usize,
+    kernel: Kernel,
+}
+
+impl ParityAccum {
+    /// A fresh accumulator of `len` zero bytes (the GF additive identity).
+    pub fn new(kernel: Kernel, len: usize) -> Self {
+        ParityAccum {
+            acc: vec![0u8; len],
+            absorbed: 0,
+            kernel,
+        }
+    }
+
+    /// Resumes an accumulator from partial bytes produced by an earlier
+    /// [`ParityAccum::into_partial`] on another node, with `absorbed`
+    /// recording how many sources that partial already folded in.
+    pub fn from_partial(kernel: Kernel, partial: Vec<u8>, absorbed: usize) -> Self {
+        ParityAccum {
+            acc: partial,
+            absorbed,
+            kernel,
+        }
+    }
+
+    /// Number of source chunks folded in so far.
+    #[inline]
+    pub fn absorbed(&self) -> usize {
+        self.absorbed
+    }
+
+    /// The partial bytes accumulated so far.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.acc
+    }
+
+    /// Folds one source in: `acc ⊕= coeff · chunk`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ShardLengthMismatch`] if `chunk` is not the accumulator's
+    /// length.
+    pub fn absorb(&mut self, coeff: u8, chunk: &[u8]) -> Result<()> {
+        if chunk.len() != self.acc.len() {
+            return Err(Error::ShardLengthMismatch);
+        }
+        self.kernel.mul_acc(&mut self.acc, chunk, coeff);
+        self.absorbed += 1;
+        Ok(())
+    }
+
+    /// Folds several sources in one fused kernel pass (the destination tile
+    /// stays in L1 across all sources, as in the one-shot encode).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ShardLengthMismatch`] if any source length differs from the
+    /// accumulator's.
+    pub fn absorb_many(&mut self, srcs: &[(&[u8], u8)]) -> Result<()> {
+        if srcs.iter().any(|(s, _)| s.len() != self.acc.len()) {
+            return Err(Error::ShardLengthMismatch);
+        }
+        self.kernel.mul_acc_many(&mut self.acc, srcs);
+        self.absorbed += srcs.len();
+        Ok(())
+    }
+
+    /// Merges another partial into this one (`acc ⊕= other.acc`): the GF
+    /// sum of two disjoint partial folds is the fold of the union.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ShardLengthMismatch`] on length disagreement.
+    pub fn merge(&mut self, other: &ParityAccum) -> Result<()> {
+        if other.acc.len() != self.acc.len() {
+            return Err(Error::ShardLengthMismatch);
+        }
+        for (a, b) in self.acc.iter_mut().zip(other.acc.iter()) {
+            *a ^= *b;
+        }
+        self.absorbed += other.absorbed;
+        Ok(())
+    }
+
+    /// Surrenders the partial bytes (for shipping to the next hop).
+    pub fn into_partial(self) -> Vec<u8> {
+        self.acc
+    }
+
+    /// Closes the fold, checking that exactly `expected` sources were
+    /// absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] if the absorbed count is wrong — a pipeline
+    /// that lost or double-counted a hop must fail loudly, not emit wrong
+    /// parity.
+    pub fn finish(self, expected: usize) -> Result<Vec<u8>> {
+        if self.absorbed != expected {
+            return Err(Error::Invariant(format!(
+                "partial fold absorbed {} of {expected} sources",
+                self.absorbed
+            )));
+        }
+        Ok(self.acc)
+    }
+}
+
+/// A streaming stripe encode: `n − k` running parity rows plus a record of
+/// which source indices have been folded in.
+///
+/// Built from a codec with [`StripeEncoder::new`]; each source shard is
+/// folded with [`StripeEncoder::absorb_source`] (any order, exactly once
+/// each); independent encoders over disjoint source subsets — e.g. one per
+/// source rack — combine with [`StripeEncoder::merge`]; and
+/// [`StripeEncoder::finish`] yields parity bytes identical to
+/// [`ReedSolomon::encode`](crate::ReedSolomon::encode).
+#[derive(Debug, Clone)]
+pub struct StripeEncoder {
+    coeffs: Matrix,
+    rows: Vec<ParityAccum>,
+    absorbed: Vec<bool>,
+}
+
+impl StripeEncoder {
+    /// A fresh encoder for one stripe of `shard_len`-byte shards under
+    /// `rs`'s generator.
+    pub fn new(rs: &ReedSolomon, shard_len: usize) -> Self {
+        let m = rs.params().parity();
+        StripeEncoder {
+            coeffs: rs.parity_matrix(),
+            rows: (0..m)
+                .map(|_| ParityAccum::new(rs.kernel(), shard_len))
+                .collect(),
+            absorbed: vec![false; rs.params().k()],
+        }
+    }
+
+    /// Whether source shard `index` has been folded in yet.
+    pub fn has_absorbed(&self, index: usize) -> bool {
+        self.absorbed.get(index).copied().unwrap_or(false)
+    }
+
+    /// Number of source shards folded in so far.
+    pub fn absorbed_count(&self) -> usize {
+        self.absorbed.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether every source shard has been folded in.
+    pub fn is_complete(&self) -> bool {
+        self.absorbed.iter().all(|&a| a)
+    }
+
+    /// The running partial parity rows (for shipping to the next hop; the
+    /// byte volume of the wire transfer is `rows().len() · shard_len`).
+    pub fn partial_rows(&self) -> impl Iterator<Item = &[u8]> {
+        self.rows.iter().map(ParityAccum::as_slice)
+    }
+
+    /// Folds source shard `index` into every parity row.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Invariant`] if `index` is out of range or already folded.
+    /// * [`Error::ShardLengthMismatch`] on length disagreement.
+    pub fn absorb_source(&mut self, index: usize, chunk: &[u8]) -> Result<()> {
+        let slot = self
+            .absorbed
+            .get_mut(index)
+            .ok_or_else(|| Error::Invariant(format!("source index {index} out of range")))?;
+        if *slot {
+            return Err(Error::Invariant(format!(
+                "source index {index} folded twice"
+            )));
+        }
+        for (row, acc) in self.rows.iter_mut().enumerate() {
+            acc.absorb(self.coeffs.get(row, index), chunk)?;
+        }
+        *slot = true;
+        Ok(())
+    }
+
+    /// Merges another encoder's partial rows into this one. The two must
+    /// have folded *disjoint* source sets — the GF sum of overlapping
+    /// partials would silently cancel a source, so overlap is an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Invariant`] on shape mismatch or overlapping sources.
+    /// * [`Error::ShardLengthMismatch`] on length disagreement.
+    pub fn merge(&mut self, other: &StripeEncoder) -> Result<()> {
+        if other.absorbed.len() != self.absorbed.len() || other.rows.len() != self.rows.len() {
+            return Err(Error::Invariant(
+                "merging stripe encoders of different shapes".into(),
+            ));
+        }
+        if self
+            .absorbed
+            .iter()
+            .zip(other.absorbed.iter())
+            .any(|(&a, &b)| a && b)
+        {
+            return Err(Error::Invariant(
+                "merging stripe encoders with overlapping sources".into(),
+            ));
+        }
+        for (acc, theirs) in self.rows.iter_mut().zip(other.rows.iter()) {
+            acc.merge(theirs)?;
+        }
+        for (slot, &theirs) in self.absorbed.iter_mut().zip(other.absorbed.iter()) {
+            *slot |= theirs;
+        }
+        Ok(())
+    }
+
+    /// Closes the encode, returning the `n − k` parity shards.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] unless every source shard was folded in.
+    pub fn finish(self) -> Result<Vec<Vec<u8>>> {
+        if !self.is_complete() {
+            let missing: Vec<usize> = self
+                .absorbed
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| !a)
+                .map(|(i, _)| i)
+                .collect();
+            return Err(Error::Invariant(format!(
+                "stripe encode missing sources {missing:?}"
+            )));
+        }
+        let k = self.absorbed.len();
+        self.rows.into_iter().map(|acc| acc.finish(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Construction;
+    use ear_types::ErasureParams;
+
+    fn shards(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|j| {
+                (0..len)
+                    .map(|i| {
+                        (i as u8)
+                            .wrapping_mul(31)
+                            .wrapping_add(j as u8)
+                            .wrapping_mul(17)
+                            .wrapping_add(seed)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_encode_matches_one_shot_in_any_order() {
+        for (n, k) in [(5usize, 4usize), (6, 4), (9, 6), (14, 10)] {
+            let rs = ReedSolomon::new(ErasureParams::new(n, k).unwrap());
+            let data = shards(k, 512, n as u8);
+            let expected = rs.encode(&data).unwrap();
+
+            // Forward, reverse, and an interleaved order all land on the
+            // same bytes.
+            let orders: Vec<Vec<usize>> = vec![
+                (0..k).collect(),
+                (0..k).rev().collect(),
+                (0..k).map(|i| (i * 3 + 1) % k).collect::<Vec<_>>(),
+            ];
+            for order in orders {
+                let mut unique = order.clone();
+                unique.sort_unstable();
+                unique.dedup();
+                if unique.len() != k {
+                    continue;
+                }
+                let mut enc = StripeEncoder::new(&rs, 512);
+                for &j in &order {
+                    enc.absorb_source(j, &data[j]).unwrap();
+                }
+                assert_eq!(enc.finish().unwrap(), expected, "(n,k)=({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_rack_partials_match_one_shot() {
+        let rs = ReedSolomon::new(ErasureParams::new(9, 6).unwrap());
+        let data = shards(6, 768, 9);
+        let expected = rs.encode(&data).unwrap();
+
+        // Three "racks" fold disjoint subsets independently, then merge.
+        let groups: [&[usize]; 3] = [&[0, 3], &[1, 4, 5], &[2]];
+        let mut merged = StripeEncoder::new(&rs, 768);
+        for group in groups {
+            let mut partial = StripeEncoder::new(&rs, 768);
+            for &j in group {
+                partial.absorb_source(j, &data[j]).unwrap();
+            }
+            merged.merge(&partial).unwrap();
+        }
+        assert_eq!(merged.finish().unwrap(), expected);
+    }
+
+    #[test]
+    fn overlap_and_double_fold_are_rejected() {
+        let rs = ReedSolomon::new(ErasureParams::new(6, 4).unwrap());
+        let data = shards(4, 64, 6);
+        let mut enc = StripeEncoder::new(&rs, 64);
+        enc.absorb_source(1, &data[1]).unwrap();
+        assert!(enc.absorb_source(1, &data[1]).is_err());
+        let mut other = StripeEncoder::new(&rs, 64);
+        other.absorb_source(1, &data[1]).unwrap();
+        assert!(enc.merge(&other).is_err());
+        assert!(enc.finish().is_err());
+    }
+
+    #[test]
+    fn accum_finish_checks_source_count_and_lengths() {
+        let mut acc = ParityAccum::new(Kernel::detect(), 32);
+        assert!(acc.absorb(3, &[0u8; 16]).is_err());
+        acc.absorb(3, &[7u8; 32]).unwrap();
+        assert!(acc.clone().finish(2).is_err());
+        assert_eq!(acc.absorbed(), 1);
+        let bytes = acc.finish(1).unwrap();
+        // 3 · 7 in GF(2⁸) — mul_acc against a zeroed accumulator is a plain
+        // scalar multiply.
+        assert!(bytes.iter().all(|&b| b == crate::gf256::mul(3, 7)));
+    }
+
+    #[test]
+    fn partial_travel_resumes_bit_identical() {
+        let rs = ReedSolomon::new(ErasureParams::new(6, 4).unwrap());
+        let data = shards(4, 256, 42);
+        let expected = rs.encode(&data).unwrap();
+        let coeffs = rs.parity_matrix();
+
+        // Row 0 of parity, folded across a simulated two-hop pipeline: the
+        // partial bytes travel, the accumulator resumes on the "next node".
+        let mut hop1 = ParityAccum::new(rs.kernel(), 256);
+        hop1.absorb_many(&[
+            (&data[0], coeffs.get(0, 0)),
+            (&data[1], coeffs.get(0, 1)),
+        ])
+        .unwrap();
+        let travelled = hop1.into_partial();
+        let mut hop2 = ParityAccum::from_partial(rs.kernel(), travelled, 2);
+        hop2.absorb(coeffs.get(0, 2), &data[2]).unwrap();
+        hop2.absorb(coeffs.get(0, 3), &data[3]).unwrap();
+        assert_eq!(hop2.finish(4).unwrap(), expected[0]);
+    }
+
+    #[test]
+    fn rack_folded_repair_matches_direct_reconstruction() {
+        let rs = ReedSolomon::new(ErasureParams::new(9, 6).unwrap());
+        let data = shards(6, 512, 3);
+        let parity = rs.encode(&data).unwrap();
+        let all: Vec<&[u8]> = data
+            .iter()
+            .chain(parity.iter())
+            .map(Vec::as_slice)
+            .collect();
+
+        // Rebuild every shard index from an arbitrary choice of 6 sources,
+        // folding rack-partial style: two disjoint groups each produce one
+        // partial, merged at the end.
+        for lost in 0..9usize {
+            let rows: Vec<usize> = (0..9).filter(|&i| i != lost).take(6).collect();
+            let w = rs.recovery_coefficients(&rows, lost).unwrap();
+            let (left, right) = rows.split_at(2);
+            let (wl, wr) = w.split_at(2);
+            let mut rack_a = ParityAccum::new(rs.kernel(), 512);
+            for (&j, &c) in left.iter().zip(wl.iter()) {
+                rack_a.absorb(c, all[j]).unwrap();
+            }
+            let mut rack_b = ParityAccum::new(rs.kernel(), 512);
+            for (&j, &c) in right.iter().zip(wr.iter()) {
+                rack_b.absorb(c, all[j]).unwrap();
+            }
+            rack_a.merge(&rack_b).unwrap();
+            assert_eq!(
+                rack_a.finish(6).unwrap().as_slice(),
+                all[lost],
+                "lost index {lost}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_encode_matches_across_kernel_tiers() {
+        let params = ErasureParams::new(6, 4).unwrap();
+        let data = shards(4, 1024, 77);
+        let reference = ReedSolomon::new(params).encode(&data).unwrap();
+        for kernel in Kernel::available() {
+            let rs = ReedSolomon::with_kernel(params, Construction::default(), kernel);
+            let mut enc = StripeEncoder::new(&rs, 1024);
+            for (j, d) in data.iter().enumerate() {
+                enc.absorb_source(j, d).unwrap();
+            }
+            assert_eq!(enc.finish().unwrap(), reference, "kernel {}", kernel.name());
+        }
+    }
+}

@@ -45,6 +45,7 @@ pub const DATA_PLANE_FILES: &[&str] = &[
     "cache.rs",
     "recovery.rs",
     "raidnode.rs",
+    "pipeline.rs",
     "healer.rs",
     "reliability.rs",
     "wal.rs",

@@ -140,6 +140,39 @@ impl EmulatedNetwork {
     pub fn intra_rack_bytes(&self) -> u64 {
         self.inner.intra_rack_bytes.load(Ordering::Relaxed)
     }
+
+    /// A point-in-time reading of both traffic counters. Phases that want
+    /// per-phase traffic (encode vs repair, say) take a snapshot at the
+    /// phase boundary and subtract with [`TrafficSnapshot::delta`] — no
+    /// reset, so concurrent readers never race each other's zeroing.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            cross_rack_bytes: self.cross_rack_bytes(),
+            intra_rack_bytes: self.intra_rack_bytes(),
+        }
+    }
+}
+
+/// Cumulative traffic counters at one instant (see
+/// [`EmulatedNetwork::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficSnapshot {
+    /// Bytes that crossed a rack boundary.
+    pub cross_rack_bytes: u64,
+    /// Bytes that stayed within one rack.
+    pub intra_rack_bytes: u64,
+}
+
+impl TrafficSnapshot {
+    /// The traffic accrued since `earlier` — the per-phase reading.
+    /// Saturating, so a stale pair of snapshots reads as zero rather than
+    /// wrapping.
+    pub fn delta(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            cross_rack_bytes: self.cross_rack_bytes.saturating_sub(earlier.cross_rack_bytes),
+            intra_rack_bytes: self.intra_rack_bytes.saturating_sub(earlier.intra_rack_bytes),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +241,23 @@ mod tests {
         net.transfer(NodeId(0), NodeId(1), 2_000_000);
         assert!(start.elapsed().as_secs_f64() < 0.8);
         assert_eq!(net.intra_rack_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn snapshot_delta_separates_phases() {
+        let topo = ClusterTopology::uniform(2, 2);
+        let net = EmulatedNetwork::new(&topo, bw(50.0), bw(50.0));
+        net.transfer(NodeId(0), NodeId(1), 1_000); // intra
+        let phase1 = net.snapshot();
+        net.transfer(NodeId(0), NodeId(2), 2_000); // cross
+        net.transfer(NodeId(2), NodeId(3), 3_000); // intra
+        let phase2 = net.snapshot().delta(&phase1);
+        assert_eq!(phase1.cross_rack_bytes, 0);
+        assert_eq!(phase1.intra_rack_bytes, 1_000);
+        assert_eq!(phase2.cross_rack_bytes, 2_000);
+        assert_eq!(phase2.intra_rack_bytes, 3_000);
+        // Deltas saturate instead of wrapping if snapshots are swapped.
+        assert_eq!(phase1.delta(&net.snapshot()).cross_rack_bytes, 0);
     }
 
     #[test]

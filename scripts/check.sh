@@ -39,6 +39,12 @@ cargo clippy --workspace --offline -- -D warnings
 cargo run -q --release --offline -p ear-cli -- chaos --plans 5 --seed 0 --profile mixed
 cargo run -q --release --offline -p ear-cli -- chaos --plans 2 --seed 0 --profile mixed --store file
 cargo run -q --release --offline -p ear-cli -- chaos --plans 2 --seed 0 --profile mixed --store extent
+# Data-path smoke (DESIGN.md §15): the pipelined encode chain and the
+# two-phase rack-aware repair plan under the same fixed-seed sweep, both
+# via the env knobs and via the CLI flags.
+EAR_ENCODE_PATH=pipelined cargo run -q --release --offline -p ear-cli -- chaos --plans 2 --seed 0 --profile mixed
+EAR_REPAIR_PATH=rack_aware cargo run -q --release --offline -p ear-cli -- chaos --plans 2 --seed 0 --profile mixed
+cargo run -q --release --offline -p ear-cli -- heal --plans 2 --seed 0 --encode-path pipelined --repair-path rack_aware
 # Straggler-heavy hedged-read smoke (DESIGN.md §14): Pareto per-attempt
 # delays with hedging on — prints the probe-read tail percentiles and the
 # hedges launched/won; any lost block or untyped failure fails the run.

@@ -243,7 +243,7 @@ impl FileStore {
             let path = entry.path();
             let name = entry.file_name().to_string_lossy().into_owned();
             if name.ends_with(".tmp") {
-                let _ = fs::remove_file(&path);
+                remove_stale(&path)?;
                 continue;
             }
             let Some(id) = name
@@ -257,7 +257,7 @@ impl FileStore {
             })?;
             let Some(hdr) = bytes.get(0..4) else {
                 // Shorter than its own header: never a committed block.
-                let _ = fs::remove_file(&path);
+                remove_stale(&path)?;
                 continue;
             };
             let mut crc = [0u8; 4];
@@ -287,6 +287,20 @@ impl FileStore {
     /// [`ShardedMemStore::stripe_for`].
     fn stripe_for(&self, block: BlockId) -> &Mutex<HashMap<BlockId, FileMeta>> {
         &self.index[shard_of(block)]
+    }
+}
+
+/// Removes a stale artifact (interrupted-write `.tmp`, headerless block)
+/// found while scanning a store directory. Already-gone is success; any
+/// other failure is propagated — a scan that cannot clean what it found
+/// would replay the same junk on every reopen.
+fn remove_stale(path: &std::path::Path) -> Result<()> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(Error::Io {
+            context: format!("remove stale {}: {e}", path.display()),
+        }),
     }
 }
 
@@ -359,11 +373,26 @@ impl BlockStore for FileStore {
     }
 
     fn delete(&self, block: BlockId) -> bool {
-        let existed = self.stripe_for(block).lock().remove(&block).is_some();
-        if existed {
-            let _ = fs::remove_file(self.path_of(block));
+        let mut shard = self.stripe_for(block).lock();
+        if !shard.contains_key(&block) {
+            return false;
         }
-        existed
+        match fs::remove_file(self.path_of(block)) {
+            Ok(()) => {
+                shard.remove(&block);
+                true
+            }
+            // An already-missing file still deletes cleanly: the index entry
+            // was the last thing making the block visible.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                shard.remove(&block);
+                true
+            }
+            // The bytes are still on disk and the unlink failed: keep the
+            // index entry so the store stays honest about what it holds,
+            // and report the delete as not done.
+            Err(_) => false,
+        }
     }
 
     fn contains(&self, block: BlockId) -> bool {
@@ -518,5 +547,44 @@ mod tests {
         let hit: std::collections::HashSet<usize> =
             (0..64u64).map(|i| shard_of(BlockId(i))).collect();
         assert!(hit.len() > SHARDS / 2, "dense ids must stripe: {hit:?}");
+    }
+
+    #[test]
+    fn file_delete_of_externally_removed_block_still_deletes() {
+        // Pin: an already-unlinked file (NotFound) is a clean delete —
+        // the index entry was the last thing making the block visible.
+        let s = FileStore::new("t3").unwrap();
+        let data = Block::from(vec![1u8; 64]);
+        s.put(BlockId(5), data.clone(), crc32c(&data)).unwrap();
+        fs::remove_file(s.path_of(BlockId(5))).unwrap();
+        assert!(s.delete(BlockId(5)), "NotFound unlink still deletes");
+        assert!(!s.contains(BlockId(5)));
+        assert!(!s.delete(BlockId(5)), "second delete finds nothing");
+    }
+
+    #[test]
+    fn open_scan_cleans_stale_artifacts_and_keeps_committed_blocks() {
+        // Pin: reopen removes interrupted-write `.tmp` files and headerless
+        // blocks (and errors no longer vanish via `let _` — remove_stale
+        // propagates anything but NotFound), while committed blocks index.
+        let root = std::env::temp_dir().join(format!(
+            "ear-store-scan-{}-{}",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let s = FileStore::open_at(&root, true).unwrap();
+            let data = Block::from(vec![2u8; 32]);
+            s.put(BlockId(1), data.clone(), crc32c(&data)).unwrap();
+        }
+        fs::write(root.join("9.blk.tmp"), b"torn write").unwrap();
+        fs::write(root.join("8.blk"), [0u8; 2]).unwrap();
+        let s = FileStore::open_at(&root, true).unwrap();
+        assert!(s.contains(BlockId(1)), "committed block survives reopen");
+        assert!(!s.contains(BlockId(8)));
+        assert!(!root.join("9.blk.tmp").exists(), "stale tmp removed");
+        assert!(!root.join("8.blk").exists(), "headerless block removed");
+        drop(s);
+        fs::remove_dir_all(&root).unwrap();
     }
 }

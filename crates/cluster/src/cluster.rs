@@ -126,9 +126,15 @@ fn check_manifest(dir: &Path, config: &ClusterConfig) -> Result<()> {
             fs::create_dir_all(dir).map_err(|e| Error::Io {
                 context: format!("create {}: {e}", dir.display()),
             })?;
+            // Durable first-boot publish (L4): payload synced before the
+            // rename makes it visible, directory synced after so the name
+            // itself survives a crash — a half-written MANIFEST would brick
+            // every future reopen with a spurious mismatch.
             let tmp = dir.join("MANIFEST.tmp");
             fs::write(&tmp, &expected)
+                .and_then(|()| fs::File::open(&tmp).and_then(|f| f.sync_all()))
                 .and_then(|()| fs::rename(&tmp, &path))
+                .and_then(|()| fs::File::open(dir).and_then(|d| d.sync_all()))
                 .map_err(|e| Error::Io {
                     context: format!("write {}: {e}", path.display()),
                 })
@@ -700,5 +706,33 @@ mod tests {
         }
         let total: u64 = cfs.rack_storage().iter().sum();
         assert_eq!(total, 4 * 2 * ByteSize::kib(64).as_u64());
+    }
+
+    #[test]
+    fn manifest_first_boot_publishes_durably_and_reopens() {
+        // Pin for the L4 fix: the first-boot MANIFEST goes through
+        // write-tmp → fsync → rename → fsync-dir, so no `.tmp` lingers,
+        // the published file validates on reopen, and a shape change is
+        // still a hard mismatch.
+        let dir = std::env::temp_dir().join(format!(
+            "ear-manifest-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = small_cfg(ClusterPolicy::Ear);
+        check_manifest(&dir, &cfg).unwrap();
+        assert!(dir.join("MANIFEST").exists());
+        assert!(
+            !dir.join("MANIFEST.tmp").exists(),
+            "publish must leave no temp file behind"
+        );
+        check_manifest(&dir, &cfg).unwrap();
+        let mut other = small_cfg(ClusterPolicy::Rr);
+        other.seed = cfg.seed;
+        assert!(
+            check_manifest(&dir, &other).is_err(),
+            "a different shape must be rejected"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

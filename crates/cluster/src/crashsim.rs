@@ -57,8 +57,17 @@ fn invariant(msg: String) -> Error {
     Error::Invariant(msg)
 }
 
-fn cleanup(dir: &Path) {
-    let _ = fs::remove_dir_all(dir);
+/// Removes a simulation's scratch directory. Already-gone is success;
+/// anything else is a real error — a verdict computed while the scratch
+/// tree cannot be torn down would leak state into the next scenario.
+fn cleanup(dir: &Path) -> Result<()> {
+    match fs::remove_dir_all(dir) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(Error::Io {
+            context: format!("remove {}: {e}", dir.display()),
+        }),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -254,8 +263,9 @@ pub fn run_wal_kill(seed: u64, kill: u64) -> Result<KillSummary> {
         }
         Ok(())
     })();
-    cleanup(&dir);
+    let cleaned = cleanup(&dir);
     verdict?;
+    cleaned?;
     Ok(KillSummary {
         ops: records.len(),
         cut,
@@ -322,7 +332,7 @@ pub fn run_checkpoint_kill(seed: u64, kill: u64) -> Result<KillSummary> {
         // (b) Crash after the rename but before compaction: committed
         // checkpoint + full (uncompacted) log. Replay must skip lsn ≤ mid
         // and still land on the full image.
-        cleanup(&dir);
+        cleanup(&dir)?;
         fs::create_dir_all(&dir).map_err(|e| Error::Io {
             context: format!("create {}: {e}", dir.display()),
         })?;
@@ -348,7 +358,7 @@ pub fn run_checkpoint_kill(seed: u64, kill: u64) -> Result<KillSummary> {
         // (c) A torn *committed* checkpoint (can only come from real
         // corruption — the rename protocol never exposes one) must surface
         // as a typed error, never a panic or a silent empty image.
-        cleanup(&dir);
+        cleanup(&dir)?;
         fs::create_dir_all(&dir).map_err(|e| Error::Io {
             context: format!("create {}: {e}", dir.display()),
         })?;
@@ -372,8 +382,9 @@ pub fn run_checkpoint_kill(seed: u64, kill: u64) -> Result<KillSummary> {
             ))),
         }
     })();
-    cleanup(&dir);
+    let cleaned = cleanup(&dir);
     verdict?;
+    cleaned?;
     Ok(KillSummary {
         ops: records.len(),
         cut: (kill % (ckpt.len() as u64 + 1)) as usize,
@@ -626,8 +637,9 @@ pub fn run_extent_kill(seed: u64, kill: u64) -> Result<KillSummary> {
         }
         Ok(())
     })();
-    cleanup(&dir);
+    let cleaned = cleanup(&dir);
     verdict?;
+    cleaned?;
     Ok(KillSummary {
         ops: ops.len(),
         cut,

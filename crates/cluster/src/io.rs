@@ -39,7 +39,6 @@ use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 /// Nodes one multi-block job (a stripe encode, a pipelined chain) has found
 /// fail-stop dead, shared across the job's reads so each discovery is paid
@@ -77,13 +76,6 @@ impl DeadNodeSet {
 /// Attempts per replica before a read or write gives up on it.
 pub(crate) const IO_ATTEMPTS: u32 = 3;
 
-/// Paces a virtual-tick backoff on the wall clock (1 tick = 1 µs). The
-/// duration and its jitter come from [`Reliability::backoff_ticks`] — this
-/// is only the physical "don't busy-loop" side of the same number.
-fn sleep_ticks(ticks: u64) {
-    std::thread::sleep(Duration::from_micros(ticks));
-}
-
 /// Seeded-backoff hash key of one (replica, block) retry stream.
 fn backoff_key(node: NodeId, block: BlockId) -> u64 {
     ((node.index() as u64) << 40) ^ block.index() as u64
@@ -102,8 +94,8 @@ struct Counters {
     write_retries: AtomicU64,
     failed_reads: AtomicU64,
     failed_writes: AtomicU64,
-    read_nanos: AtomicU64,
-    write_nanos: AtomicU64,
+    read_ticks: AtomicU64,
+    write_ticks: AtomicU64,
     transfer_bytes: AtomicU64,
     crc_skipped: AtomicU64,
     crc_bytes_skipped: AtomicU64,
@@ -115,9 +107,9 @@ struct Counters {
 
 /// A snapshot of the cluster's data-plane I/O accounting.
 ///
-/// Counts and bytes are deterministic for a fixed seed and fault plan; the
-/// latency sums (`*_seconds`) are wall-clock measurements and vary run to
-/// run — determinism comparisons must exclude them.
+/// Every field — including the latency sums (`*_ticks`, virtual-clock
+/// microseconds from the reliability cost model) — is deterministic for a
+/// fixed seed and fault plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoStats {
     /// Successful single-attempt block fetches.
@@ -136,10 +128,12 @@ pub struct IoStats {
     pub failed_reads: u64,
     /// Write attempts that failed (any cause, including the retried ones).
     pub failed_writes: u64,
-    /// Wall-clock seconds spent inside successful fetches (net + checksum).
-    pub read_seconds: f64,
-    /// Wall-clock seconds spent inside successful stores.
-    pub write_seconds: f64,
+    /// Virtual-clock ticks (1 tick = 1 µs) charged to successful fetches:
+    /// straggler delay plus the transfer cost model, the same numbers
+    /// charged against op deadlines.
+    pub read_ticks: u64,
+    /// Virtual-clock ticks charged to successful stores.
+    pub write_ticks: u64,
     /// Bytes moved through accounted raw transfers (shuffle, relocation).
     pub transfer_bytes: u64,
     /// Verified reads served without re-running CRC32C (the verified-once
@@ -245,8 +239,8 @@ impl ClusterIo {
             write_retries: c.write_retries.load(Ordering::Relaxed),
             failed_reads: c.failed_reads.load(Ordering::Relaxed),
             failed_writes: c.failed_writes.load(Ordering::Relaxed),
-            read_seconds: c.read_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
-            write_seconds: c.write_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            read_ticks: c.read_ticks.load(Ordering::Relaxed),
+            write_ticks: c.write_ticks.load(Ordering::Relaxed),
             transfer_bytes: c.transfer_bytes.load(Ordering::Relaxed),
             crc_skipped: c.crc_skipped.load(Ordering::Relaxed),
             crc_bytes_skipped: c.crc_bytes_skipped.load(Ordering::Relaxed),
@@ -316,7 +310,6 @@ impl ClusterIo {
         block: BlockId,
         attempt: u32,
     ) -> (Result<Block>, u64) {
-        let start = Instant::now();
         let delay = self.injector.straggler_delay_ticks(
             src,
             block,
@@ -335,9 +328,7 @@ impl ClusterIo {
                 self.counters
                     .bytes_read
                     .fetch_add(data.len() as u64, Ordering::Relaxed);
-                self.counters
-                    .read_nanos
-                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                self.counters.read_ticks.fetch_add(cost, Ordering::Relaxed);
             }
             Err(_) => {
                 self.counters.failed_reads.fetch_add(1, Ordering::Relaxed);
@@ -418,7 +409,6 @@ impl ClusterIo {
         data: Block,
         attempt: u32,
     ) -> Result<()> {
-        let start = Instant::now();
         let len = data.len() as u64;
         let delay = self.injector.straggler_delay_ticks(
             dst,
@@ -436,9 +426,7 @@ impl ClusterIo {
             Ok(()) => {
                 self.counters.writes.fetch_add(1, Ordering::Relaxed);
                 self.counters.bytes_written.fetch_add(len, Ordering::Relaxed);
-                self.counters
-                    .write_nanos
-                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                self.counters.write_ticks.fetch_add(cost, Ordering::Relaxed);
             }
             Err(_) => {
                 self.counters.failed_writes.fetch_add(1, Ordering::Relaxed);
@@ -554,7 +542,7 @@ impl ClusterIo {
                         let ticks = rel.backoff_ticks(backoff_key(src, block), attempt);
                         self.counters.backoff_rounds.fetch_add(1, Ordering::Relaxed);
                         ctx.charge(ticks)?;
-                        sleep_ticks(ticks);
+                        reliability::pace(ticks);
                     }
                     Err(
                         e @ (Error::DeadlineExceeded { .. }
@@ -728,7 +716,7 @@ impl ClusterIo {
                         .backoff_ticks(backoff_key(dst, block), attempt);
                     self.counters.backoff_rounds.fetch_add(1, Ordering::Relaxed);
                     ctx.charge(ticks)?;
-                    sleep_ticks(ticks);
+                    reliability::pace(ticks);
                 }
                 Err(_) => break,
             }
@@ -914,7 +902,11 @@ mod tests {
         assert_eq!(s.reads, 1);
         assert_eq!(s.bytes_read, 256);
         assert_eq!(s.failed_reads, 1, "the miss on NodeId(1) is accounted");
-        assert!(s.read_seconds > 0.0);
+        assert_eq!(
+            s.read_ticks,
+            reliability::xfer_cost_ticks(256),
+            "successful-fetch ticks are the deterministic cost model, not wall time"
+        );
         // Virtual cost: one fault penalty for the miss, one sized transfer.
         assert_eq!(
             ctx.elapsed_ticks(),

@@ -5,12 +5,12 @@ use crate::cluster::MiniCfs;
 use crate::io::DeadNodeSet;
 use crate::namenode::PendingStripe;
 use crate::pipeline;
-use crate::reliability::OpClass;
+use crate::reliability::{self, OpClass};
 use ear_types::{Block, BlockId, EncodePath, Error, NodeId, Result, StripeId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Encode attempts per stripe before it is handed back to the NameNode's
 /// pending queue (its replicas stay intact, so nothing is lost).
@@ -138,16 +138,15 @@ impl RaidNode {
                             // replicated (encode_stripe mutates no metadata
                             // until parity is durable), so restarting it is
                             // always safe.
-                            Err(e) if tries + 1 < STRIPE_ATTEMPTS => {
+                            Err(_) if tries + 1 < STRIPE_ATTEMPTS => {
                                 // Seeded jittered backoff keyed by stripe, so
                                 // concurrent retries of different stripes
                                 // desynchronise deterministically.
                                 let ticks = cfs
                                     .reliability()
                                     .backoff_ticks(stripe.id.index() as u64, tries);
-                                std::thread::sleep(Duration::from_micros(ticks));
+                                reliability::pace(ticks);
                                 queue.lock().push((stripe, tries + 1));
-                                let _ = e;
                             }
                             Err(e) => {
                                 stats.lock().failed_stripes.push((stripe.id, e));

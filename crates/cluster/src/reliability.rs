@@ -33,6 +33,43 @@ use ear_faults::mix64;
 use ear_types::{Error, NodeHealth, NodeId, Result};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Paces a virtual-tick wait on the wall clock (1 tick = 1 µs). The tick
+/// count always comes from the substrate's cost model (backoff, hedging
+/// delay) *after* it has been charged to the op's deadline — this is only
+/// the physical "don't busy-loop" side of a number the virtual clock has
+/// already accounted. The one sanctioned sleep in the workspace (L5).
+pub(crate) fn pace(ticks: u64) {
+    std::thread::sleep(Duration::from_micros(ticks));
+}
+
+/// Applies `f` to an atomic with a CAS loop. `fetch_update` forces the
+/// closure to return `Option` and the call to return `Result`; for the
+/// total functions used here (saturating bumps), that `Result` is
+/// unconditionally `Ok` and discarding it would trip L5's
+/// discarded-result check — these helpers keep the infallibility in the
+/// types instead of at the call sites.
+macro_rules! atomic_apply_impl {
+    ($name:ident, $atomic:ty, $int:ty) => {
+        fn $name(cell: &$atomic, f: impl Fn($int) -> $int) {
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                match cell.compare_exchange_weak(
+                    cur,
+                    f(cur),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    };
+}
+atomic_apply_impl!(atomic_apply_u32, AtomicU32, u32);
+atomic_apply_impl!(atomic_apply_u64, AtomicU64, u64);
 
 /// Priority classes of data-plane operations, highest first. The admission
 /// gate sheds low classes before high ones, and retry budgets are accounted
@@ -297,8 +334,8 @@ impl Reliability {
             slot.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(bucket) = self.retry_tokens.get(i) {
-            let _ = bucket.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
-                Some(t.saturating_add(policy.retry_refill).min(policy.retry_budget))
+            atomic_apply_u64(bucket, |t| {
+                t.saturating_add(policy.retry_refill).min(policy.retry_budget)
             });
         }
         Ok(OpContext {
@@ -471,9 +508,7 @@ impl Drop for OpContext<'_> {
         if let Some(slot) = self.rel.in_flight.get(self.class.index()) {
             // Saturating: an admission slot is released exactly once, but a
             // wrap on a miscounted drop must not panic the data plane.
-            let _ = slot.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                Some(v.saturating_sub(1))
-            });
+            atomic_apply_u32(slot, |v| v.saturating_sub(1));
         }
     }
 }

@@ -9,7 +9,7 @@
 //! e.g.
 //!
 //! ```text
-//! L2 crates/cluster/src/io.rs wall-clock -- IoStats latency fields are documented wall-clock
+//! L2 crates/cluster/src/healer.rs wall-clock -- elapsed-time report fields only, never control flow
 //! ```
 //!
 //! An entry suppresses every diagnostic whose rule equals `RULE`, whose path
@@ -98,7 +98,7 @@ impl Allowlist {
             }
             let rule = Rule::parse(fields[0]).ok_or_else(|| ParseError {
                 line: lineno,
-                message: format!("unknown rule {:?} (expected L1, L2 or L3)", fields[0]),
+                message: format!("unknown rule {:?} (expected L1..L6)", fields[0]),
             })?;
             entries.push(Entry {
                 rule,
@@ -109,6 +109,13 @@ impl Allowlist {
             });
         }
         Ok(Allowlist { entries })
+    }
+
+    /// Restricts the allowlist to one rule family (for `check --rule LN`:
+    /// entries for other families must not be reported stale when their
+    /// rules never ran).
+    pub fn retain_rule(&mut self, rule: Rule) {
+        self.entries.retain(|e| e.rule == rule);
     }
 
     /// Splits `diags` into (kept, suppressed) and returns any stale entries.
@@ -197,5 +204,76 @@ mod tests {
         assert!(Allowlist::parse("L1 a.rs lock-order\n").is_err());
         assert!(Allowlist::parse("L1 a.rs lock-order --   \n").is_err());
         assert!(Allowlist::parse("L9 a.rs x -- reason\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_both_match_and_neither_is_stale() {
+        // Duplicates are tolerated (e.g. a merge artifact): the diagnostic
+        // is suppressed once, and *both* entries count as used — an entry
+        // must only go stale when it excuses nothing, not because a twin
+        // got there first.
+        let al = Allowlist::parse(
+            "L3 a.rs unwrap -- first copy\n\
+             L3 a.rs unwrap -- second copy\n",
+        )
+        .unwrap();
+        let (kept, suppressed, stale) = al.apply(vec![diag(Rule::L3, "crates/a.rs", "unwrap")]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed.len(), 1, "one diagnostic, suppressed once");
+        assert!(stale.is_empty(), "both duplicates matched: {stale:?}");
+    }
+
+    #[test]
+    fn wildcard_overlapping_specific_entry_keeps_both_live() {
+        // A `*` entry and a specific entry covering the same diagnostic
+        // both register as used; the wildcard alone covering the second
+        // check keeps it from going stale too.
+        let al = Allowlist::parse(
+            "L3 a.rs unwrap -- the specific one\n\
+             L3 a.rs * -- the blanket one\n",
+        )
+        .unwrap();
+        let (kept, suppressed, stale) = al.apply(vec![
+            diag(Rule::L3, "crates/a.rs", "unwrap"),
+            diag(Rule::L3, "crates/a.rs", "index"),
+        ]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed.len(), 2);
+        assert!(stale.is_empty(), "overlap must not strand either entry: {stale:?}");
+    }
+
+    #[test]
+    fn wildcard_covering_nothing_beyond_the_specific_entry_goes_stale() {
+        // If the specific entry already accounts for the only diagnostic,
+        // the wildcard still matches it — but a wildcard for a *different*
+        // path that matches nothing is flagged.
+        let al = Allowlist::parse(
+            "L3 a.rs unwrap -- the specific one\n\
+             L3 b.rs * -- matches nothing\n",
+        )
+        .unwrap();
+        let (_, _, stale) = al.apply(vec![diag(Rule::L3, "crates/a.rs", "unwrap")]);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path_suffix, "b.rs");
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_cleanly() {
+        // A checkout with autocrlf must not corrupt the trailing field:
+        // `\r` has to be trimmed off the reason, not glued onto it, and a
+        // `\r\n`-separated spec line must still split into three fields.
+        let al = Allowlist::parse(
+            "# header\r\nL2 src/io.rs wall-clock -- report fields only\r\n\r\nL3 src/io.rs unwrap -- startup\r\n",
+        )
+        .unwrap();
+        assert_eq!(al.entries.len(), 2);
+        assert_eq!(al.entries[0].reason, "report fields only");
+        assert_eq!(al.entries[1].check, "unwrap");
+        assert_eq!(al.entries[1].reason, "startup");
+        let (kept, suppressed, stale) =
+            al.apply(vec![diag(Rule::L2, "crates/cluster/src/io.rs", "wall-clock")]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(stale.len(), 1, "the unwrap entry is stale here");
     }
 }

@@ -480,6 +480,61 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_with_adjacent_hashes_do_not_close_early() {
+        // `"#` inside an `r##"..."##` string must not terminate it — only
+        // a quote followed by the full hash count does. A premature close
+        // would surface `unwrap` as a phantom token for the rules.
+        let toks = lex(r#####"let s = r##"mid "# x.unwrap() "# end"##; done"#####);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_are_opaque() {
+        // b"..." honours escapes (the \" must not close it); br#"..."# is
+        // raw, so a lone backslash before the closing quote is literal.
+        let toks = lex("let a = b\"esc \\\" .lock()\"; let b = br#\"raw \\ .unwrap()\"#; done");
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert!(!toks.iter().any(|t| t.is_ident("lock")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn empty_raw_string_and_raw_identifiers() {
+        // r#"..."# with empty body, and r#match — a raw *identifier*, not
+        // a raw string — must both lex cleanly; the raw identifier yields
+        // its bare name so keyword-collision code still matches by ident.
+        let toks = lex(r####"let r#match = r#""#; done"####);
+        assert!(toks.iter().any(|t| t.is_ident("match")));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_are_fully_skipped() {
+        // Rust block comments nest: the inner `*/` closes only the inner
+        // comment. Stopping at the first `*/` would leak `.lock()` tokens.
+        let toks = lex("/* outer /* inner */ still .lock() comment */ done");
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert!(!toks.iter().any(|t| t.is_ident("lock")));
+        let toks = lex("/**/ tight /*/ unbalanced-open-is-opaque");
+        assert!(toks.iter().any(|t| t.is_ident("tight")));
+        assert_eq!(toks.len(), 1, "unterminated comment swallows the rest");
+    }
+
+    #[test]
+    fn strings_inside_comments_and_comments_inside_strings() {
+        // A quote inside a comment must not open a string, and `/*` inside
+        // a string must not open a comment.
+        let toks = lex("/* \" */ a = \"/* not a comment */\"; done");
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(!toks.iter().any(|t| t.is_ident("not")));
+    }
+
+    #[test]
     fn line_numbers_are_tracked() {
         let toks = lex("a\nb\n  c");
         assert_eq!(toks[0].line, 1);

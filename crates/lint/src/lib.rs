@@ -1,15 +1,25 @@
 //! `ear-lint` — the workspace invariant linter.
 //!
-//! Three rule families, each encoding an invariant the EAR implementation
-//! relies on but `rustc` cannot see (DESIGN.md §11):
+//! Six rule families, each encoding an invariant the EAR implementation
+//! relies on but `rustc` cannot see (DESIGN.md §11, §16):
 //!
-//! - **L1 lock-order** ([`rules::lock_order`]): nested lock acquisitions in
-//!   `ear-cluster` must follow the NameNode's declared coarse→fine order.
+//! - **L1 lock-order** ([`rules::lock_order`]): nested lock acquisitions
+//!   in `ear-cluster` must stay acyclic. v2 derives the coarse→fine
+//!   order from a workspace-wide lock-acquisition graph (per-file facts
+//!   joined, SCC cycle detection) instead of a hand-listed table.
 //! - **L2 determinism hygiene** ([`rules::determinism`]): deterministic
 //!   crates must not consult wall clocks, ambient RNGs, or hash-ordered
 //!   iteration — the chaos/heal soaks assert bit-identical reports.
-//! - **L3 panic-freedom** ([`rules::panic_free`]): the data-plane hot-path
-//!   files must propagate typed errors, never panic.
+//! - **L3 panic-freedom** ([`rules::panic_free`]): the data-plane
+//!   hot-path files must propagate typed errors, never panic.
+//! - **L4 durability ordering** ([`rules::durability`]): the durable
+//!   stores must fsync before acknowledging, fsync directories after
+//!   renames, and keep headers the last write of a commit.
+//! - **L5 context/retry hygiene** ([`rules::context`]): data-plane
+//!   methods thread `&OpContext`; sleeps, retries, and error drops must
+//!   go through the reliability substrate.
+//! - **L6 zero-copy hygiene** ([`rules::zero_copy`]): hot-path code must
+//!   not materialize `Block` payloads with `to_vec()`/`to_owned()`.
 //!
 //! Suppressions live in `lint-allowlist.txt` at the workspace root; every
 //! entry carries a reason and goes stale (becomes an error) once the code
@@ -29,6 +39,7 @@ pub mod rules;
 
 pub use allowlist::Allowlist;
 pub use diag::{Diagnostic, Rule};
+pub use rules::lock_order::LockGraph;
 
 use std::fs;
 use std::io;
@@ -37,7 +48,8 @@ use std::path::{Path, PathBuf};
 /// Crates whose code must stay deterministic (L2 scope).
 pub const DETERMINISTIC_CRATES: &[&str] = &["cluster", "faults", "sim", "des", "erasure"];
 
-/// Data-plane hot-path files (L3 scope), relative to `crates/cluster/src/`.
+/// Data-plane hot-path files (L3 + L5 scope), relative to
+/// `crates/cluster/src/`.
 pub const DATA_PLANE_FILES: &[&str] = &[
     "io.rs",
     "datanode.rs",
@@ -53,28 +65,62 @@ pub const DATA_PLANE_FILES: &[&str] = &[
     "crashsim.rs",
 ];
 
-/// Runs every applicable rule on one source file. `path` is the
-/// workspace-relative path with `/` separators; it selects which rules
-/// apply (so fixtures can opt into a scope by naming themselves into it).
-pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
-    let toks = lexer::lex_non_test(src);
+/// Files with durable-write protocols (L4 scope), relative to
+/// `crates/cluster/src/`. crashsim.rs is deliberately absent: it writes
+/// torn states on purpose.
+pub const DURABILITY_FILES: &[&str] = &["wal.rs", "extent.rs", "blockstore.rs", "cluster.rs"];
+
+/// Hot read-path files (L6 scope), relative to `crates/cluster/src/`.
+/// The repair/encode paths (recovery.rs, raidnode.rs) legitimately
+/// assemble fresh buffers and are out of scope.
+pub const HOT_READ_PATH_FILES: &[&str] =
+    &["io.rs", "datanode.rs", "blockstore.rs", "cache.rs", "pipeline.rs"];
+
+fn in_cluster_set(path: &str, set: &[&str]) -> bool {
+    set.iter().any(|f| path == format!("crates/cluster/src/{f}"))
+}
+
+/// The per-file rules (everything except the workspace lock graph).
+fn file_diagnostics(path: &str, toks: &[lexer::Tok]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    if path.starts_with("crates/cluster/src/") {
-        out.extend(rules::lock_order::check(path, &toks));
-    }
     if DETERMINISTIC_CRATES
         .iter()
         .any(|c| path.starts_with(&format!("crates/{c}/src/")))
     {
-        out.extend(rules::determinism::check(path, &toks));
+        out.extend(rules::determinism::check(path, toks));
     }
-    if DATA_PLANE_FILES
-        .iter()
-        .any(|f| path == format!("crates/cluster/src/{f}"))
-    {
-        out.extend(rules::panic_free::check(path, &toks));
+    if in_cluster_set(path, DATA_PLANE_FILES) {
+        out.extend(rules::panic_free::check(path, toks));
+        out.extend(rules::context::check(path, toks));
+    }
+    if in_cluster_set(path, DURABILITY_FILES) {
+        out.extend(rules::durability::check(path, toks));
+    }
+    if in_cluster_set(path, HOT_READ_PATH_FILES) {
+        out.extend(rules::zero_copy::check(path, toks));
     }
     out
+}
+
+/// Runs every applicable rule on one source file. `path` is the
+/// workspace-relative path with `/` separators; it selects which rules
+/// apply (so fixtures can opt into a scope by naming themselves into it).
+///
+/// The lock graph is built from this file alone here; the workspace
+/// runner ([`check_workspace`]) joins facts across files instead, which
+/// is where cross-file cycles surface.
+pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let toks = lexer::lex_non_test(src);
+    let mut out = file_diagnostics(path, &toks);
+    if path.starts_with("crates/cluster/src/") {
+        out.extend(rules::lock_order::check(path, &toks));
+    }
+    sort_diags(&mut out);
+    out
+}
+
+fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
 }
 
 /// Result of a workspace check, before allowlisting.
@@ -84,9 +130,14 @@ pub struct CheckReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// The workspace lock-acquisition graph (L1's evidence; also dumped
+    /// by `ear-lint graph`).
+    pub lock_graph: LockGraph,
 }
 
-/// Lints every `crates/*/src/**/*.rs` file under `root`.
+/// Lints every `crates/*/src/**/*.rs` file under `root`: pass 1 runs the
+/// per-file rules and collects lock facts, pass 2 joins the facts into
+/// the workspace lock graph and appends its cycle diagnostics.
 ///
 /// # Errors
 ///
@@ -104,15 +155,20 @@ pub fn check_workspace(root: &Path) -> io::Result<CheckReport> {
     files.sort();
 
     let mut report = CheckReport::default();
+    let mut facts = Vec::new();
     for file in files {
         let rel = relativize(root, &file);
         let src = fs::read_to_string(&file)?;
-        report.diagnostics.extend(check_source(&rel, &src));
+        let toks = lexer::lex_non_test(&src);
+        report.diagnostics.extend(file_diagnostics(&rel, &toks));
+        if rel.starts_with("crates/cluster/src/") {
+            facts.push(rules::lock_order::facts(&rel, &toks));
+        }
         report.files_scanned += 1;
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    report.lock_graph = rules::lock_order::analyze(&facts);
+    report.diagnostics.extend(report.lock_graph.diagnostics());
+    sort_diags(&mut report.diagnostics);
     Ok(report)
 }
 
@@ -168,5 +224,33 @@ mod tests {
         // Outside the deterministic crates nothing applies.
         let d = check_source("crates/cli/src/main.rs", src);
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn new_rule_scoping() {
+        let durable = "pub fn save(&self) { fs::write(&tmp, &b); }";
+        assert!(check_source("crates/cluster/src/wal.rs", durable)
+            .iter()
+            .any(|d| d.rule == Rule::L4));
+        // crashsim writes torn states on purpose — L4 does not apply.
+        assert!(!check_source("crates/cluster/src/crashsim.rs", durable)
+            .iter()
+            .any(|d| d.rule == Rule::L4));
+
+        let ctx = "fn f() { let _ = send(); }";
+        assert!(check_source("crates/cluster/src/io.rs", ctx)
+            .iter()
+            .any(|d| d.rule == Rule::L5));
+        assert!(!check_source("crates/cluster/src/chaos.rs", ctx)
+            .iter()
+            .any(|d| d.rule == Rule::L5));
+
+        let hot = "fn f(block: &Block) { block.to_vec(); }";
+        assert!(check_source("crates/cluster/src/cache.rs", hot)
+            .iter()
+            .any(|d| d.rule == Rule::L6));
+        assert!(!check_source("crates/cluster/src/recovery.rs", hot)
+            .iter()
+            .any(|d| d.rule == Rule::L6));
     }
 }

@@ -1,0 +1,289 @@
+//! L5 — context/retry hygiene in the data plane.
+//!
+//! PR 8's reliability substrate (DESIGN.md §14) only bounds tail latency
+//! if every data-plane operation participates: deadlines propagate via
+//! `&OpContext`, pacing goes through `reliability`'s virtual-clock
+//! helpers, retries consult budgets, and no error is silently dropped.
+//! Four checks:
+//!
+//! - **ctx-threading**: public methods in the inherent `impl ClusterIo`
+//!   block that handle a `BlockId` (the data-plane discriminator —
+//!   accessors and node-level transfers legitimately have no context)
+//!   must take `&OpContext` somewhere in their signature. `pub(crate)`
+//!   helpers are plumbing, not API — the uncharged `fetch_costed`
+//!   building block exists precisely so the hedging race can charge only
+//!   the winner's cost.
+//! - **naked-sleep**: `thread::sleep`/`.sleep(..)` calls are banned
+//!   outside `reliability.rs` — pacing must route through the
+//!   reliability substrate so the virtual clock and deadline charging
+//!   stay coupled to real time.
+//! - **ad-hoc-retry**: a retry loop (`for attempt in ..`,
+//!   `while tries < ..`) whose body never consults the reliability
+//!   substrate (`backoff_ticks`, `charge`, a budget, …) retries blind:
+//!   no budget, no backoff, no deadline. Loops that do consult it are
+//!   the sanctioned pattern.
+//! - **discarded-result**: `let _ = ..;` and statement-level `.ok();` in
+//!   data-plane files silently drop errors the caller was supposed to
+//!   see. `Drop` impls are exempt (destructors have nowhere to report).
+
+use super::{functions, FnSpan};
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::Tok;
+
+/// Types whose inherent impl blocks form the data-plane API surface.
+const CTX_TYPES: &[&str] = &["ClusterIo"];
+
+/// Loop-variable names that mark a retry loop.
+const RETRY_NAMES: &[&str] = &["attempt", "attempts", "tries", "retries", "retry"];
+
+/// Idents whose presence in a retry-loop body shows it consults the
+/// reliability substrate rather than retrying blind.
+const SANCTIONED: &[&str] = &["backoff_ticks", "charge", "budget", "reliability", "breaker"];
+
+/// Runs the rule over one file's non-test tokens.
+pub fn check(path: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    let fns = functions(toks);
+    let mut out = Vec::new();
+    out.extend(ctx_threading(path, toks, &fns));
+    if !path.ends_with("reliability.rs") {
+        out.extend(naked_sleep(path, toks));
+    }
+    out.extend(ad_hoc_retry(path, toks));
+    out.extend(discarded_result(path, toks, &fns));
+    out
+}
+
+fn sig_has(toks: &[Tok], f: &FnSpan, ident: &str) -> bool {
+    toks[f.sig.0..f.sig.1].iter().any(|t| t.is_ident(ident))
+}
+
+fn ctx_threading(path: &str, toks: &[Tok], fns: &[FnSpan]) -> Vec<Diagnostic> {
+    fns.iter()
+        .filter(|f| {
+            f.is_pub
+                && !f.pub_restricted // pub(crate) helpers are plumbing, not API
+                && !f.in_trait_impl
+                && f.impl_type
+                    .as_deref()
+                    .is_some_and(|t| CTX_TYPES.contains(&t))
+                && sig_has(toks, f, "BlockId")
+                && !sig_has(toks, f, "OpContext")
+        })
+        .map(|f| {
+            diag(
+                path,
+                &toks[f.name_idx],
+                "ctx-threading",
+                &format!(
+                    "public data-plane method `{}` handles a BlockId but does not take \
+                     `&OpContext` — deadlines and budgets cannot propagate through it",
+                    f.name
+                ),
+            )
+        })
+        .collect()
+}
+
+fn naked_sleep(path: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("sleep")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            out.push(diag(
+                path,
+                t,
+                "naked-sleep",
+                "raw sleep outside reliability.rs — pace through `reliability::pace` so \
+                 waiting stays coupled to the virtual clock and deadline charging",
+            ));
+        }
+    }
+    out
+}
+
+fn ad_hoc_retry(path: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let retry_head = (t.is_ident("for") || t.is_ident("while"))
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| RETRY_NAMES.iter().any(|r| n.is_ident(r)));
+        if !retry_head {
+            continue;
+        }
+        // Find the loop body: first `{` at bracket depth 0 after the head.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut open = None;
+        while j < toks.len() {
+            let u = &toks[j];
+            if u.is_punct("(") || u.is_punct("[") {
+                depth += 1;
+            } else if u.is_punct(")") || u.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && u.is_punct("{") {
+                open = Some(j);
+                break;
+            } else if depth == 0 && u.is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = super::matching_brace(toks, open);
+        let consults = toks[open..=close]
+            .iter()
+            .any(|u| SANCTIONED.iter().any(|s| u.is_ident(s)));
+        if !consults {
+            out.push(diag(
+                path,
+                t,
+                "ad-hoc-retry",
+                "retry loop never consults the reliability substrate (no backoff_ticks/\
+                 charge/budget) — it retries blind, outside any deadline or budget",
+            ));
+        }
+    }
+    out
+}
+
+fn discarded_result(path: &str, toks: &[Tok], fns: &[FnSpan]) -> Vec<Diagnostic> {
+    let drop_bodies: Vec<(usize, usize)> = fns
+        .iter()
+        .filter(|f| f.name == "drop")
+        .map(|f| f.body)
+        .collect();
+    let exempt = |i: usize| drop_bodies.iter().any(|(o, c)| *o < i && i < *c);
+
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if exempt(i) {
+            continue;
+        }
+        // `let _ = expr;` — the wildcard exactly, not `_name`.
+        if t.is_ident("let")
+            && toks.get(i + 1).is_some_and(|u| u.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|u| u.is_punct("="))
+        {
+            out.push(diag(
+                path,
+                t,
+                "discarded-result",
+                "`let _ =` silently discards a Result in a data-plane file — handle the \
+                 error, propagate it, or allowlist with the reason it is safe to drop",
+            ));
+        }
+        // Statement-level `.ok();`.
+        if t.is_ident("ok")
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|u| u.is_punct("("))
+            && toks.get(i + 2).is_some_and(|u| u.is_punct(")"))
+            && toks.get(i + 3).is_some_and(|u| u.is_punct(";"))
+        {
+            out.push(diag(
+                path,
+                t,
+                "discarded-result",
+                "statement-level `.ok();` swallows an error in a data-plane file — handle \
+                 it or allowlist with a reason",
+            ));
+        }
+    }
+    out
+}
+
+fn diag(path: &str, t: &Tok, check: &'static str, message: &str) -> Diagnostic {
+    Diagnostic {
+        rule: Rule::L5,
+        check,
+        path: path.to_string(),
+        line: t.line,
+        col: t.col,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_non_test;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check("crates/cluster/src/io.rs", &lex_non_test(src))
+    }
+
+    #[test]
+    fn data_plane_methods_must_thread_opcontext() {
+        let bad = run(
+            "impl ClusterIo { pub fn fetch_from(&self, node: NodeId, block: BlockId) \
+             -> Result<Block> { x } }",
+        );
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].check, "ctx-threading");
+        let ok = run(
+            "impl ClusterIo { pub fn fetch_from(&self, node: NodeId, block: BlockId, \
+             ctx: &OpContext) -> Result<Block> { x } }",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn accessors_without_blockid_are_exempt() {
+        let d = run(
+            "impl ClusterIo { pub fn stats(&self) -> IoStats { x } \
+             pub fn transfer(&self, from: NodeId, to: NodeId, bytes: u64) { x } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn pub_crate_plumbing_is_exempt() {
+        let d = run(
+            "impl ClusterIo { pub(crate) fn fetch_costed(&self, src: NodeId, block: BlockId) \
+             -> (Result<Block>, u64) { x } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn naked_sleep_is_banned_outside_reliability() {
+        let d = run("fn f() { std::thread::sleep(Duration::from_micros(t)); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, "naked-sleep");
+        // Defining a sleep fn (reliability's own pace impl) is not a call…
+        let rel = check(
+            "crates/cluster/src/reliability.rs",
+            &lex_non_test("pub fn pace(t: u64) { std::thread::sleep(d(t)); }"),
+        );
+        assert!(rel.is_empty(), "{rel:?}");
+    }
+
+    #[test]
+    fn blind_retry_loops_are_flagged_sanctioned_ones_pass() {
+        let bad = run("fn f() { for attempt in 0..3 { try_once(); } }");
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].check, "ad-hoc-retry");
+        let ok = run(
+            "fn f(ctx: &OpContext) { for attempt in 0..IO_ATTEMPTS { \
+             let t = rel.backoff_ticks(attempt); ctx.charge(t)?; } }",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad_while = run("fn f() { while tries < 3 { tries += 1; } }");
+        assert_eq!(bad_while.len(), 1, "{bad_while:?}");
+    }
+
+    #[test]
+    fn discarded_results_are_errors_except_in_drop() {
+        let d = run("fn f() { let _ = fs::remove_file(p); do_send().ok(); }");
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.check == "discarded-result"));
+        let ok = run("impl Drop for S { fn drop(&mut self) { let _ = self.flush(); } }");
+        assert!(ok.is_empty(), "{ok:?}");
+        // `let _guard = ..` is a named binding, not a discard.
+        let named = run("fn f() { let _guard = m.lock(); }");
+        assert!(named.is_empty(), "{named:?}");
+    }
+}

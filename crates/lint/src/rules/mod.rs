@@ -1,8 +1,11 @@
-//! The three rule families and their shared token-walking helpers.
+//! The rule families and their shared token-walking helpers.
 
+pub mod context;
 pub mod determinism;
+pub mod durability;
 pub mod lock_order;
 pub mod panic_free;
+pub mod zero_copy;
 
 use crate::lexer::{Tok, TokKind};
 
@@ -16,7 +19,13 @@ use crate::lexer::{Tok, TokKind};
 /// This is deliberately shallow: it identifies the *last named thing* the
 /// call hangs off, which is what both the lock-class table and the
 /// map-typed-name table key on.
-pub fn receiver_ident(toks: &[Tok], mut i: usize) -> Option<String> {
+pub fn receiver_ident(toks: &[Tok], i: usize) -> Option<String> {
+    receiver_ident_at(toks, i).map(|j| toks[j].text.clone())
+}
+
+/// Like [`receiver_ident`], but returns the anchor's token index so a
+/// caller can keep walking a method chain (`x.slice(..)?.to_vec()`).
+pub fn receiver_ident_at(toks: &[Tok], mut i: usize) -> Option<usize> {
     loop {
         let t = toks.get(i)?;
         if t.is_punct("?") {
@@ -43,10 +52,191 @@ pub fn receiver_ident(toks: &[Tok], mut i: usize) -> Option<String> {
             continue;
         }
         if t.kind == TokKind::Ident {
-            return Some(t.text.clone());
+            return Some(i);
         }
         return None;
     }
+}
+
+/// One `fn` item with a body: its name, visibility, enclosing-impl info,
+/// and the token ranges of its signature and body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the name identifier.
+    pub name_idx: usize,
+    /// `pub` / `pub(crate)` / `pub(super)`.
+    pub is_pub: bool,
+    /// Visibility is restricted (`pub(crate)` / `pub(super)`): part of
+    /// the crate plumbing, not the public API surface.
+    pub pub_restricted: bool,
+    /// Inside an `impl Trait for Type` block (methods there are public
+    /// through the trait regardless of `pub`).
+    pub in_trait_impl: bool,
+    /// The `Type` of the enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+    /// Token range from `fn` to the body-opening `{` (exclusive) — the
+    /// signature, including generics, params, and return type.
+    pub sig: (usize, usize),
+    /// Token range of the body: opening `{` to matching `}` (inclusive).
+    pub body: (usize, usize),
+}
+
+/// Finds every `fn` item that has a body. Bodiless trait declarations are
+/// skipped. Function-pointer types (`fn(` with no name) are ignored.
+pub fn functions(toks: &[Tok]) -> Vec<FnSpan> {
+    let impls = impl_spans(toks);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Scan for the body `{` (or a `;` meaning no body) at bracket
+        // depth 0, so parenthesized params and `Fn(..)` bounds don't fool
+        // the scan.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut body_open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("{") {
+                body_open = Some(j);
+                break;
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i += 1;
+            continue;
+        };
+        let close = matching_brace(toks, open);
+        let enclosing = impls.iter().rfind(|s| s.body.0 < i && i < s.body.1);
+        let (is_pub, pub_restricted) = fn_visibility(toks, i);
+        out.push(FnSpan {
+            name: name_tok.text.clone(),
+            name_idx: i + 1,
+            is_pub,
+            pub_restricted,
+            in_trait_impl: enclosing.is_some_and(|s| s.is_trait),
+            impl_type: enclosing.map(|s| s.ty.clone()),
+            sig: (i, open),
+            body: (open, close),
+        });
+        i += 2;
+    }
+    out
+}
+
+/// Returns `(is_pub, pub_restricted)` for the `fn` at `fn_idx`.
+fn fn_visibility(toks: &[Tok], fn_idx: usize) -> (bool, bool) {
+    let mut k = fn_idx;
+    while k > 0
+        && (toks[k - 1].is_ident("unsafe")
+            || toks[k - 1].is_ident("const")
+            || toks[k - 1].is_ident("async"))
+    {
+        k -= 1;
+    }
+    if k == 0 {
+        return (false, false);
+    }
+    if toks[k - 1].is_punct(")") {
+        // Possibly `pub(crate)` / `pub(super)`.
+        let mut depth = 1usize;
+        let mut m = k - 1;
+        while depth > 0 && m > 0 {
+            m -= 1;
+            if toks[m].is_punct(")") {
+                depth += 1;
+            } else if toks[m].is_punct("(") {
+                depth -= 1;
+            }
+        }
+        let is_pub = m > 0 && toks[m - 1].is_ident("pub");
+        return (is_pub, is_pub);
+    }
+    (toks[k - 1].is_ident("pub"), false)
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct("{") {
+            depth += 1;
+        } else if toks[j].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+struct ImplSpan {
+    is_trait: bool,
+    ty: String,
+    body: (usize, usize),
+}
+
+fn impl_spans(toks: &[Tok]) -> Vec<ImplSpan> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("impl") {
+            continue;
+        }
+        // `-> impl Iterator` and friends are type positions, not blocks.
+        if i > 0 {
+            let p = &toks[i - 1];
+            if p.is_punct("->")
+                || p.is_punct("(")
+                || p.is_punct(",")
+                || p.is_punct("<")
+                || p.is_punct("&")
+                || p.is_punct("+")
+                || p.is_punct("=")
+            {
+                continue;
+            }
+        }
+        let mut j = i + 1;
+        let mut is_trait = false;
+        let mut last_ident = None;
+        while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+            if toks[j].is_ident("for") {
+                is_trait = true;
+            } else if toks[j].kind == TokKind::Ident {
+                last_ident = Some(toks[j].text.clone());
+            }
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct("{") {
+            continue;
+        }
+        let close = matching_brace(toks, j);
+        out.push(ImplSpan {
+            is_trait,
+            ty: last_ident.unwrap_or_default(),
+            body: (j, close),
+        });
+    }
+    out
 }
 
 /// Index of the token starting the statement containing `i`: one past the
@@ -104,6 +294,27 @@ mod tests {
         assert_eq!(recv("acked.iter()", "iter").as_deref(), Some("acked"));
         assert_eq!(recv("f(x)?.keys()", "keys").as_deref(), Some("f"));
         assert_eq!(recv("(a + b).keys()", "keys"), None);
+    }
+
+    #[test]
+    fn function_spans_see_visibility_impls_and_bodies() {
+        let toks = lex(
+            "trait T { fn decl(&self); }\n\
+             impl T for S { fn decl(&self) { body(); } }\n\
+             impl S { pub fn get(&self, b: BlockId) -> Result<u8> { 1 } fn private(&self) {} }\n\
+             pub(crate) fn helper<F: Fn(u32) -> u32>(f: F) { f(1); }",
+        );
+        let fns = functions(&toks);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["decl", "get", "private", "helper"]);
+        assert!(fns[0].in_trait_impl && fns[0].impl_type.as_deref() == Some("S"));
+        assert!(fns[1].is_pub && !fns[1].in_trait_impl);
+        assert_eq!(fns[1].impl_type.as_deref(), Some("S"));
+        assert!(!fns[2].is_pub);
+        assert!(fns[3].is_pub && fns[3].impl_type.is_none());
+        // The helper's body excludes its Fn-bound parens.
+        let (open, close) = fns[3].body;
+        assert!(toks[open].is_punct("{") && toks[close].is_punct("}"));
     }
 
     #[test]

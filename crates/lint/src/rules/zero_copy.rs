@@ -1,0 +1,175 @@
+//! L6 — zero-copy hygiene on the hot read path.
+//!
+//! PR 6 made `Block` an immutable `Arc<[u8]>` handle: clones are
+//! refcount bumps, `slice`/`suffix` share the buffer, and the read path
+//! from store to client moves no payload bytes (DESIGN.md §12). That win
+//! erodes silently the first time a hot-path function materializes a
+//! payload with `to_vec()`/`to_owned()`, so this rule bans them on
+//! `Block`-backed receivers in the hot-path files.
+//!
+//! A receiver is `Block`-backed when its method chain bottoms out in a
+//! name that is (a) ascribed `Block`/`&Block`, (b) bound from a
+//! `Block::…` constructor, or (c) conventionally named (`block`/`blk`/
+//! `*_block`). Chains walk through the payload-preserving methods
+//! (`as_slice`, `slice`, `suffix`, `as_ref`, `clone`, `unwrap`,
+//! `expect`), so `block.as_slice().to_vec()` and
+//! `block.slice(o, n)?.to_vec()` are both caught. `Block::clone`
+//! itself is *not* flagged — it is the cheap refcount bump the design
+//! wants people to use.
+
+use super::receiver_ident_at;
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// Methods that materialize (copy) the bytes they are called on.
+const MATERIALIZE: &[&str] = &["to_vec", "to_owned"];
+
+/// Methods whose result still borrows/shares the original payload, so a
+/// chain through them keeps its `Block` provenance.
+const PASSTHROUGH: &[&str] = &["as_slice", "slice", "suffix", "as_ref", "clone", "unwrap", "expect"];
+
+/// Names that are `Block`-backed by convention even without a visible
+/// type ascription.
+fn conventionally_block(name: &str) -> bool {
+    name == "block" || name == "blk" || name.ends_with("_block")
+}
+
+/// Collects names with a visible `Block` type: `name: [&]Block` and
+/// `let name = Block::…(..)`. Wrapped types (`Vec<Block>`,
+/// `Option<Block>`) are deliberately excluded — copying a collection of
+/// handles copies refcounts, not payloads.
+fn block_typed_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("Block") {
+            continue;
+        }
+        // `let name = Block::…(..)`.
+        if toks.get(i + 1).is_some_and(|u| u.is_punct("::")) {
+            let start = super::stmt_start(toks, i);
+            if toks.get(start).is_some_and(|u| u.is_ident("let")) {
+                let mut j = start + 1;
+                while toks.get(j).is_some_and(|u| u.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(name) = toks.get(j).filter(|u| u.kind == TokKind::Ident) {
+                    out.insert(name.text.clone());
+                }
+            }
+            continue;
+        }
+        // `name: [&]Block` — param, field, or ascribed binding.
+        let mut j = i;
+        while j > 0
+            && (toks[j - 1].is_punct("&")
+                || toks[j - 1].is_ident("mut")
+                || toks[j - 1].kind == TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j >= 2 && toks[j - 1].is_punct(":") && toks[j - 2].kind == TokKind::Ident {
+            out.insert(toks[j - 2].text.clone());
+        }
+    }
+    out
+}
+
+/// Runs the rule over one file's non-test tokens.
+pub fn check(path: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    let names = block_typed_names(toks);
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let is_mat = MATERIALIZE.iter().any(|m| t.is_ident(m))
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|u| u.is_punct("("));
+        if !is_mat {
+            continue;
+        }
+        let Some(base) = chain_base(toks, i) else {
+            continue;
+        };
+        if names.contains(&base) || conventionally_block(&base) {
+            out.push(Diagnostic {
+                rule: Rule::L6,
+                check: "block-materialize",
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}()` on `Block`-backed `{base}` copies the payload on the hot path — \
+                     share the buffer with `slice`/`suffix`/`clone` instead (DESIGN.md §12)",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Walks a method chain backward from the method ident at `i` to the
+/// name the chain bottoms out in, looking through payload-preserving
+/// methods: `block.slice(o, n)?.to_vec()` → `block`.
+fn chain_base(toks: &[Tok], mut i: usize) -> Option<String> {
+    loop {
+        let anchor = receiver_ident_at(toks, i.checked_sub(2)?)?;
+        let name = &toks[anchor].text;
+        let is_method = anchor >= 1 && toks[anchor - 1].is_punct(".");
+        if is_method && PASSTHROUGH.iter().any(|p| name == p) {
+            i = anchor;
+            continue;
+        }
+        return Some(name.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_non_test;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check("crates/cluster/src/io.rs", &lex_non_test(src))
+    }
+
+    #[test]
+    fn materializing_an_ascribed_block_is_flagged() {
+        let d = run("fn f(data: &Block) { let v = data.to_vec(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, "block-materialize");
+    }
+
+    #[test]
+    fn chains_through_passthrough_methods_keep_provenance() {
+        let d = run("fn f(data: &Block) { let v = data.as_slice().to_vec(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        let d = run("fn f(data: &Block) { let v = data.slice(0, n).unwrap().to_vec(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        let d = run("fn f(b: Block) { let v = b.suffix(off)?.to_owned(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn constructor_bindings_and_conventional_names_count() {
+        let d = run("fn f() { let b = Block::from_arc(buf); g(b.to_vec()); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        let d = run("fn f(parity_block: &Block) { parity_block.to_vec(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        let d = run("fn f(block) { block.as_slice().to_vec(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn cheap_clone_and_unrelated_to_vec_are_fine() {
+        // Block::clone is the refcount bump the design wants.
+        let d = run("fn f(block: &Block) { let b2 = block.clone(); }");
+        assert!(d.is_empty(), "{d:?}");
+        // A NodeId slice is not a payload.
+        let d = run("fn f(replicas: &[NodeId]) { let v = replicas.to_vec(); }");
+        assert!(d.is_empty(), "{d:?}");
+        // Vec<Block> copies handles, not payloads.
+        let d = run("fn f(shards: Vec<Block>) { let v = shards.to_vec(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

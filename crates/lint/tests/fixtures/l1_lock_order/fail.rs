@@ -1,13 +1,25 @@
-// L1 fixture: violates the declared lock order (policy → rng → stripes →
-// shard). Checked under the virtual path `crates/cluster/src/fixture_l1.rs`.
+// L1 fixture: the same two classes nested in both directions — a lock
+// cycle (the two-thread deadlock condition) — plus a same-class
+// reacquisition, which parking_lot cannot survive.
+
+struct NameNode {
+    policy: Mutex<Policy>,
+    stripes: Mutex<StripeMap>,
+}
 
 impl NameNode {
-    fn coarse_under_fine(&self) {
-        let shard = self.shard(0).write();
+    fn coarse_then_fine(&self) {
         let policy = self.policy.lock();
-        policy.touch();
+        let stripes = self.stripes.lock();
+        drop(stripes);
         drop(policy);
-        drop(shard);
+    }
+
+    fn fine_then_coarse(&self) {
+        let stripes = self.stripes.lock();
+        let policy = self.policy.lock();
+        drop(policy);
+        drop(stripes);
     }
 
     fn reentrant(&self) {

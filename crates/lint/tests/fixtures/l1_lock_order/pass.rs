@@ -1,8 +1,19 @@
-// L1 fixture: acquisitions that follow the declared order (policy → rng →
-// stripes → shard), release before re-acquiring, or never nest.
+// L1 fixture: declared lock classes nested in one consistent coarse→fine
+// direction — the acquisition graph stays acyclic, so no diagnostics.
+
+struct NameNode {
+    policy: Mutex<Policy>,
+    rng: Mutex<Rng>,
+    stripes: Mutex<StripeMap>,
+    shards: Vec<RwLock<Shard>>,
+}
 
 impl NameNode {
-    fn declared_order(&self) {
+    fn shard(&self, b: BlockId) -> &RwLock<Shard> {
+        &self.shards[b.index() % SHARDS]
+    }
+
+    fn consistent_direction(&self) {
         let policy = self.policy.lock();
         let rng = self.rng.lock();
         let stripes = self.stripes.lock();

@@ -1,0 +1,32 @@
+// L4 fixture: acknowledged writes with no reachable sync (directly and
+// through a helper), a rename that never syncs its directory, and a
+// header written before the payload it describes.
+
+pub fn save(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    Ok(())
+}
+
+pub fn publish(dir: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = dir.join("img.tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, dir.join("img"))?;
+    Ok(())
+}
+
+pub fn append(&mut self, rec: &[u8]) -> Result<()> {
+    self.buffered_write(rec)
+}
+
+fn buffered_write(&mut self, rec: &[u8]) -> Result<()> {
+    self.file.write_all(rec)?;
+    Ok(())
+}
+
+pub fn commit(f: &mut File, header: &[u8], payload: &[u8]) -> Result<()> {
+    write_header(f, header)?;
+    write_payload(f, payload)?;
+    f.sync_data()?;
+    Ok(())
+}

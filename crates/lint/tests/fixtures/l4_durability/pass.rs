@@ -1,0 +1,36 @@
+// L4 fixture: the durable-write protocol done right — payload synced
+// before the rename publishes it, the directory synced after, and the
+// header written (and synced) only once its payload is on disk.
+
+pub fn publish(dir: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = dir.join("img.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, dir.join("img"))?;
+    fsync_dir(dir)?;
+    Ok(())
+}
+
+fn fsync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+pub fn commit(f: &mut File, payload: &[u8], header: &[u8]) -> Result<()> {
+    write_payload(f, payload)?;
+    f.sync_data()?;
+    write_header(f, header)?;
+    f.sync_data()?;
+    Ok(())
+}
+
+pub fn append(&mut self, rec: &[u8]) -> Result<()> {
+    self.buffered_write(rec)
+}
+
+fn buffered_write(&mut self, rec: &[u8]) -> Result<()> {
+    self.file.write_all(rec)?;
+    self.file.sync_data()?;
+    Ok(())
+}

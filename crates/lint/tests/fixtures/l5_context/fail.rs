@@ -1,0 +1,23 @@
+// L5 fixture: a context-less public data-plane method, a naked sleep, a
+// blind retry loop, and two silently dropped Results.
+
+impl ClusterIo {
+    pub fn fetch_from(&self, src: NodeId, block: BlockId) -> Result<Block> {
+        self.fetch_inner(src, block)
+    }
+}
+
+fn blind(io: &ClusterIo, block: BlockId) -> Result<Block> {
+    for attempt in 0..3 {
+        std::thread::sleep(Duration::from_micros(50));
+        if let Ok(b) = io.try_fetch(block, attempt) {
+            return Ok(b);
+        }
+    }
+    Err(Error::BlockUnavailable { block })
+}
+
+fn sloppy(path: &Path) {
+    let _ = fs::remove_file(path);
+    notify_peer().ok();
+}

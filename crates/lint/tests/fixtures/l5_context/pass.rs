@@ -1,0 +1,32 @@
+// L5 fixture: the sanctioned reliability patterns — OpContext threaded
+// through the public data-plane API, pacing and backoff via the
+// reliability substrate, budgeted retries, and handled Results.
+
+impl ClusterIo {
+    pub fn fetch_from(&self, ctx: &OpContext<'_>, src: NodeId, block: BlockId) -> Result<Block> {
+        self.fetch_inner(ctx, src, block)
+    }
+
+    pub fn stats(&self) -> IoStats {
+        self.counters.snapshot()
+    }
+
+    pub(crate) fn fetch_costed(&self, src: NodeId, block: BlockId) -> (Result<Block>, u64) {
+        self.fetch_raw(src, block)
+    }
+}
+
+fn budgeted(ctx: &OpContext<'_>, rel: &Reliability) -> Result<()> {
+    for attempt in 0..IO_ATTEMPTS {
+        let ticks = rel.backoff_ticks(7, attempt);
+        ctx.charge(ticks)?;
+        reliability::pace(ticks);
+    }
+    Ok(())
+}
+
+impl Drop for Staging {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}

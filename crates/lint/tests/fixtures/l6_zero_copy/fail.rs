@@ -1,0 +1,10 @@
+// L6 fixture: materializing Block payloads on the hot read path — the
+// copies the shared-buffer redesign exists to avoid.
+
+fn serve(block: &Block) -> Vec<u8> {
+    block.to_vec()
+}
+
+fn stash(b: Block) -> Vec<u8> {
+    b.clone().to_owned()
+}

@@ -1,0 +1,13 @@
+// L6 fixture: zero-copy hot-path idioms — a Block clone is a refcount
+// bump, sub-views slice the shared buffer, and buffers that are not
+// Block payloads may materialize freely.
+
+fn serve(block: &Block) -> Result<Block> {
+    let copy = block.clone();
+    let payload = copy.suffix(4).ok_or(Error::ShardLengthMismatch)?;
+    Ok(payload)
+}
+
+fn not_a_block(names: &[String]) -> Vec<String> {
+    names.to_vec()
+}

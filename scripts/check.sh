@@ -18,10 +18,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-# Invariant lint first: lock order, determinism hygiene, data-plane
-# panic-freedom (DESIGN.md §11). Fails fast with file:line diagnostics;
-# suppressions live in lint-allowlist.txt.
+# Invariant lint first: lock-graph cycles, determinism hygiene, data-plane
+# panic-freedom, durability ordering, context/retry hygiene, zero-copy
+# (DESIGN.md §11, §16). Fails fast with file:line diagnostics; suppressions
+# live in lint-allowlist.txt.
 cargo run -q --offline -p ear-lint -- check
+# The machine-readable output and the derived lock graph must stay
+# well-formed: --json emits one parseable object per diagnostic, and graph
+# prints the workspace lock-acquisition graph as Graphviz DOT.
+cargo run -q --offline -p ear-lint -- check --json > /dev/null
+cargo run -q --offline -p ear-lint -- graph | grep -q '^digraph'
 # Tests run under all three storage backends (DESIGN.md §9, §13) and both
 # sides of the block cache (DESIGN.md §12): caching fully off (every read
 # CRC32C re-verified) and a deliberately small cache that forces eviction
